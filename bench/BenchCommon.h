@@ -1,0 +1,87 @@
+//===- BenchCommon.h - Shared helpers for the table/figure benches -*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small fixed-width table printer shared by the bench binaries that
+/// regenerate the paper's tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_BENCH_BENCHCOMMON_H
+#define AN5D_BENCH_BENCHCOMMON_H
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace an5d {
+namespace bench {
+
+/// Prints a separator + centered title banner.
+inline void printBanner(const std::string &Title) {
+  std::string Bar(78, '=');
+  std::printf("%s\n%s\n%s\n", Bar.c_str(), Title.c_str(), Bar.c_str());
+}
+
+/// A fixed-width table: set headers, add rows, print.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {
+    for (const std::string &H : this->Headers)
+      Widths.push_back(H.size());
+  }
+
+  void addRow(std::vector<std::string> Row) {
+    while (Row.size() < Headers.size())
+      Row.push_back("");
+    for (std::size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+    Rows.push_back(std::move(Row));
+  }
+
+  void print() const {
+    printRow(Headers);
+    std::string Rule;
+    for (std::size_t W : Widths) {
+      Rule += std::string(W, '-');
+      Rule += "  ";
+    }
+    std::printf("%s\n", Rule.c_str());
+    for (const auto &Row : Rows)
+      printRow(Row);
+    std::printf("\n");
+  }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::size_t> Widths;
+
+  void printRow(const std::vector<std::string> &Row) const {
+    std::string Line;
+    for (std::size_t I = 0; I < Row.size(); ++I) {
+      Line += padRight(Row[I], Widths[I]);
+      Line += "  ";
+    }
+    std::printf("%s\n", Line.c_str());
+  }
+};
+
+/// GFLOP/s rendered with no decimals, or "-" when infeasible.
+inline std::string gflopsCell(bool Feasible, double Gflops) {
+  if (!Feasible)
+    return "-";
+  return formatDouble(Gflops, 0);
+}
+
+} // namespace bench
+} // namespace an5d
+
+#endif // AN5D_BENCH_BENCHCOMMON_H

@@ -1,0 +1,136 @@
+//===- bench_ablation_design_choices.cpp - Ablations of Section 4.2 -----------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Ablation study of AN5D's individual design choices (not a single paper
+/// figure; quantifies the Section 4.2 claims one by one):
+///
+///  A. Shared-memory double buffering vs STENCILGEN-style multi-buffering:
+///     footprint -> concurrent blocks/SM as bT grows.
+///  B. Fixed vs shifting register allocation: registers/thread and the
+///     occupancy they allow.
+///  C. Division of the streaming dimension: thread-block count, redundant
+///     work and simulated performance with hSN off/128/256.
+///  D. Register cap (-maxrregcount) sweep at the tuned configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "model/RegisterModel.h"
+#include "model/SharedMemoryModel.h"
+#include "model/ThreadCensus.h"
+#include "sim/MeasuredSimulator.h"
+#include "stencils/Benchmarks.h"
+#include "tuning/Tuner.h"
+
+using namespace an5d;
+using namespace an5d::bench;
+
+static void ablationDoubleBuffering(const GpuSpec &Spec) {
+  std::printf("A. Double buffering (Section 4.2.2): concurrent blocks/SM "
+              "under the\n   shared-memory limit alone (star2d1r float, "
+              "nthr=256, %d KiB/SM)\n\n",
+              Spec.SharedMemPerSmBytes / 1024);
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  Table T({"bT", "multi-buffer bytes", "blocks/SM", "double-buffer bytes",
+           "blocks/SM", "gain"});
+  for (int BT : {2, 4, 6, 8, 10, 12, 16}) {
+    long long Multi = stencilgenSmemBytesPerBlock(*P, 256, BT);
+    long long Double = an5dSmemBytesPerBlock(*P, 256);
+    long long BlocksMulti = Spec.SharedMemPerSmBytes / Multi;
+    long long BlocksDouble = Spec.SharedMemPerSmBytes / Double;
+    T.addRow({std::to_string(BT), std::to_string(Multi),
+              std::to_string(BlocksMulti), std::to_string(Double),
+              std::to_string(BlocksDouble),
+              formatDouble(static_cast<double>(BlocksDouble) /
+                               static_cast<double>(BlocksMulti),
+                           1) +
+                  "x"});
+  }
+  T.print();
+}
+
+static void ablationRegisterAllocation() {
+  std::printf("B. Fixed vs shifting register allocation (Section 4.2.1): "
+              "registers per\n   thread at bT=4 (float)\n\n");
+  Table T({"stencil", "shifting (STENCILGEN)", "fixed (AN5D)", "saved"});
+  for (const char *Name : {"star2d1r", "j2d9pt", "star3d1r", "box3d2r"}) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    int Shifting = stencilgenRegistersPerThread(*P, 4);
+    int Fixed = an5dRegistersPerThread(*P, 4);
+    T.addRow({Name, std::to_string(Shifting), std::to_string(Fixed),
+              std::to_string(Shifting - Fixed)});
+  }
+  T.print();
+}
+
+static void ablationStreamDivision(const GpuSpec &Spec) {
+  std::printf("C. Division of the streaming dimension (Section 4.2.3): "
+              "star3d1r float,\n   bT=4, bS=32x32\n\n");
+  auto P = makeStarStencil(3, 1, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(3);
+  Table T({"hSN", "thread-blocks", "redundant compute %", "simulated "
+           "GFLOP/s"});
+  for (int HS : {0, 256, 128, 64}) {
+    BlockConfig Config;
+    Config.BT = 4;
+    Config.BS = {32, 32};
+    Config.HS = HS;
+    MeasuredResult R = simulateMeasured(*P, Spec, Config, Problem);
+    if (!R.Feasible) {
+      T.addRow({HS > 0 ? std::to_string(HS) : "off", "-", "-", "-"});
+      continue;
+    }
+    const ThreadCensus &Census = R.Model.CensusPerInvocation;
+    long long Useful = Problem.cellCount() * Config.BT;
+    T.addRow({HS > 0 ? std::to_string(HS) : "off",
+              std::to_string(Census.NumThreadBlocks),
+              formatDouble(100.0 *
+                               static_cast<double>(
+                                   Census.redundantComputeOps(Useful)) /
+                               static_cast<double>(Census.ComputeOps),
+                           1),
+              formatDouble(R.MeasuredGflops, 0)});
+  }
+  T.print();
+  std::printf("   The division buys thread-block-level parallelism for a "
+              "minor amount of\n   extra redundancy, exactly the Section "
+              "4.2.3 trade-off.\n\n");
+}
+
+static void ablationRegisterCap(const GpuSpec &Spec) {
+  std::printf("D. Register cap sweep (Section 6.3): star2d2r float at its "
+              "tuned spatial\n   parameters\n\n");
+  auto P = makeStarStencil(2, 2, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  Tuner T(Spec);
+  TuneOutcome Outcome = T.tune(*P, Problem);
+  if (!Outcome.Feasible) {
+    std::printf("   (no feasible configuration)\n");
+    return;
+  }
+  Table Tab({"cap", "min regs needed", "blocks/SM", "simulated GFLOP/s"});
+  for (int Cap : {0, 32, 64, 96}) {
+    BlockConfig Config = Outcome.Best;
+    Config.RegisterCap = Cap;
+    MeasuredResult R = simulateMeasured(*P, Spec, Config, Problem);
+    Tab.addRow({Cap > 0 ? std::to_string(Cap) : "none",
+                std::to_string(an5dRegistersPerThread(*P, Config.BT)),
+                R.Feasible ? std::to_string(R.Model.ConcurrentBlocksPerSm)
+                           : "spill",
+                gflopsCell(R.Feasible, R.MeasuredGflops)});
+  }
+  Tab.print();
+}
+
+int main() {
+  printBanner("Ablations: the Section 4.2 design choices in isolation");
+  GpuSpec V100 = GpuSpec::teslaV100();
+  ablationDoubleBuffering(V100);
+  ablationRegisterAllocation();
+  ablationStreamDivision(V100);
+  ablationRegisterCap(V100);
+  return 0;
+}

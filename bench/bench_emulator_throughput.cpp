@@ -1,0 +1,97 @@
+//===- bench_emulator_throughput.cpp - Emulator microbenchmarks ---------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Google-benchmark timings of the functional components themselves (not a
+/// paper figure): the reference executor, the blocked N.5D emulator at
+/// several temporal degrees, the thread census and the full tuning flow.
+/// Useful for keeping the reproduction's own tools fast.
+///
+//===----------------------------------------------------------------------===//
+
+#include "model/ThreadCensus.h"
+#include "sim/BlockedExecutor.h"
+#include "sim/Grid.h"
+#include "sim/ReferenceExecutor.h"
+#include "stencils/Benchmarks.h"
+#include "tuning/Tuner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace an5d;
+
+static void BM_ReferenceJ2d5pt(benchmark::State &State) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  Grid<float> A({64, 64}, 1), B({64, 64}, 1);
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  for (auto _ : State) {
+    referenceRun<float>(*P, {&A, &B}, 2);
+    benchmark::DoNotOptimize(A.raw().data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * 64 * 64);
+}
+BENCHMARK(BM_ReferenceJ2d5pt);
+
+static void BM_BlockedJ2d5pt(benchmark::State &State) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = static_cast<int>(State.range(0));
+  Config.BS = {64};
+  Config.HS = 0;
+  Grid<float> A({64, 64}, 1), B({64, 64}, 1);
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  for (auto _ : State) {
+    blockedRun<float>(*P, Config, {&A, &B}, Config.BT);
+    benchmark::DoNotOptimize(A.raw().data());
+  }
+  State.SetItemsProcessed(State.iterations() * Config.BT * 64 * 64);
+}
+BENCHMARK(BM_BlockedJ2d5pt)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_BlockedStar3d(benchmark::State &State) {
+  auto P = makeStarStencil(3, 1, ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = 2;
+  Config.BS = {16, 16};
+  Config.HS = 0;
+  Grid<float> A({24, 24, 24}, 1), B({24, 24, 24}, 1);
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  for (auto _ : State) {
+    blockedRun<float>(*P, Config, {&A, &B}, 2);
+    benchmark::DoNotOptimize(A.raw().data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * 24 * 24 * 24);
+}
+BENCHMARK(BM_BlockedStar3d);
+
+static void BM_ThreadCensus2d(benchmark::State &State) {
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = 10;
+  Config.BS = {256};
+  Config.HS = 256;
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  for (auto _ : State) {
+    ThreadCensus Census = computeThreadCensus(*P, Config, Problem);
+    benchmark::DoNotOptimize(Census.ComputeOps);
+  }
+}
+BENCHMARK(BM_ThreadCensus2d);
+
+static void BM_FullTuneStar2d(benchmark::State &State) {
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  Tuner T(GpuSpec::teslaV100());
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  for (auto _ : State) {
+    TuneOutcome Outcome = T.tune(*P, Problem);
+    benchmark::DoNotOptimize(Outcome.BestMeasured.MeasuredGflops);
+  }
+}
+BENCHMARK(BM_FullTuneStar2d);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+//===- bench_fig6_framework_comparison.cpp - Regenerates Fig. 6 ---------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig. 6 of the paper: performance comparison across frameworks — PPCG
+/// loop tiling, hybrid hexagonal tiling, STENCILGEN, AN5D (Sconf), AN5D
+/// (Tuned) and the model prediction — on Tesla V100 and P100, float and
+/// double, for the seven stencils STENCILGEN's repository covers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <algorithm>
+
+#include "baselines/Baselines.h"
+#include "sim/MeasuredSimulator.h"
+#include "stencils/Benchmarks.h"
+#include "tuning/Tuner.h"
+
+using namespace an5d;
+using namespace an5d::bench;
+
+int main() {
+  printBanner("Fig. 6: Framework comparison (GFLOP/s; 16384^2 / 512^3, "
+              "IT=1000)");
+
+  const char *Stencils[] = {"j2d5pt",     "j2d9pt",   "j2d9pt-gol",
+                            "gradient2d", "star3d1r", "star3d2r",
+                            "j3d27pt"};
+
+  for (const GpuSpec &Spec : {GpuSpec::teslaV100(), GpuSpec::teslaP100()}) {
+    for (ScalarType Type : {ScalarType::Float, ScalarType::Double}) {
+      std::printf("--- %s (%s) ---\n", Spec.Name.c_str(),
+                  scalarTypeName(Type));
+      Table T({"stencil", "Loop Tiling", "Hybrid Tiling", "STENCILGEN",
+               "AN5D (Sconf)", "AN5D (Tuned)", "AN5D (Model)", "winner"});
+      Tuner Tune(Spec);
+      for (const char *Name : Stencils) {
+        auto P = makeBenchmarkStencil(Name, Type);
+        ProblemSize Problem = ProblemSize::paperDefault(P->numDims());
+
+        FrameworkResult Loop = simulateLoopTiling(*P, Spec, Problem);
+        FrameworkResult Hybrid = simulateHybridTiling(*P, Spec, Problem);
+        FrameworkResult Sg = simulateStencilGen(*P, Spec, Problem);
+        MeasuredResult Sconf =
+            simulateMeasured(*P, Spec, Tuner::sconf(*P), Problem);
+        TuneOutcome Tuned = Tune.tune(*P, Problem);
+
+        double An5dBest =
+            std::max(Sconf.Feasible ? Sconf.MeasuredGflops : 0.0,
+                     Tuned.Feasible ? Tuned.BestMeasured.MeasuredGflops
+                                    : 0.0);
+        const char *Winner = "AN5D";
+        if (Sg.Gflops > An5dBest && Sg.Gflops > Hybrid.Gflops)
+          Winner = "STENCILGEN";
+        else if (Hybrid.Gflops > An5dBest)
+          Winner = "Hybrid";
+
+        T.addRow({Name, gflopsCell(Loop.Feasible, Loop.Gflops),
+                  gflopsCell(Hybrid.Feasible, Hybrid.Gflops),
+                  gflopsCell(Sg.Feasible, Sg.Gflops),
+                  gflopsCell(Sconf.Feasible, Sconf.MeasuredGflops),
+                  gflopsCell(Tuned.Feasible,
+                             Tuned.BestMeasured.MeasuredGflops),
+                  gflopsCell(Tuned.Feasible,
+                             Tuned.BestMeasured.Model.Gflops),
+                  Winner});
+      }
+      T.print();
+    }
+  }
+
+  std::printf(
+      "Shape checks vs the paper: AN5D (Tuned or Sconf) leads everywhere on\n"
+      "V100; loop tiling is never competitive; hybrid tiling is close for\n"
+      "2D but falls behind for 3D; the double-precision j* stencils land\n"
+      "well below their model due to the constant-division penalty.\n");
+  return 0;
+}

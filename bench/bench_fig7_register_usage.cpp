@@ -1,0 +1,53 @@
+//===- bench_fig7_register_usage.cpp - Regenerates Fig. 7 --------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig. 7 of the paper: registers per thread with no register limitation
+/// (float, Sconf configuration bT=4), STENCILGEN vs AN5D, plus the
+/// 32-register spilling check of Section 7.1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "baselines/Baselines.h"
+#include "model/RegisterModel.h"
+#include "stencils/Benchmarks.h"
+
+using namespace an5d;
+using namespace an5d::bench;
+
+int main() {
+  printBanner("Fig. 7: Register usage with no register limitation (float, "
+              "bT=4)");
+
+  const char *Stencils[] = {"j2d5pt",     "j2d9pt",   "j2d9pt-gol",
+                            "gradient2d", "star3d1r", "star3d2r",
+                            "j3d27pt"};
+
+  Table T({"stencil", "STENCILGEN regs", "AN5D regs", "AN5D fewer?",
+           "spills @32 (SG)", "spills @32 (AN5D)"});
+  double SgTotal = 0, AnTotal = 0;
+  for (const char *Name : Stencils) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    int Sg = stencilgenRegisterUsage(*P);
+    int An = an5dRegistersPerThread(*P, 4);
+    SgTotal += Sg;
+    AnTotal += An;
+    T.addRow({Name, std::to_string(Sg), std::to_string(An),
+              An < Sg ? "yes" : "no",
+              stencilgenHardFloorRegisters(*P, 4) > 32 ? "spills" : "fits",
+              an5dHardFloorRegisters(*P, 4) > 32 ? "spills" : "fits"});
+  }
+  T.print();
+
+  std::printf("Average registers/thread: STENCILGEN %.1f, AN5D %.1f\n",
+              SgTotal / std::size(Stencils), AnTotal / std::size(Stencils));
+  std::printf(
+      "Shape checks vs the paper: AN5D uses fewer registers on average even\n"
+      "though it dedicates bT extra registers to sub-plane management, and\n"
+      "under a 32-register cap the second-order stencils (j2d9pt, star3d2r)\n"
+      "spill only for STENCILGEN.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- bench_fig8_bt_scaling.cpp - Regenerates Fig. 8 -------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig. 8 of the paper: performance scaling with the temporal blocking
+/// degree bT on Tesla V100 (float, rad=1), for 2D (bT 1..16) and 3D
+/// (bT 1..8) star and box stencils. Spatial parameters stay fixed at the
+/// tuned values while the register cap is re-tuned per bT, exactly as in
+/// the paper. Both the simulated measurement ("Tuned") and the model
+/// series are printed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sim/MeasuredSimulator.h"
+#include "stencils/Benchmarks.h"
+#include "tuning/Tuner.h"
+
+using namespace an5d;
+using namespace an5d::bench;
+
+namespace {
+
+void sweep(const StencilProgram &Program, const GpuSpec &Spec, int MaxBt) {
+  ProblemSize Problem = ProblemSize::paperDefault(Program.numDims());
+  Tuner T(Spec);
+  TuneOutcome Base = T.tune(Program, Problem);
+  if (!Base.Feasible) {
+    std::printf("  (no feasible configuration)\n");
+    return;
+  }
+
+  Table Tab({"bT", "Tuned (GFLOP/s)", "Model (GFLOP/s)", "bound",
+             "blocks/SM", "redundant %"});
+  double BestMeasured = 0;
+  int BestBt = 0;
+  for (int BT = 1; BT <= MaxBt; ++BT) {
+    BlockConfig Config = Base.Best;
+    Config.BT = BT;
+    // Re-tune only the register cap, as the paper does for this figure.
+    MeasuredResult Best;
+    for (int Cap : {0, 32, 64, 96}) {
+      Config.RegisterCap = Cap;
+      MeasuredResult R = simulateMeasured(Program, Spec, Config, Problem);
+      if (R.Feasible &&
+          (!Best.Feasible || R.MeasuredGflops > Best.MeasuredGflops))
+        Best = R;
+    }
+    if (!Best.Feasible) {
+      Tab.addRow({std::to_string(BT), "-", "-", "-", "-", "-"});
+      continue;
+    }
+    if (Best.MeasuredGflops > BestMeasured) {
+      BestMeasured = Best.MeasuredGflops;
+      BestBt = BT;
+    }
+    long long Useful = Problem.cellCount() * BT;
+    double Redundant =
+        100.0 *
+        static_cast<double>(
+            Best.Model.CensusPerInvocation.redundantComputeOps(Useful)) /
+        static_cast<double>(Best.Model.CensusPerInvocation.ComputeOps);
+    Tab.addRow({std::to_string(BT),
+                formatDouble(Best.MeasuredGflops, 0),
+                formatDouble(Best.Model.Gflops, 0),
+                bottleneckName(Best.Model.Limit),
+                std::to_string(Best.Model.ConcurrentBlocksPerSm),
+                formatDouble(Redundant, 1)});
+  }
+  Tab.print();
+  std::printf("  peak at bT = %d (%.0f GFLOP/s)\n\n", BestBt, BestMeasured);
+}
+
+} // namespace
+
+int main() {
+  printBanner("Fig. 8: Scaling with degree of temporal blocking "
+              "(Tesla V100, float, rad=1)");
+  GpuSpec V100 = GpuSpec::teslaV100();
+
+  std::printf("2D star (bT in 1..16):\n");
+  sweep(*makeStarStencil(2, 1, ScalarType::Float), V100, 16);
+  std::printf("2D box (bT in 1..16):\n");
+  sweep(*makeBoxStencil(2, 1, ScalarType::Float), V100, 16);
+  std::printf("3D star (bT in 1..8):\n");
+  sweep(*makeStarStencil(3, 1, ScalarType::Float), V100, 8);
+  std::printf("3D box (bT in 1..8):\n");
+  sweep(*makeBoxStencil(3, 1, ScalarType::Float), V100, 8);
+
+  std::printf(
+      "Shape checks vs the paper: 2D performance scales to bT ~ 10, 3D star\n"
+      "to bT ~ 5, 3D box to bT ~ 3; beyond the peak, halo redundancy and\n"
+      "shrinking occupancy flatten and then reverse the curve.\n");
+  return 0;
+}

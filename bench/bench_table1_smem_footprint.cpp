@@ -1,0 +1,58 @@
+//===- bench_table1_smem_footprint.cpp - Regenerates Table 1 -----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 1 of the paper: shared-memory footprint per block and stores per
+/// cell, STENCILGEN vs AN5D, per optimization class — evaluated both as
+/// formulas and on concrete stencils across temporal degrees to show where
+/// double buffering starts winning.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "model/SharedMemoryModel.h"
+#include "stencils/Benchmarks.h"
+
+using namespace an5d;
+using namespace an5d::bench;
+
+int main() {
+  printBanner("Table 1: Comparison to STENCILGEN (shared memory use)");
+
+  std::printf("Symbolic footprints per block (nword bytes per word):\n"
+              "  diagonal-access free / associative:\n"
+              "    STENCILGEN: nthr * bT * nword     AN5D: 2 * nthr * "
+              "nword\n"
+              "  otherwise:\n"
+              "    STENCILGEN: nthr * bT * (1+2*rad) * nword\n"
+              "    AN5D:       2 * nthr * (1+2*rad) * nword\n\n");
+
+  Table T({"stencil", "class", "nthr", "bT", "STENCILGEN (B)", "AN5D (B)",
+           "AN5D wins?", "stores/cell"});
+
+  struct Case {
+    const char *Name;
+    long long Threads;
+  };
+  for (const Case &C : {Case{"star2d1r", 256}, Case{"j2d9pt-gol", 256},
+                        Case{"box3d2r", 512}, Case{"star3d1r", 1024}}) {
+    auto P = makeBenchmarkStencil(C.Name, ScalarType::Float);
+    for (int BT : {1, 2, 4, 8, 10}) {
+      long long Sg = stencilgenSmemBytesPerBlock(*P, C.Threads, BT);
+      long long An = an5dSmemBytesPerBlock(*P, C.Threads);
+      T.addRow({C.Name, optimizationClassName(P->optimizationClass()),
+                std::to_string(C.Threads), std::to_string(BT),
+                std::to_string(Sg), std::to_string(An),
+                An < Sg ? "yes" : (An == Sg ? "tie" : "no"),
+                std::to_string(smemStoresPerCell(*P))});
+    }
+  }
+  T.print();
+
+  std::printf("Shape check: AN5D's double buffering is independent of bT, so "
+              "it wins for\nevery bT > 2 — exactly the regime that enables "
+              "high-degree temporal blocking.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+//===- bench_table2_smem_access.cpp - Regenerates Table 2 --------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 2 of the paper: shared-memory accesses per computing thread —
+/// expected reads, practical reads (after NVCC's register caching of box
+/// columns), and writes — for 2D/3D star/box stencils of radius 1..4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "model/SharedMemoryModel.h"
+#include "stencils/Benchmarks.h"
+
+using namespace an5d;
+using namespace an5d::bench;
+
+int main() {
+  printBanner("Table 2: Shared Memory Access per Thread");
+
+  Table T({"shape", "rad", "read (expected)", "read (practical)", "write"});
+  for (int Dims : {2, 3}) {
+    for (bool Box : {false, true}) {
+      for (int Rad = 1; Rad <= 4; ++Rad) {
+        auto P = Box ? makeBoxStencil(Dims, Rad, ScalarType::Float)
+                     : makeStarStencil(Dims, Rad, ScalarType::Float);
+        T.addRow({std::to_string(Dims) + "D " + (Box ? "box" : "star"),
+                  std::to_string(Rad),
+                  std::to_string(smemReadsPerThreadExpected(*P)),
+                  std::to_string(smemReadsPerThreadPractical(*P)),
+                  std::to_string(smemWritesPerThread())});
+      }
+    }
+  }
+  T.print();
+
+  std::printf("Formulas (paper):\n"
+              "  2D star: 2*rad | 2*rad          2D box: (2rad+1)^2-(2rad+1) "
+              "| (2rad+1)-1\n"
+              "  3D star: 4*rad | 4*rad          3D box: (2rad+1)^3-(2rad+1) "
+              "| (2rad+1)^2-1\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- seismic3d.cpp - 3D anisotropic smoothing scenario ----------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 3D domain example in the spirit of the paper's HPC motivation
+/// (seismic/atmospheric kernels are the canonical star3d users): iterative
+/// anisotropic smoothing of a seismic velocity volume with a 7-point star
+/// whose axis weights differ (stronger vertical coupling). The example
+/// builds the stencil from source through the frontend, prints the full
+/// schedule report for a V100, runs the blocked emulation on a synthetic
+/// layered volume, and checks physical plausibility (layer boundaries
+/// blur; volume mean is approximately conserved by the near-averaging
+/// kernel).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/StencilExtractor.h"
+#include "report/ScheduleReport.h"
+#include "sim/BlockedExecutor.h"
+#include "sim/Grid.h"
+#include "tuning/Tuner.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace an5d;
+
+int main() {
+  // Anisotropic 7-point smoothing written as plain C; wz couples the
+  // vertical (streaming) axis more strongly than the horizontal ones.
+  const std::string Source =
+      "for (t = 0; t < I_T; t++)\n"
+      "  for (i = 1; i <= I_S3; i++)\n"
+      "    for (j = 1; j <= I_S2; j++)\n"
+      "      for (k = 1; k <= I_S1; k++)\n"
+      "        A[(t+1)%2][i][j][k] = wc * A[t%2][i][j][k]\n"
+      "          + wz * A[t%2][i-1][j][k] + wz * A[t%2][i+1][j][k]\n"
+      "          + wh * A[t%2][i][j-1][k] + wh * A[t%2][i][j+1][k]\n"
+      "          + wh * A[t%2][i][j][k-1] + wh * A[t%2][i][j][k+1];\n";
+
+  DiagnosticEngine Diags;
+  StencilExtractor Extractor(Diags);
+  auto Result = Extractor.extractFromSource(
+      Source, "seismic-smooth3d", ScalarType::Double,
+      {{"wc", 0.4}, {"wz", 0.15}, {"wh", 0.075}});
+  if (!Result) {
+    std::fprintf(stderr, "%s", Diags.toString().c_str());
+    return 1;
+  }
+  const StencilProgram &Smooth = *Result->Program;
+
+  // Tune for V100 and show the full schedule report.
+  Tuner T(GpuSpec::teslaV100());
+  TuneOutcome Outcome = T.tune(Smooth, ProblemSize::paperDefault(3));
+  if (!Outcome.Feasible) {
+    std::fprintf(stderr, "no feasible configuration\n");
+    return 1;
+  }
+  std::printf("%s\n", renderScheduleReport(Smooth, T.spec(), Outcome.Best,
+                                           ProblemSize::paperDefault(3))
+                          .c_str());
+
+  // Synthetic velocity volume: two layers with a sharp interface at the
+  // mid-depth, plus boundary cells pinned to their layer values.
+  const long long N = 40;
+  Grid<double> V0({N, N, N}, 1), V1({N, N, N}, 1);
+  for (long long I = -1; I <= N; ++I)
+    for (long long J = -1; J <= N; ++J)
+      for (long long K = -1; K <= N; ++K)
+        V0.at3(I, J, K) = I < N / 2 ? 2.0 : 4.5; // km/s
+  copyGrid(V0, V1);
+
+  double MeanBefore = 0;
+  for (long long I = 0; I < N; ++I)
+    for (long long J = 0; J < N; ++J)
+      for (long long K = 0; K < N; ++K)
+        MeanBefore += V0.at3(I, J, K);
+  MeanBefore /= static_cast<double>(N * N * N);
+
+  BlockConfig Config;
+  Config.BT = 3;
+  Config.BS = {16, 16};
+  Config.HS = 20;
+  const long long Steps = 30;
+  blockedRun<double>(Smooth, Config, {&V0, &V1}, Steps);
+  const Grid<double> &V = Steps % 2 == 0 ? V0 : V1;
+
+  // Interface sharpness: velocity jump across the mid-depth cells.
+  double JumpBefore = 4.5 - 2.0;
+  double JumpAfter =
+      V.at3(N / 2, N / 2, N / 2) - V.at3(N / 2 - 1, N / 2, N / 2);
+  double MeanAfter = 0;
+  for (long long I = 0; I < N; ++I)
+    for (long long J = 0; J < N; ++J)
+      for (long long K = 0; K < N; ++K)
+        MeanAfter += V.at3(I, J, K);
+  MeanAfter /= static_cast<double>(N * N * N);
+
+  std::printf("layered volume after %lld smoothing steps (bT=%d blocked "
+              "emulation):\n",
+              Steps, Config.BT);
+  std::printf("  interface jump: %.3f -> %.3f km/s (blurred: %s)\n",
+              JumpBefore, JumpAfter,
+              JumpAfter < 0.5 * JumpBefore ? "yes" : "NO");
+  std::printf("  volume mean:    %.4f -> %.4f km/s (drift %.2f%%)\n",
+              MeanBefore, MeanAfter,
+              100.0 * std::fabs(MeanAfter - MeanBefore) / MeanBefore);
+
+  bool Ok = JumpAfter < 0.5 * JumpBefore &&
+            std::fabs(MeanAfter - MeanBefore) / MeanBefore < 0.05;
+  std::printf("checks: %s\n", Ok ? "passed" : "FAILED");
+  return Ok ? 0 : 1;
+}

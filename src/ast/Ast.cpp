@@ -1,0 +1,93 @@
+//===- Ast.cpp - AST for the C stencil subset ------------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+#include <cstdio>
+
+namespace an5d {
+namespace ast {
+
+static const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Mod:
+    return "%";
+  }
+  return "?";
+}
+
+static void printExpr(const Expr &E, std::string &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::Number: {
+    const auto &N = ast_cast<NumberLit>(E);
+    char Buffer[48];
+    std::snprintf(Buffer, sizeof(Buffer), "%g", N.value());
+    Out += Buffer;
+    if (N.isFloatSuffixed())
+      Out += 'f';
+    return;
+  }
+  case Expr::Kind::Ident:
+    Out += ast_cast<IdentExpr>(E).name();
+    return;
+  case Expr::Kind::ArrayRef: {
+    const auto &A = ast_cast<ArrayRefExpr>(E);
+    Out += A.base();
+    for (const ExprNode &Index : A.indices()) {
+      Out += '[';
+      printExpr(*Index, Out);
+      Out += ']';
+    }
+    return;
+  }
+  case Expr::Kind::Unary: {
+    Out += "(-";
+    printExpr(ast_cast<UnaryOpExpr>(E).operand(), Out);
+    Out += ')';
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = ast_cast<BinaryOpExpr>(E);
+    Out += '(';
+    printExpr(B.lhs(), Out);
+    Out += ' ';
+    Out += binOpSpelling(B.op());
+    Out += ' ';
+    printExpr(B.rhs(), Out);
+    Out += ')';
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto &C = ast_cast<CallOpExpr>(E);
+    Out += C.callee();
+    Out += '(';
+    for (std::size_t I = 0; I < C.args().size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      printExpr(*C.args()[I], Out);
+    }
+    Out += ')';
+    return;
+  }
+  }
+}
+
+std::string Expr::toString() const {
+  std::string Out;
+  printExpr(*this, Out);
+  return Out;
+}
+
+} // namespace ast
+} // namespace an5d

@@ -1,0 +1,251 @@
+//===- Ast.h - AST for the C stencil subset ---------------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for the restricted C subset that AN5D accepts
+/// (Fig. 4 of the paper): nested canonical for loops around one
+/// double-buffered array assignment. The AST deliberately stays close to
+/// the source; normalization into stencil IR happens in the frontend's
+/// StencilExtractor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_AST_AST_H
+#define AN5D_AST_AST_H
+
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace an5d {
+namespace ast {
+
+class Expr;
+class Stmt;
+using ExprNode = std::unique_ptr<Expr>;
+using StmtNode = std::unique_ptr<Stmt>;
+
+/// Binary operators of the subset. Mod only appears in the double-buffer
+/// time indices ((t+1)%2, t%2).
+enum class BinOp { Add, Sub, Mul, Div, Mod };
+
+/// Base class of AST expressions (kind-tagged, no RTTI).
+class Expr {
+public:
+  enum class Kind { Number, Ident, ArrayRef, Unary, Binary, Call };
+
+  Kind kind() const { return TheKind; }
+  SourceLocation loc() const { return Loc; }
+
+  virtual ~Expr() = default;
+
+  /// Renders as C-like text for diagnostics and tests.
+  std::string toString() const;
+
+protected:
+  Expr(Kind K, SourceLocation Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  const Kind TheKind;
+  SourceLocation Loc;
+};
+
+/// Numeric literal; remembers the float suffix and integer-ness so the
+/// extractor can infer the element type.
+class NumberLit final : public Expr {
+public:
+  NumberLit(SourceLocation Loc, double Value, bool IsFloatSuffixed,
+            bool IsIntegerLiteral)
+      : Expr(Kind::Number, Loc), Value(Value), FloatSuffixed(IsFloatSuffixed),
+        IntegerLiteral(IsIntegerLiteral) {}
+
+  double value() const { return Value; }
+  bool isFloatSuffixed() const { return FloatSuffixed; }
+  bool isIntegerLiteral() const { return IntegerLiteral; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Number; }
+
+private:
+  double Value;
+  bool FloatSuffixed;
+  bool IntegerLiteral;
+};
+
+/// A bare identifier: loop variable, size symbol (I_S1), or coefficient.
+class IdentExpr final : public Expr {
+public:
+  IdentExpr(SourceLocation Loc, std::string Name)
+      : Expr(Kind::Ident, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Ident; }
+
+private:
+  std::string Name;
+};
+
+/// A multi-dimensional array subscript A[e0][e1]...[eN].
+class ArrayRefExpr final : public Expr {
+public:
+  ArrayRefExpr(SourceLocation Loc, std::string Base,
+               std::vector<ExprNode> Indices)
+      : Expr(Kind::ArrayRef, Loc), Base(std::move(Base)),
+        Indices(std::move(Indices)) {}
+
+  const std::string &base() const { return Base; }
+  const std::vector<ExprNode> &indices() const { return Indices; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayRef; }
+
+private:
+  std::string Base;
+  std::vector<ExprNode> Indices;
+};
+
+/// Unary minus.
+class UnaryOpExpr final : public Expr {
+public:
+  UnaryOpExpr(SourceLocation Loc, ExprNode Operand)
+      : Expr(Kind::Unary, Loc), Operand(std::move(Operand)) {}
+
+  const Expr &operand() const { return *Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  ExprNode Operand;
+};
+
+/// Binary arithmetic.
+class BinaryOpExpr final : public Expr {
+public:
+  BinaryOpExpr(SourceLocation Loc, BinOp Op, ExprNode LHS, ExprNode RHS)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinOp op() const { return Op; }
+  const Expr &lhs() const { return *LHS; }
+  const Expr &rhs() const { return *RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinOp Op;
+  ExprNode LHS;
+  ExprNode RHS;
+};
+
+/// A call such as sqrtf(x).
+class CallOpExpr final : public Expr {
+public:
+  CallOpExpr(SourceLocation Loc, std::string Callee,
+             std::vector<ExprNode> Args)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprNode> &args() const { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprNode> Args;
+};
+
+/// Base class of AST statements.
+class Stmt {
+public:
+  enum class Kind { For, Assign, Compound };
+
+  Kind kind() const { return TheKind; }
+  SourceLocation loc() const { return Loc; }
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLocation Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  const Kind TheKind;
+  SourceLocation Loc;
+};
+
+/// A canonical for loop: for (v = lo; v < / <= hi; v++).
+class ForStmt final : public Stmt {
+public:
+  ForStmt(SourceLocation Loc, std::string LoopVar, ExprNode LowerBound,
+          bool IsInclusiveUpper, ExprNode UpperBound, StmtNode Body)
+      : Stmt(Kind::For, Loc), LoopVar(std::move(LoopVar)),
+        LowerBound(std::move(LowerBound)), InclusiveUpper(IsInclusiveUpper),
+        UpperBound(std::move(UpperBound)), Body(std::move(Body)) {}
+
+  const std::string &loopVar() const { return LoopVar; }
+  const Expr &lowerBound() const { return *LowerBound; }
+  /// True for '<=' loops (the paper's spatial loops), false for '<'.
+  bool isInclusiveUpper() const { return InclusiveUpper; }
+  const Expr &upperBound() const { return *UpperBound; }
+  const Stmt &body() const { return *Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  std::string LoopVar;
+  ExprNode LowerBound;
+  bool InclusiveUpper;
+  ExprNode UpperBound;
+  StmtNode Body;
+};
+
+/// An assignment statement 'lhs = rhs;' where lhs is an array reference.
+class AssignStmt final : public Stmt {
+public:
+  AssignStmt(SourceLocation Loc, ExprNode LHS, ExprNode RHS)
+      : Stmt(Kind::Assign, Loc), LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+
+  const Expr &lhs() const { return *LHS; }
+  const Expr &rhs() const { return *RHS; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  ExprNode LHS;
+  ExprNode RHS;
+};
+
+/// A brace-enclosed statement list.
+class CompoundStmt final : public Stmt {
+public:
+  CompoundStmt(SourceLocation Loc, std::vector<StmtNode> Stmts)
+      : Stmt(Kind::Compound, Loc), Stmts(std::move(Stmts)) {}
+
+  const std::vector<StmtNode> &stmts() const { return Stmts; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Compound; }
+
+private:
+  std::vector<StmtNode> Stmts;
+};
+
+/// LLVM-style dyn_cast over AST nodes.
+template <typename T, typename U> const T *ast_dyn_cast(const U *Node) {
+  assert(Node && "ast_dyn_cast on null node");
+  return T::classof(Node) ? static_cast<const T *>(Node) : nullptr;
+}
+
+template <typename T, typename U> const T &ast_cast(const U &Node) {
+  assert(T::classof(&Node) && "ast_cast to wrong node kind");
+  return static_cast<const T &>(Node);
+}
+
+} // namespace ast
+} // namespace an5d
+
+#endif // AN5D_AST_AST_H

@@ -1,0 +1,267 @@
+//===- Lexer.cpp - Lexer for the C stencil subset --------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace an5d {
+
+const char *tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Unknown:
+    return "unknown token";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(std::size_t LookAhead) const {
+  if (Pos + LookAhead >= Source.size())
+    return '\0';
+  return Source[Pos + LookAhead];
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start = location();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  SourceLocation Loc = location();
+  std::string Text;
+  bool SawDot = false;
+  bool SawExponent = false;
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Text += advance();
+      continue;
+    }
+    if (C == '.' && !SawDot && !SawExponent) {
+      SawDot = true;
+      Text += advance();
+      continue;
+    }
+    if ((C == 'e' || C == 'E') && !SawExponent &&
+        (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+         ((peek(1) == '+' || peek(1) == '-') &&
+          std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+      SawExponent = true;
+      Text += advance();
+      if (peek() == '+' || peek() == '-')
+        Text += advance();
+      continue;
+    }
+    break;
+  }
+
+  Token T = makeToken(TokenKind::Number, Loc, Text);
+  T.NumberValue = std::strtod(Text.c_str(), nullptr);
+  if (peek() == 'f' || peek() == 'F') {
+    advance();
+    T.IsFloatSuffixed = true;
+  }
+  T.IsIntegerLiteral = !SawDot && !SawExponent && !T.IsFloatSuffixed;
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  SourceLocation Loc = location();
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+
+  TokenKind Kind = TokenKind::Identifier;
+  if (Text == "for")
+    Kind = TokenKind::KwFor;
+  else if (Text == "int")
+    Kind = TokenKind::KwInt;
+  else if (Text == "float")
+    Kind = TokenKind::KwFloat;
+  else if (Text == "double")
+    Kind = TokenKind::KwDouble;
+  return makeToken(Kind, Loc, std::move(Text));
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLocation Loc = location();
+  if (atEnd())
+    return makeToken(TokenKind::EndOfFile, Loc, "");
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, Loc, ")");
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc, "[");
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc, "]");
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc, "{");
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc, "}");
+  case ';':
+    return makeToken(TokenKind::Semicolon, Loc, ";");
+  case ',':
+    return makeToken(TokenKind::Comma, Loc, ",");
+  case '=':
+    return makeToken(TokenKind::Assign, Loc, "=");
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEqual, Loc, "<=");
+    }
+    return makeToken(TokenKind::Less, Loc, "<");
+  case '+':
+    if (peek() == '+') {
+      advance();
+      return makeToken(TokenKind::PlusPlus, Loc, "++");
+    }
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::PlusEqual, Loc, "+=");
+    }
+    return makeToken(TokenKind::Plus, Loc, "+");
+  case '-':
+    return makeToken(TokenKind::Minus, Loc, "-");
+  case '*':
+    return makeToken(TokenKind::Star, Loc, "*");
+  case '/':
+    return makeToken(TokenKind::Slash, Loc, "/");
+  case '%':
+    return makeToken(TokenKind::Percent, Loc, "%");
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Unknown, Loc, std::string(1, C));
+  }
+}
+
+std::vector<Token> Lexer::tokenizeAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool IsEnd = T.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(T));
+    if (IsEnd)
+      break;
+  }
+  return Tokens;
+}
+
+} // namespace an5d

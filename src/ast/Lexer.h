@@ -1,0 +1,58 @@
+//===- Lexer.h - Lexer for the C stencil subset -----------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for the restricted C subset accepted as stencil
+/// input. Handles //- and /**/-style comments, numeric literals with
+/// f/F suffixes, and the operator set of Fig. 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_AST_LEXER_H
+#define AN5D_AST_LEXER_H
+
+#include "ast/Token.h"
+#include "support/Diagnostic.h"
+
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// Tokenizes one stencil source buffer.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token; returns EndOfFile forever once the
+  /// buffer is exhausted.
+  Token next();
+
+  /// Lexes the entire buffer, including the trailing EndOfFile token.
+  std::vector<Token> tokenizeAll();
+
+private:
+  std::string Source;
+  DiagnosticEngine &Diags;
+  std::size_t Pos = 0;
+  int Line = 1;
+  int Column = 1;
+
+  SourceLocation location() const { return {Line, Column}; }
+
+  char peek(std::size_t LookAhead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+
+  void skipWhitespaceAndComments();
+  Token lexNumber();
+  Token lexIdentifierOrKeyword();
+  Token makeToken(TokenKind Kind, SourceLocation Loc, std::string Text);
+};
+
+} // namespace an5d
+
+#endif // AN5D_AST_LEXER_H

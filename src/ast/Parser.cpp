@@ -1,0 +1,305 @@
+//===- Parser.cpp - Parser for the C stencil subset -------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Parser.h"
+
+namespace an5d {
+
+using namespace ast;
+
+Parser::Parser(std::string Source, DiagnosticEngine &Diags) : Diags(Diags) {
+  Lexer Lex(std::move(Source), Diags);
+  Tokens = Lex.tokenizeAll();
+}
+
+const Token &Parser::peekAhead(std::size_t N) const {
+  std::size_t Idx = Index + N;
+  if (Idx >= Tokens.size())
+    Idx = Tokens.size() - 1; // EndOfFile
+  return Tokens[Idx];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (!current().is(TokenKind::EndOfFile))
+    ++Index;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+ast::StmtNode Parser::parseProgram() {
+  if (!check(TokenKind::KwFor)) {
+    Diags.error(current().Loc,
+                "stencil input must start with the time 'for' loop");
+    return nullptr;
+  }
+  StmtNode Loop = parseForStmt();
+  if (!Loop)
+    return nullptr;
+  if (!check(TokenKind::EndOfFile)) {
+    Diags.error(current().Loc,
+                "trailing tokens after the stencil loop nest; the stencil "
+                "statement must be singleton (Section 4.3.3)");
+    return nullptr;
+  }
+  return Loop;
+}
+
+ast::StmtNode Parser::parseStmt() {
+  if (check(TokenKind::KwFor))
+    return parseForStmt();
+  if (check(TokenKind::LBrace))
+    return parseCompoundStmt();
+  return parseAssignStmt();
+}
+
+ast::StmtNode Parser::parseForStmt() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::KwFor, "to begin a loop");
+  if (!expect(TokenKind::LParen, "after 'for'"))
+    return nullptr;
+
+  // Init clause: [int] var = expr
+  accept(TokenKind::KwInt);
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected loop variable in for-init");
+    return nullptr;
+  }
+  std::string LoopVar = consume().Text;
+  if (!expect(TokenKind::Assign, "in for-init"))
+    return nullptr;
+  ExprNode LowerBound = parseExpr();
+  if (!LowerBound || !expect(TokenKind::Semicolon, "after for-init"))
+    return nullptr;
+
+  // Condition clause: var < expr | var <= expr
+  if (!check(TokenKind::Identifier) || current().Text != LoopVar) {
+    Diags.error(current().Loc,
+                "for-condition must test the loop variable '" + LoopVar + "'");
+    return nullptr;
+  }
+  consume();
+  bool Inclusive;
+  if (accept(TokenKind::Less)) {
+    Inclusive = false;
+  } else if (accept(TokenKind::LessEqual)) {
+    Inclusive = true;
+  } else {
+    Diags.error(current().Loc, "for-condition must use '<' or '<='");
+    return nullptr;
+  }
+  ExprNode UpperBound = parseExpr();
+  if (!UpperBound || !expect(TokenKind::Semicolon, "after for-condition"))
+    return nullptr;
+
+  // Step clause: must advance the loop variable by exactly one.
+  bool StepOk = false;
+  if (accept(TokenKind::PlusPlus)) { // ++var
+    if (check(TokenKind::Identifier) && current().Text == LoopVar) {
+      consume();
+      StepOk = true;
+    }
+  } else if (check(TokenKind::Identifier) && current().Text == LoopVar) {
+    consume();
+    if (accept(TokenKind::PlusPlus)) { // var++
+      StepOk = true;
+    } else if (accept(TokenKind::PlusEqual)) { // var += 1
+      if (check(TokenKind::Number) && current().NumberValue == 1.0) {
+        consume();
+        StepOk = true;
+      }
+    } else if (accept(TokenKind::Assign)) { // var = var + 1
+      if (check(TokenKind::Identifier) && current().Text == LoopVar) {
+        consume();
+        if (accept(TokenKind::Plus) && check(TokenKind::Number) &&
+            current().NumberValue == 1.0) {
+          consume();
+          StepOk = true;
+        }
+      }
+    }
+  }
+  if (!StepOk) {
+    Diags.error(current().Loc,
+                "loop step must increment '" + LoopVar +
+                    "' by one (unit-stride increasing loops only)");
+    return nullptr;
+  }
+  if (!expect(TokenKind::RParen, "to close the for header"))
+    return nullptr;
+
+  StmtNode Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<ForStmt>(Loc, std::move(LoopVar),
+                                   std::move(LowerBound), Inclusive,
+                                   std::move(UpperBound), std::move(Body));
+}
+
+ast::StmtNode Parser::parseCompoundStmt() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::LBrace, "to begin a block");
+  std::vector<StmtNode> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    StmtNode S = parseStmt();
+    if (!S)
+      return nullptr;
+    Stmts.push_back(std::move(S));
+  }
+  if (!expect(TokenKind::RBrace, "to close the block"))
+    return nullptr;
+  return std::make_unique<CompoundStmt>(Loc, std::move(Stmts));
+}
+
+ast::StmtNode Parser::parseAssignStmt() {
+  SourceLocation Loc = current().Loc;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(Loc, "expected a statement");
+    return nullptr;
+  }
+  ExprNode LHS = parsePrimary();
+  if (!LHS)
+    return nullptr;
+  if (LHS->kind() != Expr::Kind::ArrayRef) {
+    Diags.error(Loc, "assignment target must be an array reference");
+    return nullptr;
+  }
+  if (!expect(TokenKind::Assign, "in assignment"))
+    return nullptr;
+  ExprNode RHS = parseExpr();
+  if (!RHS || !expect(TokenKind::Semicolon, "after assignment"))
+    return nullptr;
+  return std::make_unique<AssignStmt>(Loc, std::move(LHS), std::move(RHS));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ast::ExprNode Parser::parseExpr() { return parseAdditive(); }
+
+ast::ExprNode Parser::parseAdditive() {
+  ExprNode LHS = parseMultiplicative();
+  if (!LHS)
+    return nullptr;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    SourceLocation Loc = current().Loc;
+    BinOp Op = check(TokenKind::Plus) ? BinOp::Add : BinOp::Sub;
+    consume();
+    ExprNode RHS = parseMultiplicative();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryOpExpr>(Loc, Op, std::move(LHS),
+                                         std::move(RHS));
+  }
+  return LHS;
+}
+
+ast::ExprNode Parser::parseMultiplicative() {
+  ExprNode LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  while (check(TokenKind::Star) || check(TokenKind::Slash) ||
+         check(TokenKind::Percent)) {
+    SourceLocation Loc = current().Loc;
+    BinOp Op = check(TokenKind::Star)    ? BinOp::Mul
+               : check(TokenKind::Slash) ? BinOp::Div
+                                         : BinOp::Mod;
+    consume();
+    ExprNode RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryOpExpr>(Loc, Op, std::move(LHS),
+                                         std::move(RHS));
+  }
+  return LHS;
+}
+
+ast::ExprNode Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLocation Loc = consume().Loc;
+    ExprNode Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryOpExpr>(Loc, std::move(Operand));
+  }
+  return parsePrimary();
+}
+
+ast::ExprNode Parser::parsePrimary() {
+  SourceLocation Loc = current().Loc;
+  if (check(TokenKind::Number)) {
+    Token T = consume();
+    return std::make_unique<NumberLit>(Loc, T.NumberValue, T.IsFloatSuffixed,
+                                       T.IsIntegerLiteral);
+  }
+  if (check(TokenKind::LParen)) {
+    consume();
+    ExprNode Inner = parseExpr();
+    if (!Inner || !expect(TokenKind::RParen, "to close the parenthesis"))
+      return nullptr;
+    return parsePostfix(std::move(Inner));
+  }
+  if (check(TokenKind::Identifier)) {
+    std::string Name = consume().Text;
+    if (accept(TokenKind::LParen)) { // Call
+      std::vector<ExprNode> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          ExprNode Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+        } while (accept(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen, "to close the call"))
+        return nullptr;
+      return std::make_unique<CallOpExpr>(Loc, std::move(Name),
+                                          std::move(Args));
+    }
+    if (check(TokenKind::LBracket)) { // Array reference
+      std::vector<ExprNode> Indices;
+      while (accept(TokenKind::LBracket)) {
+        ExprNode Index = parseExpr();
+        if (!Index || !expect(TokenKind::RBracket, "to close the subscript"))
+          return nullptr;
+        Indices.push_back(std::move(Index));
+      }
+      return std::make_unique<ArrayRefExpr>(Loc, std::move(Name),
+                                            std::move(Indices));
+    }
+    return std::make_unique<IdentExpr>(Loc, std::move(Name));
+  }
+  Diags.error(Loc, std::string("expected an expression, found ") +
+                       tokenKindName(current().Kind));
+  return nullptr;
+}
+
+ast::ExprNode Parser::parsePostfix(ast::ExprNode Base) {
+  // Parenthesized expressions have no postfix forms in this subset.
+  return Base;
+}
+
+} // namespace an5d

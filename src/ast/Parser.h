@@ -1,0 +1,79 @@
+//===- Parser.h - Parser for the C stencil subset ---------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the restricted C subset accepted as
+/// stencil input: nested canonical for loops around assignment statements.
+/// The grammar (Fig. 4 of the paper is a model input):
+///
+/// \code
+///   program   := for-stmt
+///   for-stmt  := 'for' '(' ['int'] ident '=' expr ';'
+///                          ident ('<' | '<=') expr ';'
+///                          step ')' stmt
+///   step      := ident '++' | '++' ident | ident '+=' number
+///              | ident '=' ident '+' number
+///   stmt      := for-stmt | assign-stmt | '{' stmt* '}'
+///   assign    := array-ref '=' expr ';'
+///   expr      := additive with C precedence over + - * / %,
+///                unary -, parentheses, calls, array refs
+/// \endcode
+///
+/// Only unit-stride increasing loops are accepted; anything else is
+/// rejected with a diagnostic, mirroring the normalization guarantees the
+/// paper gets from PPCG's frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_AST_PARSER_H
+#define AN5D_AST_PARSER_H
+
+#include "ast/Ast.h"
+#include "ast/Lexer.h"
+#include "support/Diagnostic.h"
+
+#include <memory>
+#include <vector>
+
+namespace an5d {
+
+/// Parses a stencil source buffer into an AST.
+class Parser {
+public:
+  Parser(std::string Source, DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer; expects exactly one top-level for statement.
+  /// Returns nullptr (with diagnostics) on error.
+  ast::StmtNode parseProgram();
+
+private:
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  std::size_t Index = 0;
+
+  const Token &current() const { return Tokens[Index]; }
+  const Token &peekAhead(std::size_t N = 1) const;
+  Token consume();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+
+  ast::StmtNode parseStmt();
+  ast::StmtNode parseForStmt();
+  ast::StmtNode parseCompoundStmt();
+  ast::StmtNode parseAssignStmt();
+
+  ast::ExprNode parseExpr();
+  ast::ExprNode parseAdditive();
+  ast::ExprNode parseMultiplicative();
+  ast::ExprNode parseUnary();
+  ast::ExprNode parsePrimary();
+  ast::ExprNode parsePostfix(ast::ExprNode Base);
+};
+
+} // namespace an5d
+
+#endif // AN5D_AST_PARSER_H

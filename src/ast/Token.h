@@ -1,0 +1,70 @@
+//===- Token.h - Tokens of the C stencil subset -----------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the Lexer for the restricted C subset that AN5D
+/// accepts as stencil input (Fig. 4 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_AST_TOKEN_H
+#define AN5D_AST_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace an5d {
+
+/// Kinds of lexical tokens in the stencil C subset.
+enum class TokenKind {
+  EndOfFile,
+  Identifier, ///< Names: loop variables, arrays, coefficients, callees.
+  Number,     ///< Integer or floating literal, optional f/F suffix.
+  KwFor,      ///< 'for'
+  KwInt,      ///< 'int' (tolerated in loop inits)
+  KwFloat,    ///< 'float'
+  KwDouble,   ///< 'double'
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Semicolon,
+  Comma,
+  Assign,    ///< '='
+  Less,      ///< '<'
+  LessEqual, ///< '<='
+  PlusPlus,  ///< '++'
+  PlusEqual, ///< '+='
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Unknown, ///< Any character the lexer does not recognize.
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token: kind, source text, location, and for numbers the parsed
+/// value.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  SourceLocation Loc;
+  double NumberValue = 0.0;   ///< Valid when Kind == Number.
+  bool IsFloatSuffixed = false; ///< 'f'/'F' suffix present on a Number.
+  bool IsIntegerLiteral = false; ///< Number had no '.' / exponent / suffix.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace an5d
+
+#endif // AN5D_AST_TOKEN_H

@@ -1,0 +1,71 @@
+//===- Baselines.h - Comparison frameworks of Section 7 ---------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analytic performance models of the three comparison points of Fig. 6,
+/// built from the paper's own characterization of each framework:
+///
+/// * STENCILGEN (Rawat et al.): the same N.5D blocking structure as AN5D
+///   but with a shifting register allocation and one shared-memory buffer
+///   per combined time-step (Table 1), which caps its occupancy and its
+///   temporal scaling at bT ~ 4.
+/// * Hybrid (hexagonal/classical) tiling: non-redundant temporal blocking
+///   that blocks all spatial dimensions (no streaming), so tile sizes are
+///   bounded by on-chip memory and the halo-to-volume ratio grows quickly,
+///   especially in 3D (Section 3).
+/// * PPCG loop tiling: plain spatial blocking, one global-memory round
+///   trip per time-step.
+///
+/// Since this environment has no GPU, each model is passed through the
+/// same calibrated "measured" adjustments as AN5D (shared-memory kernel
+/// efficiency, double-division penalty) so that Fig. 6's relative
+/// comparison is meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_BASELINES_BASELINES_H
+#define AN5D_BASELINES_BASELINES_H
+
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "model/GpuSpec.h"
+
+#include <string>
+
+namespace an5d {
+
+/// One framework's simulated result on one benchmark.
+struct FrameworkResult {
+  std::string Framework;
+  bool Feasible = false;
+  double Gflops = 0;
+  /// Chosen internal configuration, for reporting.
+  std::string ConfigSummary;
+};
+
+/// STENCILGEN with its published kernel parameters (bT=4, the Sconf block
+/// shape).
+FrameworkResult simulateStencilGen(const StencilProgram &Program,
+                                   const GpuSpec &Spec,
+                                   const ProblemSize &Problem);
+
+/// Hybrid hexagonal/classical tiling, parameter-searched over tile shapes
+/// and temporal heights as in Section 6.3.
+FrameworkResult simulateHybridTiling(const StencilProgram &Program,
+                                     const GpuSpec &Spec,
+                                     const ProblemSize &Problem);
+
+/// PPCG's default loop tiling (spatial blocking only).
+FrameworkResult simulateLoopTiling(const StencilProgram &Program,
+                                   const GpuSpec &Spec,
+                                   const ProblemSize &Problem);
+
+/// STENCILGEN's register usage for Fig. 7 (no register cap, float).
+int stencilgenRegisterUsage(const StencilProgram &Program);
+
+} // namespace an5d
+
+#endif // AN5D_BASELINES_BASELINES_H

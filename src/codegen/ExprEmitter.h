@@ -1,0 +1,51 @@
+//===- ExprEmitter.h - Emit stencil expressions as C/CUDA text --*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a StencilExpr as compilable C/CUDA source text. Grid reads are
+/// delegated to a caller-supplied callback so the same expression can be
+/// emitted against shared-memory buffers, register rings or plain arrays.
+/// Named coefficients are inlined as numeric literals (they are
+/// compile-time constants in AN5D's model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_CODEGEN_EXPREMITTER_H
+#define AN5D_CODEGEN_EXPREMITTER_H
+
+#include "ir/StencilProgram.h"
+
+#include <functional>
+#include <string>
+
+namespace an5d {
+
+/// Emission parameters.
+struct ExprEmitOptions {
+  /// Element type; float emission appends 'f' suffixes and uses sqrtf.
+  ScalarType Type = ScalarType::Float;
+
+  /// Maps a grid read to source text (e.g. "READ(-1, 0)" or
+  /// "sm0[ty-1][tx]").
+  std::function<std::string(const GridReadExpr &)> ReadEmitter;
+
+  /// Supplies coefficient values for inlining; required when the
+  /// expression uses named coefficients.
+  const StencilProgram *Program = nullptr;
+};
+
+/// Formats \p Value as a literal of the requested type.
+std::string emitLiteral(double Value, ScalarType Type);
+
+/// Renders \p E as an expression string.
+std::string emitExpr(const StencilExpr &E, const ExprEmitOptions &Options);
+
+/// Default read emitter: "READ(o0, o1[, o2])".
+std::string defaultReadMacro(const GridReadExpr &Read);
+
+} // namespace an5d
+
+#endif // AN5D_CODEGEN_EXPREMITTER_H

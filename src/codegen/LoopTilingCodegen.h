@@ -1,0 +1,44 @@
+//===- LoopTilingCodegen.h - Baseline loop-tiling CUDA backend --*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison baseline the paper generates with PPCG's default flow
+/// (Section 6.1 "general loop tiling"): plain spatial blocking with one
+/// kernel launch per time-step and one global-memory round trip per cell —
+/// no temporal blocking, no streaming, no explicit on-chip management.
+/// Having the actual baseline code generator (not just its analytic model)
+/// makes the Fig. 6 comparison reproducible end to end: both code paths
+/// consume the same StencilProgram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_CODEGEN_LOOPTILINGCODEGEN_H
+#define AN5D_CODEGEN_LOOPTILINGCODEGEN_H
+
+#include "ir/StencilProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// A generated loop-tiling translation unit (kernel + host in one file,
+/// PPCG style).
+struct GeneratedLoopTiling {
+  std::string KernelName;
+  std::string Source;
+};
+
+/// Generates the baseline CUDA. \p TileSizes gives the thread-block shape
+/// over the innermost spatial dimensions (defaults to PPCG's 32x16 /
+/// 32x4x4 style shapes when empty).
+GeneratedLoopTiling
+generateLoopTilingCuda(const StencilProgram &Program,
+                       std::vector<int> TileSizes = {});
+
+} // namespace an5d
+
+#endif // AN5D_CODEGEN_LOOPTILINGCODEGEN_H

@@ -1,0 +1,365 @@
+//===- StencilExtractor.cpp - Stencil detection over the AST ---------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/StencilExtractor.h"
+
+#include "ast/Parser.h"
+#include "ir/ExprEval.h"
+
+namespace an5d {
+
+using namespace ast;
+
+namespace {
+
+/// Everything the per-node lowering needs to know about the loop nest.
+struct NestContext {
+  std::string TimeVar;
+  std::vector<std::string> SpatialVars; // streaming dimension first
+  std::string ArrayName;                // filled in once the store is seen
+  DiagnosticEngine *Diags = nullptr;
+};
+
+} // namespace
+
+/// Unwraps compound statements that contain exactly one statement; the
+/// paper's normalized inputs may or may not use braces.
+static const Stmt *unwrapSingleton(const Stmt *S, DiagnosticEngine &Diags) {
+  while (const auto *Compound = ast_dyn_cast<CompoundStmt>(S)) {
+    if (Compound->stmts().size() != 1) {
+      Diags.error(S->loc(),
+                  "stencil body must contain exactly one statement "
+                  "(Section 4.3.3 rule 1: singleton statement)");
+      return nullptr;
+    }
+    S = Compound->stmts().front().get();
+  }
+  return S;
+}
+
+/// Matches '<var> % 2' or '(<var> + 1) % 2'; returns the additive shift
+/// (0 or 1) or std::nullopt when the expression has another form.
+static std::optional<int> matchTimeBufferIndex(const Expr &E,
+                                               const std::string &TimeVar) {
+  const auto *Mod = ast_dyn_cast<BinaryOpExpr>(&E);
+  if (!Mod || Mod->op() != BinOp::Mod)
+    return std::nullopt;
+  const auto *Two = ast_dyn_cast<NumberLit>(&Mod->rhs());
+  if (!Two || Two->value() != 2.0)
+    return std::nullopt;
+
+  const Expr *Base = &Mod->lhs();
+  if (const auto *Ident = ast_dyn_cast<IdentExpr>(Base))
+    return Ident->name() == TimeVar ? std::optional<int>(0) : std::nullopt;
+  if (const auto *Add = ast_dyn_cast<BinaryOpExpr>(Base)) {
+    if (Add->op() != BinOp::Add)
+      return std::nullopt;
+    const auto *Ident = ast_dyn_cast<IdentExpr>(&Add->lhs());
+    const auto *One = ast_dyn_cast<NumberLit>(&Add->rhs());
+    if (Ident && One && Ident->name() == TimeVar && One->value() == 1.0)
+      return 1;
+  }
+  return std::nullopt;
+}
+
+/// Matches a spatial index of the form '<var>', '<var> + c' or '<var> - c'
+/// against the expected loop variable; returns the constant offset.
+static std::optional<int> matchSpatialIndex(const Expr &E,
+                                            const std::string &Var) {
+  if (const auto *Ident = ast_dyn_cast<IdentExpr>(&E))
+    return Ident->name() == Var ? std::optional<int>(0) : std::nullopt;
+  const auto *Bin = ast_dyn_cast<BinaryOpExpr>(&E);
+  if (!Bin || (Bin->op() != BinOp::Add && Bin->op() != BinOp::Sub))
+    return std::nullopt;
+  const auto *Ident = ast_dyn_cast<IdentExpr>(&Bin->lhs());
+  const auto *Num = ast_dyn_cast<NumberLit>(&Bin->rhs());
+  if (!Ident || !Num || Ident->name() != Var || !Num->isIntegerLiteral())
+    return std::nullopt;
+  int Magnitude = static_cast<int>(Num->value());
+  return Bin->op() == BinOp::Add ? Magnitude : -Magnitude;
+}
+
+/// Lowers an array read A[t%2][i+di][j+dj] to a GridReadExpr, enforcing
+/// rule 1 (static addresses) and rule 3 (reads only the t%2 buffer).
+static ExprPtr lowerGridRead(const ArrayRefExpr &Ref, NestContext &Ctx) {
+  DiagnosticEngine &Diags = *Ctx.Diags;
+  if (Ref.base() != Ctx.ArrayName) {
+    Diags.error(Ref.loc(), "read of array '" + Ref.base() +
+                               "' but the stencil stores to '" +
+                               Ctx.ArrayName +
+                               "'; only one grid array is supported");
+    return nullptr;
+  }
+  if (Ref.indices().size() != Ctx.SpatialVars.size() + 1) {
+    Diags.error(Ref.loc(),
+                "grid read arity differs from the loop nest depth "
+                "(Section 4.3.3 rule 2: multi-dimensional addressing)");
+    return nullptr;
+  }
+  std::optional<int> TimeShift =
+      matchTimeBufferIndex(*Ref.indices()[0], Ctx.TimeVar);
+  if (!TimeShift) {
+    Diags.error(Ref.loc(),
+                "grid read must address the '" + Ctx.TimeVar +
+                    " % 2' buffer; non-double-buffered input is rejected");
+    return nullptr;
+  }
+  if (*TimeShift != 0) {
+    Diags.error(Ref.loc(),
+                "grid read addresses the output buffer ((t+1)%2); spatial "
+                "iterations would not be data independent "
+                "(Section 4.3.3 rule 3)");
+    return nullptr;
+  }
+  std::vector<int> Offsets;
+  for (std::size_t D = 0; D < Ctx.SpatialVars.size(); ++D) {
+    std::optional<int> Offset =
+        matchSpatialIndex(*Ref.indices()[D + 1], Ctx.SpatialVars[D]);
+    if (!Offset) {
+      Diags.error(Ref.loc(),
+                  "subscript " + std::to_string(D + 1) +
+                      " must be '" + Ctx.SpatialVars[D] +
+                      " +/- constant' (Section 4.3.3 rule 1: static read "
+                      "addresses)");
+      return nullptr;
+    }
+    Offsets.push_back(*Offset);
+  }
+  return makeGridRead(Ctx.ArrayName, std::move(Offsets));
+}
+
+/// Lowers the right-hand side of the update statement into stencil IR.
+static ExprPtr lowerExpr(const Expr &E, NestContext &Ctx) {
+  DiagnosticEngine &Diags = *Ctx.Diags;
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+    return makeNumber(ast_cast<NumberLit>(E).value());
+  case Expr::Kind::Ident: {
+    const auto &Ident = ast_cast<IdentExpr>(E);
+    if (Ident.name() == Ctx.TimeVar) {
+      Diags.error(E.loc(), "time variable may not appear in the update "
+                           "value computation");
+      return nullptr;
+    }
+    for (const std::string &Var : Ctx.SpatialVars)
+      if (Ident.name() == Var) {
+        Diags.error(E.loc(), "loop variable '" + Var +
+                                 "' may not appear outside array subscripts "
+                                 "(coefficients must be constant)");
+        return nullptr;
+      }
+    // A free identifier is a named compile-time coefficient.
+    return makeCoefficient(Ident.name());
+  }
+  case Expr::Kind::ArrayRef:
+    return lowerGridRead(ast_cast<ArrayRefExpr>(E), Ctx);
+  case Expr::Kind::Unary: {
+    ExprPtr Operand = lowerExpr(ast_cast<UnaryOpExpr>(E).operand(), Ctx);
+    return Operand ? makeNeg(std::move(Operand)) : nullptr;
+  }
+  case Expr::Kind::Binary: {
+    const auto &Bin = ast_cast<BinaryOpExpr>(E);
+    if (Bin.op() == BinOp::Mod) {
+      Diags.error(E.loc(), "'%' is only permitted in double-buffer time "
+                           "indices");
+      return nullptr;
+    }
+    ExprPtr LHS = lowerExpr(Bin.lhs(), Ctx);
+    ExprPtr RHS = lowerExpr(Bin.rhs(), Ctx);
+    if (!LHS || !RHS)
+      return nullptr;
+    BinaryOpKind Op;
+    switch (Bin.op()) {
+    case BinOp::Add:
+      Op = BinaryOpKind::Add;
+      break;
+    case BinOp::Sub:
+      Op = BinaryOpKind::Sub;
+      break;
+    case BinOp::Mul:
+      Op = BinaryOpKind::Mul;
+      break;
+    case BinOp::Div:
+      Op = BinaryOpKind::Div;
+      break;
+    default:
+      return nullptr;
+    }
+    return makeBinary(Op, std::move(LHS), std::move(RHS));
+  }
+  case Expr::Kind::Call: {
+    const auto &Call = ast_cast<CallOpExpr>(E);
+    if (!isKnownMathCall(Call.callee())) {
+      Diags.error(E.loc(),
+                  "unknown function '" + Call.callee() +
+                      "'; only math builtins (sqrt, fabs, exp) are allowed");
+      return nullptr;
+    }
+    if (Call.args().size() != 1) {
+      Diags.error(E.loc(), "math builtins take exactly one argument");
+      return nullptr;
+    }
+    ExprPtr Arg = lowerExpr(*Call.args()[0], Ctx);
+    if (!Arg)
+      return nullptr;
+    std::vector<ExprPtr> Args;
+    Args.push_back(std::move(Arg));
+    return makeCall(Call.callee(), std::move(Args));
+  }
+  }
+  return nullptr;
+}
+
+/// Scans for any float-suffixed literal to infer the element type.
+static bool containsFloatSuffix(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+    return ast_cast<NumberLit>(E).isFloatSuffixed();
+  case Expr::Kind::Unary:
+    return containsFloatSuffix(ast_cast<UnaryOpExpr>(E).operand());
+  case Expr::Kind::Binary: {
+    const auto &B = ast_cast<BinaryOpExpr>(E);
+    return containsFloatSuffix(B.lhs()) || containsFloatSuffix(B.rhs());
+  }
+  case Expr::Kind::Call: {
+    for (const ExprNode &A : ast_cast<CallOpExpr>(E).args())
+      if (containsFloatSuffix(*A))
+        return true;
+    return false;
+  }
+  case Expr::Kind::ArrayRef: {
+    for (const ExprNode &Index : ast_cast<ArrayRefExpr>(E).indices())
+      if (containsFloatSuffix(*Index))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Ident:
+    return false;
+  }
+  return false;
+}
+
+std::optional<ExtractionResult>
+StencilExtractor::extract(const Stmt &Root, std::string Name,
+                          std::optional<ScalarType> TypeOverride,
+                          std::map<std::string, double> Coefficients) {
+  // Peel the loop nest: time loop, then one loop per spatial dimension
+  // (rule 2: one loop per dimension), then the update statement.
+  std::vector<const ForStmt *> Loops;
+  const Stmt *Cursor = &Root;
+  while (true) {
+    Cursor = unwrapSingleton(Cursor, Diags);
+    if (!Cursor)
+      return std::nullopt;
+    const auto *Loop = ast_dyn_cast<ForStmt>(Cursor);
+    if (!Loop)
+      break;
+    Loops.push_back(Loop);
+    Cursor = &Loop->body();
+  }
+
+  if (Loops.size() < 2 || Loops.size() > 4) {
+    Diags.error(Root.loc(),
+                "expected a time loop plus 1-3 spatial loops, found a nest "
+                "of depth " +
+                    std::to_string(Loops.size()));
+    return std::nullopt;
+  }
+  const auto *Assign = ast_dyn_cast<AssignStmt>(Cursor);
+  if (!Assign) {
+    Diags.error(Cursor->loc(),
+                "innermost loop body must be a single assignment "
+                "(Section 4.3.3 rule 1)");
+    return std::nullopt;
+  }
+
+  NestContext Ctx;
+  Ctx.Diags = &Diags;
+  Ctx.TimeVar = Loops.front()->loopVar();
+  for (std::size_t I = 1; I < Loops.size(); ++I)
+    Ctx.SpatialVars.push_back(Loops[I]->loopVar());
+
+  // The time loop must start at zero and use an exclusive bound.
+  const auto *TimeLower =
+      ast_dyn_cast<NumberLit>(&Loops.front()->lowerBound());
+  if (!TimeLower || TimeLower->value() != 0.0 ||
+      Loops.front()->isInclusiveUpper()) {
+    Diags.error(Loops.front()->loc(),
+                "time loop must have the form 'for (t = 0; t < I_T; t++)'");
+    return std::nullopt;
+  }
+
+  // Validate the store: A[(t+1)%2][i][j...] with bare loop variables.
+  const auto &LHS = ast_cast<ArrayRefExpr>(Assign->lhs());
+  Ctx.ArrayName = LHS.base();
+  if (LHS.indices().size() != Ctx.SpatialVars.size() + 1) {
+    Diags.error(LHS.loc(), "store arity differs from the loop nest depth");
+    return std::nullopt;
+  }
+  std::optional<int> StoreShift =
+      matchTimeBufferIndex(*LHS.indices()[0], Ctx.TimeVar);
+  if (!StoreShift || *StoreShift != 1) {
+    Diags.error(LHS.loc(),
+                "store must address the '(t+1) % 2' buffer (double-buffered "
+                "input required, Section 4.3)");
+    return std::nullopt;
+  }
+  for (std::size_t D = 0; D < Ctx.SpatialVars.size(); ++D) {
+    std::optional<int> Offset =
+        matchSpatialIndex(*LHS.indices()[D + 1], Ctx.SpatialVars[D]);
+    if (!Offset || *Offset != 0) {
+      Diags.error(LHS.loc(),
+                  "store subscript " + std::to_string(D + 1) +
+                      " must be exactly the loop variable '" +
+                      Ctx.SpatialVars[D] + "' of the matching loop");
+      return std::nullopt;
+    }
+  }
+
+  ExprPtr Update = lowerExpr(Assign->rhs(), Ctx);
+  if (!Update)
+    return std::nullopt;
+
+  ScalarType ElemType =
+      TypeOverride.value_or(containsFloatSuffix(Assign->rhs())
+                                ? ScalarType::Float
+                                : ScalarType::Double);
+
+  // Capture source naming for the code generator.
+  StencilSourceInfo Source;
+  Source.TimeVar = Ctx.TimeVar;
+  Source.SpatialVars = Ctx.SpatialVars;
+  Source.TimeBound = Loops.front()->upperBound().toString();
+  for (std::size_t I = 1; I < Loops.size(); ++I) {
+    Source.SpatialBounds.push_back(Loops[I]->upperBound().toString());
+    const auto *Lower = ast_dyn_cast<NumberLit>(&Loops[I]->lowerBound());
+    Source.LowerBounds.push_back(
+        Lower && Lower->isIntegerLiteral()
+            ? static_cast<long long>(Lower->value())
+            : 0);
+  }
+
+  ExtractionResult Result;
+  Result.Program = std::make_unique<StencilProgram>(
+      std::move(Name), static_cast<int>(Ctx.SpatialVars.size()), ElemType,
+      Ctx.ArrayName, std::move(Update), std::move(Coefficients));
+  Result.Source = std::move(Source);
+  return Result;
+}
+
+std::optional<ExtractionResult> StencilExtractor::extractFromSource(
+    const std::string &Source, std::string Name,
+    std::optional<ScalarType> TypeOverride,
+    std::map<std::string, double> Coefficients) {
+  Parser P(Source, Diags);
+  StmtNode Root = P.parseProgram();
+  if (!Root || Diags.hasErrors())
+    return std::nullopt;
+  return extract(*Root, std::move(Name), TypeOverride,
+                 std::move(Coefficients));
+}
+
+} // namespace an5d

@@ -1,0 +1,333 @@
+//===- ExprAnalysis.cpp - Static analyses over stencil expressions --------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ExprAnalysis.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+namespace an5d {
+
+//===----------------------------------------------------------------------===//
+// Tap collection, radius, shape
+//===----------------------------------------------------------------------===//
+
+static void collectTapsImpl(const StencilExpr &E,
+                            std::set<std::vector<int>> &Out) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::GridRead:
+    Out.insert(cast<GridReadExpr>(E).offsets());
+    return;
+  case StencilExpr::Kind::Unary:
+    collectTapsImpl(cast<UnaryExpr>(E).operand(), Out);
+    return;
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    collectTapsImpl(B.lhs(), Out);
+    collectTapsImpl(B.rhs(), Out);
+    return;
+  }
+  case StencilExpr::Kind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(E).args())
+      collectTapsImpl(*A, Out);
+    return;
+  case StencilExpr::Kind::Number:
+  case StencilExpr::Kind::Coefficient:
+    return;
+  }
+}
+
+std::vector<std::vector<int>> collectTaps(const StencilExpr &E) {
+  std::set<std::vector<int>> Set;
+  collectTapsImpl(E, Set);
+  return {Set.begin(), Set.end()};
+}
+
+int computeRadius(const StencilExpr &E) {
+  int Radius = 0;
+  for (const std::vector<int> &Tap : collectTaps(E))
+    for (int Offset : Tap)
+      Radius = std::max(Radius, std::abs(Offset));
+  return Radius;
+}
+
+StencilShape classifyShape(const StencilExpr &E, int NumDims) {
+  std::vector<std::vector<int>> Taps = collectTaps(E);
+  if (Taps.empty())
+    return StencilShape::General;
+
+  bool AllAxisAligned = true;
+  for (const std::vector<int> &Tap : Taps) {
+    int NonZero = 0;
+    for (int Offset : Tap)
+      if (Offset != 0)
+        ++NonZero;
+    if (NonZero > 1)
+      AllAxisAligned = false;
+  }
+  if (AllAxisAligned)
+    return StencilShape::Star;
+
+  // Box requires the full (2*rad+1)^NumDims cube of taps.
+  int Radius = computeRadius(E);
+  long long CubeSize = ipow(2 * Radius + 1, NumDims);
+  if (static_cast<long long>(Taps.size()) == CubeSize)
+    return StencilShape::Box;
+  return StencilShape::General;
+}
+
+//===----------------------------------------------------------------------===//
+// FLOP census (Table 3)
+//===----------------------------------------------------------------------===//
+
+static void countFlopsImpl(const StencilExpr &E, FlopCount &Out) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    switch (B.op()) {
+    case BinaryOpKind::Add:
+    case BinaryOpKind::Sub:
+      ++Out.Adds;
+      break;
+    case BinaryOpKind::Mul:
+      ++Out.Muls;
+      break;
+    case BinaryOpKind::Div:
+      ++Out.Divs;
+      break;
+    }
+    countFlopsImpl(B.lhs(), Out);
+    countFlopsImpl(B.rhs(), Out);
+    return;
+  }
+  case StencilExpr::Kind::Unary:
+    // Negation folds into the consuming instruction; Table 3 does not
+    // charge it.
+    countFlopsImpl(cast<UnaryExpr>(E).operand(), Out);
+    return;
+  case StencilExpr::Kind::Call:
+    // Math calls (sqrt) are not counted as FLOPs in Table 3.
+    for (const ExprPtr &A : cast<CallExpr>(E).args())
+      countFlopsImpl(*A, Out);
+    return;
+  case StencilExpr::Kind::Number:
+  case StencilExpr::Kind::Coefficient:
+  case StencilExpr::Kind::GridRead:
+    return;
+  }
+}
+
+FlopCount countFlops(const StencilExpr &E) {
+  FlopCount Out;
+  countFlopsImpl(E, Out);
+  return Out;
+}
+
+bool containsMathCall(const StencilExpr &E) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::Call:
+    return true;
+  case StencilExpr::Kind::Unary:
+    return containsMathCall(cast<UnaryExpr>(E).operand());
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    return containsMathCall(B.lhs()) || containsMathCall(B.rhs());
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Associativity detection
+//===----------------------------------------------------------------------===//
+
+static bool isConstantLeaf(const StencilExpr &E) {
+  return isa<NumberExpr>(E) || isa<CoefficientExpr>(E);
+}
+
+bool containsConstantDivision(const StencilExpr &E) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    if (B.op() == BinaryOpKind::Div && isConstantLeaf(B.rhs()))
+      return true;
+    return containsConstantDivision(B.lhs()) ||
+           containsConstantDivision(B.rhs());
+  }
+  case StencilExpr::Kind::Unary:
+    return containsConstantDivision(cast<UnaryExpr>(E).operand());
+  case StencilExpr::Kind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(E).args())
+      if (containsConstantDivision(*A))
+        return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
+/// Flattens a +/- chain into individual term expressions (sign ignored —
+/// only the structure matters for associativity).
+static void flattenSum(const StencilExpr &E,
+                       std::vector<const StencilExpr *> &Terms) {
+  if (const auto *B = dyn_cast<BinaryExpr>(&E)) {
+    if (B->op() == BinaryOpKind::Add || B->op() == BinaryOpKind::Sub) {
+      flattenSum(B->lhs(), Terms);
+      flattenSum(B->rhs(), Terms);
+      return;
+    }
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(&E)) {
+    flattenSum(U->operand(), Terms);
+    return;
+  }
+  Terms.push_back(&E);
+}
+
+/// A valid partial-summation term is a product of leaves with at most one
+/// grid read and no divisions or calls.
+static bool isAssociativeTerm(const StencilExpr &E, int &NumReads) {
+  if (isConstantLeaf(E))
+    return true;
+  if (isa<GridReadExpr>(E)) {
+    ++NumReads;
+    return NumReads <= 1;
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(&E))
+    return isAssociativeTerm(U->operand(), NumReads);
+  if (const auto *B = dyn_cast<BinaryExpr>(&E)) {
+    if (B->op() != BinaryOpKind::Mul)
+      return false;
+    return isAssociativeTerm(B->lhs(), NumReads) &&
+           isAssociativeTerm(B->rhs(), NumReads);
+  }
+  return false;
+}
+
+bool isAssociativeUpdate(const StencilExpr &E) {
+  const StencilExpr *Body = &E;
+  // Strip one top-level division by a constant (the /c0 of the Jacobi
+  // benchmarks).
+  if (const auto *B = dyn_cast<BinaryExpr>(Body))
+    if (B->op() == BinaryOpKind::Div && isConstantLeaf(B->rhs()))
+      Body = &B->lhs();
+
+  std::vector<const StencilExpr *> Terms;
+  flattenSum(*Body, Terms);
+  if (Terms.empty())
+    return false;
+
+  for (const StencilExpr *Term : Terms) {
+    int NumReads = 0;
+    if (!isAssociativeTerm(*Term, NumReads))
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Fast-math instruction-mix estimation
+//===----------------------------------------------------------------------===//
+
+static void mixOfGeneral(const StencilExpr &E, InstructionMix &Mix);
+
+/// Handles an Add/Sub node, fusing one multiplicand side into an FMA when
+/// available — the greedy pattern NVCC applies under fast math.
+static void mixOfAddLike(const BinaryExpr &B, InstructionMix &Mix) {
+  const StencilExpr *Sides[2] = {&B.lhs(), &B.rhs()};
+  for (int I = 0; I < 2; ++I) {
+    const auto *Mul = dyn_cast<BinaryExpr>(Sides[I]);
+    if (Mul && Mul->op() == BinaryOpKind::Mul) {
+      ++Mix.Fma;
+      mixOfGeneral(Mul->lhs(), Mix);
+      mixOfGeneral(Mul->rhs(), Mix);
+      mixOfGeneral(*Sides[1 - I], Mix);
+      return;
+    }
+  }
+  ++Mix.Add;
+  mixOfGeneral(B.lhs(), Mix);
+  mixOfGeneral(B.rhs(), Mix);
+}
+
+static void mixOfGeneral(const StencilExpr &E, InstructionMix &Mix) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    switch (B.op()) {
+    case BinaryOpKind::Add:
+    case BinaryOpKind::Sub:
+      mixOfAddLike(B, Mix);
+      return;
+    case BinaryOpKind::Mul:
+      ++Mix.Mul;
+      break;
+    case BinaryOpKind::Div:
+      // Fast math turns division by a constant into a multiply; other
+      // divisions retire through the special-function path.
+      if (isConstantLeaf(B.rhs()))
+        ++Mix.Mul;
+      else
+        ++Mix.Other;
+      break;
+    }
+    mixOfGeneral(B.lhs(), Mix);
+    mixOfGeneral(B.rhs(), Mix);
+    return;
+  }
+  case StencilExpr::Kind::Unary:
+    mixOfGeneral(cast<UnaryExpr>(E).operand(), Mix);
+    return;
+  case StencilExpr::Kind::Call:
+    ++Mix.Other;
+    for (const ExprPtr &A : cast<CallExpr>(E).args())
+      mixOfGeneral(*A, Mix);
+    return;
+  case StencilExpr::Kind::Number:
+  case StencilExpr::Kind::Coefficient:
+  case StencilExpr::Kind::GridRead:
+    return;
+  }
+}
+
+InstructionMix estimateInstructionMix(const StencilExpr &E) {
+  InstructionMix Mix;
+
+  if (isAssociativeUpdate(E)) {
+    // Sum of K coefficient*read products. Without a trailing constant
+    // division one product seeds the accumulator as a plain MUL and the
+    // remaining K-1 fuse; with the division, fast math distributes the
+    // reciprocal over the sum and every product fuses into an FMA
+    // (Section 5's analysis of the Jacobi stencils).
+    const StencilExpr *Body = &E;
+    bool HasConstDiv = false;
+    if (const auto *B = dyn_cast<BinaryExpr>(Body))
+      if (B->op() == BinaryOpKind::Div && (isa<NumberExpr>(B->rhs()) ||
+                                           isa<CoefficientExpr>(B->rhs()))) {
+        Body = &B->lhs();
+        HasConstDiv = true;
+      }
+    std::vector<const StencilExpr *> Terms;
+    flattenSum(*Body, Terms);
+    long long K = static_cast<long long>(Terms.size());
+    if (HasConstDiv) {
+      Mix.Fma = K;
+    } else {
+      Mix.Fma = K - 1;
+      Mix.Mul = 1;
+    }
+    return Mix;
+  }
+
+  mixOfGeneral(E, Mix);
+  return Mix;
+}
+
+} // namespace an5d

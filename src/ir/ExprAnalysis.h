@@ -1,0 +1,62 @@
+//===- ExprAnalysis.h - Static analyses over stencil expressions -*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analyses over StencilExpr trees: tap collection, FLOP census (Table 3),
+/// associativity detection (the partial-summation precondition of
+/// Section 3/4.1), and the fast-math FMA mapping that feeds the
+/// ALU-efficiency term of the performance model (Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_IR_EXPRANALYSIS_H
+#define AN5D_IR_EXPRANALYSIS_H
+
+#include "ir/StencilProgram.h"
+
+#include <vector>
+
+namespace an5d {
+
+/// Collects the distinct spatial taps read by \p E, sorted
+/// lexicographically.
+std::vector<std::vector<int>> collectTaps(const StencilExpr &E);
+
+/// Maximum absolute offset component over all taps of \p E.
+int computeRadius(const StencilExpr &E);
+
+/// Classifies the tap set of \p E: Star when no tap is diagonal, Box when
+/// the taps form the full (2*rad+1)^NumDims cube, General otherwise.
+StencilShape classifyShape(const StencilExpr &E, int NumDims);
+
+/// Counts textual arithmetic operators (Table 3's FLOP/Cell census; math
+/// calls are free).
+FlopCount countFlops(const StencilExpr &E);
+
+/// True if \p E contains any CallExpr.
+bool containsMathCall(const StencilExpr &E);
+
+/// True if \p E contains a division whose divisor is a compile-time
+/// constant (literal or named coefficient) — the pattern that NVCC
+/// compiles inefficiently for double precision (Section 7.1).
+bool containsConstantDivision(const StencilExpr &E);
+
+/// True if \p E is associative in the paper's sense: a sum of terms, each
+/// term a product of leaf factors with at most one grid read, with the sum
+/// optionally wrapped in a single division by a constant. This is the form
+/// that permits per-sub-plane partial summation.
+bool isAssociativeUpdate(const StencilExpr &E);
+
+/// Estimates the post-compilation instruction mix under --use_fast_math
+/// (Section 5): division by a constant becomes a multiply; in associative
+/// sums the compiler distributes the reciprocal and fuses each
+/// multiply-accumulate into an FMA; sqrt and non-constant division retire
+/// as OTHER slots.
+InstructionMix estimateInstructionMix(const StencilExpr &E);
+
+} // namespace an5d
+
+#endif // AN5D_IR_EXPRANALYSIS_H

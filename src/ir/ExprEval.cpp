@@ -1,0 +1,16 @@
+//===- ExprEval.cpp - Typed evaluation of stencil expressions -------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ExprEval.h"
+
+namespace an5d {
+
+bool isKnownMathCall(const std::string &Callee) {
+  return Callee == "sqrt" || Callee == "sqrtf" || Callee == "fabs" ||
+         Callee == "fabsf" || Callee == "exp" || Callee == "expf";
+}
+
+} // namespace an5d

@@ -1,0 +1,87 @@
+//===- ExprEval.h - Typed evaluation of stencil expressions -----*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A typed recursive evaluator for StencilExpr trees. Both the naive
+/// reference executor and the blocked N.5D emulator evaluate cells through
+/// this single entry point, with arithmetic performed in the stencil's
+/// element type — so a correct blocked schedule reproduces the reference
+/// result bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_IR_EXPREVAL_H
+#define AN5D_IR_EXPREVAL_H
+
+#include "ir/StencilExpr.h"
+
+#include <cmath>
+
+namespace an5d {
+
+/// Returns true if \p Callee is a math builtin the evaluator (and the code
+/// generator) understands.
+bool isKnownMathCall(const std::string &Callee);
+
+/// Applies the math builtin \p Callee to \p Arg.
+template <typename T> T applyMathCall(const std::string &Callee, T Arg) {
+  if (Callee == "sqrt" || Callee == "sqrtf")
+    return static_cast<T>(std::sqrt(Arg));
+  if (Callee == "fabs" || Callee == "fabsf")
+    return static_cast<T>(std::fabs(Arg));
+  if (Callee == "exp" || Callee == "expf")
+    return static_cast<T>(std::exp(Arg));
+  assert(false && "unknown math builtin");
+  return Arg;
+}
+
+/// Evaluates \p E with element type \p T.
+///
+/// \param Read  callable (const GridReadExpr &) -> T supplying grid values.
+/// \param Coef  callable (const std::string &) -> T supplying coefficient
+///        values.
+template <typename T, typename ReadFn, typename CoefFn>
+T evalExpr(const StencilExpr &E, const ReadFn &Read, const CoefFn &Coef) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::Number:
+    return static_cast<T>(cast<NumberExpr>(E).value());
+  case StencilExpr::Kind::Coefficient:
+    return Coef(cast<CoefficientExpr>(E).name());
+  case StencilExpr::Kind::GridRead:
+    return Read(cast<GridReadExpr>(E));
+  case StencilExpr::Kind::Unary:
+    return -evalExpr<T>(cast<UnaryExpr>(E).operand(), Read, Coef);
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    T L = evalExpr<T>(B.lhs(), Read, Coef);
+    T R = evalExpr<T>(B.rhs(), Read, Coef);
+    switch (B.op()) {
+    case BinaryOpKind::Add:
+      return L + R;
+    case BinaryOpKind::Sub:
+      return L - R;
+    case BinaryOpKind::Mul:
+      return L * R;
+    case BinaryOpKind::Div:
+      return L / R;
+    }
+    assert(false && "unhandled binary operator");
+    return L;
+  }
+  case StencilExpr::Kind::Call: {
+    const auto &C = cast<CallExpr>(E);
+    assert(C.args().size() == 1 && "only unary math builtins are supported");
+    T Arg = evalExpr<T>(*C.args()[0], Read, Coef);
+    return applyMathCall<T>(C.callee(), Arg);
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return T(0);
+}
+
+} // namespace an5d
+
+#endif // AN5D_IR_EXPREVAL_H

@@ -1,0 +1,224 @@
+//===- StencilExpr.cpp - Expression tree of a stencil update --------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StencilExpr.h"
+
+#include <cstdio>
+
+namespace an5d {
+
+void StencilExpr::anchor() {}
+
+const char *binaryOpSpelling(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// clone
+//===----------------------------------------------------------------------===//
+
+ExprPtr NumberExpr::clone() const { return makeNumber(Value); }
+
+ExprPtr CoefficientExpr::clone() const { return makeCoefficient(Name); }
+
+ExprPtr GridReadExpr::clone() const { return makeGridRead(Array, Offsets); }
+
+ExprPtr UnaryExpr::clone() const { return makeNeg(Operand->clone()); }
+
+ExprPtr BinaryExpr::clone() const {
+  return makeBinary(Op, LHS->clone(), RHS->clone());
+}
+
+ExprPtr CallExpr::clone() const {
+  std::vector<ExprPtr> ClonedArgs;
+  ClonedArgs.reserve(Args.size());
+  for (const ExprPtr &A : Args)
+    ClonedArgs.push_back(A->clone());
+  return makeCall(Callee, std::move(ClonedArgs));
+}
+
+int GridReadExpr::numNonZeroOffsets() const {
+  int Count = 0;
+  for (int O : Offsets)
+    if (O != 0)
+      ++Count;
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static void printExpr(const StencilExpr &E, std::string &Out) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::Number: {
+    const auto &N = cast<NumberExpr>(E);
+    char Buffer[48];
+    // Print integers without a decimal tail, other values compactly.
+    if (N.value() == static_cast<long long>(N.value()))
+      std::snprintf(Buffer, sizeof(Buffer), "%lld",
+                    static_cast<long long>(N.value()));
+    else
+      std::snprintf(Buffer, sizeof(Buffer), "%g", N.value());
+    Out += Buffer;
+    return;
+  }
+  case StencilExpr::Kind::Coefficient:
+    Out += cast<CoefficientExpr>(E).name();
+    return;
+  case StencilExpr::Kind::GridRead: {
+    const auto &R = cast<GridReadExpr>(E);
+    Out += R.array();
+    static const char *IndexNames[] = {"i", "j", "k", "l"};
+    for (std::size_t D = 0; D < R.offsets().size(); ++D) {
+      Out += '[';
+      Out += IndexNames[D];
+      int Offset = R.offsets()[D];
+      if (Offset > 0) {
+        Out += '+';
+        Out += std::to_string(Offset);
+      } else if (Offset < 0) {
+        Out += std::to_string(Offset);
+      }
+      Out += ']';
+    }
+    return;
+  }
+  case StencilExpr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    Out += "(-";
+    printExpr(U.operand(), Out);
+    Out += ')';
+    return;
+  }
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    Out += '(';
+    printExpr(B.lhs(), Out);
+    Out += ' ';
+    Out += binaryOpSpelling(B.op());
+    Out += ' ';
+    printExpr(B.rhs(), Out);
+    Out += ')';
+    return;
+  }
+  case StencilExpr::Kind::Call: {
+    const auto &C = cast<CallExpr>(E);
+    Out += C.callee();
+    Out += '(';
+    for (std::size_t I = 0; I < C.args().size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      printExpr(*C.args()[I], Out);
+    }
+    Out += ')';
+    return;
+  }
+  }
+}
+
+std::string StencilExpr::toString() const {
+  std::string Out;
+  printExpr(*this, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equality
+//===----------------------------------------------------------------------===//
+
+bool StencilExpr::equals(const StencilExpr &Other) const {
+  if (TheKind != Other.kind())
+    return false;
+  switch (TheKind) {
+  case Kind::Number:
+    return cast<NumberExpr>(*this).value() == cast<NumberExpr>(Other).value();
+  case Kind::Coefficient:
+    return cast<CoefficientExpr>(*this).name() ==
+           cast<CoefficientExpr>(Other).name();
+  case Kind::GridRead: {
+    const auto &A = cast<GridReadExpr>(*this);
+    const auto &B = cast<GridReadExpr>(Other);
+    return A.array() == B.array() && A.offsets() == B.offsets();
+  }
+  case Kind::Unary: {
+    const auto &A = cast<UnaryExpr>(*this);
+    const auto &B = cast<UnaryExpr>(Other);
+    return A.op() == B.op() && A.operand().equals(B.operand());
+  }
+  case Kind::Binary: {
+    const auto &A = cast<BinaryExpr>(*this);
+    const auto &B = cast<BinaryExpr>(Other);
+    return A.op() == B.op() && A.lhs().equals(B.lhs()) &&
+           A.rhs().equals(B.rhs());
+  }
+  case Kind::Call: {
+    const auto &A = cast<CallExpr>(*this);
+    const auto &B = cast<CallExpr>(Other);
+    if (A.callee() != B.callee() || A.args().size() != B.args().size())
+      return false;
+    for (std::size_t I = 0; I < A.args().size(); ++I)
+      if (!A.args()[I]->equals(*B.args()[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Builder helpers
+//===----------------------------------------------------------------------===//
+
+ExprPtr makeNumber(double Value) { return std::make_unique<NumberExpr>(Value); }
+
+ExprPtr makeCoefficient(std::string Name) {
+  return std::make_unique<CoefficientExpr>(std::move(Name));
+}
+
+ExprPtr makeGridRead(std::string Array, std::vector<int> Offsets) {
+  return std::make_unique<GridReadExpr>(std::move(Array), std::move(Offsets));
+}
+
+ExprPtr makeNeg(ExprPtr Operand) {
+  return std::make_unique<UnaryExpr>(UnaryOpKind::Neg, std::move(Operand));
+}
+
+ExprPtr makeBinary(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS) {
+  return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS));
+}
+
+ExprPtr makeAdd(ExprPtr LHS, ExprPtr RHS) {
+  return makeBinary(BinaryOpKind::Add, std::move(LHS), std::move(RHS));
+}
+
+ExprPtr makeSub(ExprPtr LHS, ExprPtr RHS) {
+  return makeBinary(BinaryOpKind::Sub, std::move(LHS), std::move(RHS));
+}
+
+ExprPtr makeMul(ExprPtr LHS, ExprPtr RHS) {
+  return makeBinary(BinaryOpKind::Mul, std::move(LHS), std::move(RHS));
+}
+
+ExprPtr makeDiv(ExprPtr LHS, ExprPtr RHS) {
+  return makeBinary(BinaryOpKind::Div, std::move(LHS), std::move(RHS));
+}
+
+ExprPtr makeCall(std::string Callee, std::vector<ExprPtr> Args) {
+  return std::make_unique<CallExpr>(std::move(Callee), std::move(Args));
+}
+
+} // namespace an5d

@@ -1,0 +1,244 @@
+//===- StencilExpr.h - Expression tree of a stencil update ------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normalized expression IR that a stencil update statement lowers to.
+/// A StencilExpr tree is what the frontend extracts from the C input
+/// (Section 4.3.3 of the paper) and what every downstream component —
+/// classification, FLOP/FMA analysis, the reference and blocked executors,
+/// and the CUDA code generator — consumes.
+///
+/// The hierarchy uses LLVM-style kind tags with isa<>/dyn_cast<> helpers
+/// instead of C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_IR_STENCILEXPR_H
+#define AN5D_IR_STENCILEXPR_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+class StencilExpr;
+using ExprPtr = std::unique_ptr<StencilExpr>;
+
+/// Binary arithmetic operators appearing in stencil updates.
+enum class BinaryOpKind { Add, Sub, Mul, Div };
+
+/// Unary operators appearing in stencil updates.
+enum class UnaryOpKind { Neg };
+
+/// Returns the C spelling of \p Op ("+", "-", "*", "/").
+const char *binaryOpSpelling(BinaryOpKind Op);
+
+/// Base class of all stencil expression nodes.
+class StencilExpr {
+public:
+  enum class Kind { Number, Coefficient, GridRead, Unary, Binary, Call };
+
+  explicit StencilExpr(Kind K) : TheKind(K) {}
+  virtual ~StencilExpr() = default;
+
+  StencilExpr(const StencilExpr &) = delete;
+  StencilExpr &operator=(const StencilExpr &) = delete;
+
+  Kind kind() const { return TheKind; }
+
+  /// Deep-copies this subtree.
+  virtual ExprPtr clone() const = 0;
+
+  /// Renders this subtree as a C expression string.
+  std::string toString() const;
+
+  /// Structural equality (node kinds, operators, names, offsets, values).
+  bool equals(const StencilExpr &Other) const;
+
+private:
+  const Kind TheKind;
+
+  virtual void anchor();
+};
+
+/// A floating-point literal (e.g. the 5.1f coefficients in Fig. 4 of the
+/// paper). The value is stored as double; evaluation truncates to the
+/// stencil's element type.
+class NumberExpr final : public StencilExpr {
+public:
+  explicit NumberExpr(double Value)
+      : StencilExpr(Kind::Number), Value(Value) {}
+
+  double value() const { return Value; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const StencilExpr *E) {
+    return E->kind() == Kind::Number;
+  }
+
+private:
+  double Value;
+};
+
+/// A named compile-time constant coefficient (the c_(x,y) symbols of
+/// Table 3). Values are bound in StencilProgram::coefficientValue.
+class CoefficientExpr final : public StencilExpr {
+public:
+  explicit CoefficientExpr(std::string Name)
+      : StencilExpr(Kind::Coefficient), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const StencilExpr *E) {
+    return E->kind() == Kind::Coefficient;
+  }
+
+private:
+  std::string Name;
+};
+
+/// A read of the stencil grid at a constant spatial offset from the current
+/// cell, at the previous time-step. Offsets are ordered outermost spatial
+/// dimension first; index 0 is the streaming dimension of N.5D blocking.
+class GridReadExpr final : public StencilExpr {
+public:
+  GridReadExpr(std::string Array, std::vector<int> Offsets)
+      : StencilExpr(Kind::GridRead), Array(std::move(Array)),
+        Offsets(std::move(Offsets)) {}
+
+  const std::string &array() const { return Array; }
+  const std::vector<int> &offsets() const { return Offsets; }
+  int numDims() const { return static_cast<int>(Offsets.size()); }
+
+  /// Number of offset components that are non-zero; 0 means the center cell.
+  int numNonZeroOffsets() const;
+
+  ExprPtr clone() const override;
+
+  static bool classof(const StencilExpr *E) {
+    return E->kind() == Kind::GridRead;
+  }
+
+private:
+  std::string Array;
+  std::vector<int> Offsets;
+};
+
+/// A unary operation (currently only negation).
+class UnaryExpr final : public StencilExpr {
+public:
+  UnaryExpr(UnaryOpKind Op, ExprPtr Operand)
+      : StencilExpr(Kind::Unary), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOpKind op() const { return Op; }
+  const StencilExpr &operand() const { return *Operand; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const StencilExpr *E) {
+    return E->kind() == Kind::Unary;
+  }
+
+private:
+  UnaryOpKind Op;
+  ExprPtr Operand;
+};
+
+/// A binary arithmetic operation.
+class BinaryExpr final : public StencilExpr {
+public:
+  BinaryExpr(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS)
+      : StencilExpr(Kind::Binary), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOpKind op() const { return Op; }
+  const StencilExpr &lhs() const { return *LHS; }
+  const StencilExpr &rhs() const { return *RHS; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const StencilExpr *E) {
+    return E->kind() == Kind::Binary;
+  }
+
+private:
+  BinaryOpKind Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// A call to a math builtin (sqrt, sqrtf, fabs, fabsf, fmin, fmax, exp).
+class CallExpr final : public StencilExpr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args)
+      : StencilExpr(Kind::Call), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const StencilExpr *E) {
+    return E->kind() == Kind::Call;
+  }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// LLVM-style isa<> over StencilExpr nodes.
+template <typename T> bool isa(const StencilExpr &E) { return T::classof(&E); }
+
+/// LLVM-style dyn_cast<> over StencilExpr pointers; returns nullptr on
+/// kind mismatch.
+template <typename T> const T *dyn_cast(const StencilExpr *E) {
+  assert(E && "dyn_cast on null expression");
+  return T::classof(E) ? static_cast<const T *>(E) : nullptr;
+}
+
+/// LLVM-style cast<> over StencilExpr pointers; asserts on kind mismatch.
+template <typename T> const T &cast(const StencilExpr &E) {
+  assert(T::classof(&E) && "cast to wrong expression kind");
+  return static_cast<const T &>(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Builder helpers
+//===----------------------------------------------------------------------===//
+
+/// Creates a floating-point literal node.
+ExprPtr makeNumber(double Value);
+
+/// Creates a named-coefficient node.
+ExprPtr makeCoefficient(std::string Name);
+
+/// Creates a grid read at the given spatial \p Offsets.
+ExprPtr makeGridRead(std::string Array, std::vector<int> Offsets);
+
+/// Creates a unary negation node.
+ExprPtr makeNeg(ExprPtr Operand);
+
+/// Creates a binary operation node.
+ExprPtr makeBinary(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS);
+
+ExprPtr makeAdd(ExprPtr LHS, ExprPtr RHS);
+ExprPtr makeSub(ExprPtr LHS, ExprPtr RHS);
+ExprPtr makeMul(ExprPtr LHS, ExprPtr RHS);
+ExprPtr makeDiv(ExprPtr LHS, ExprPtr RHS);
+
+/// Creates a call to a math builtin.
+ExprPtr makeCall(std::string Callee, std::vector<ExprPtr> Args);
+
+} // namespace an5d
+
+#endif // AN5D_IR_STENCILEXPR_H

@@ -1,0 +1,113 @@
+//===- StencilProgram.cpp - Normalized stencil description ----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StencilProgram.h"
+
+#include "ir/ExprAnalysis.h"
+
+namespace an5d {
+
+int scalarSizeInBytes(ScalarType Type) {
+  return Type == ScalarType::Float ? 4 : 8;
+}
+
+const char *scalarTypeName(ScalarType Type) {
+  return Type == ScalarType::Float ? "float" : "double";
+}
+
+const char *stencilShapeName(StencilShape Shape) {
+  switch (Shape) {
+  case StencilShape::Star:
+    return "star";
+  case StencilShape::Box:
+    return "box";
+  case StencilShape::General:
+    return "general";
+  }
+  return "unknown";
+}
+
+const char *optimizationClassName(OptimizationClass Class) {
+  switch (Class) {
+  case OptimizationClass::DiagonalAccessFree:
+    return "diagonal-access-free";
+  case OptimizationClass::AssociativeStencil:
+    return "associative";
+  case OptimizationClass::Otherwise:
+    return "otherwise";
+  }
+  return "unknown";
+}
+
+double InstructionMix::aluEfficiency() const {
+  long long Slots = Fma + Mul + Add + Other;
+  if (Slots == 0)
+    return 1.0;
+  long long Retired = 2 * Fma + Mul + Add + Other;
+  return static_cast<double>(Retired) / static_cast<double>(2 * Slots);
+}
+
+StencilProgram::StencilProgram(std::string Name, int NumDims,
+                               ScalarType ElemType, std::string ArrayName,
+                               ExprPtr Update,
+                               std::map<std::string, double> Coefficients)
+    : Name(std::move(Name)), NumDims(NumDims), ElemType(ElemType),
+      ArrayName(std::move(ArrayName)), Update(std::move(Update)),
+      Coefficients(std::move(Coefficients)) {
+  assert(this->Update && "stencil program requires an update expression");
+  assert((NumDims == 1 || NumDims == 2 || NumDims == 3) &&
+         "only 1D/2D/3D stencils are supported");
+  analyze();
+}
+
+void StencilProgram::analyze() {
+  Taps = collectTaps(*Update);
+  assert(!Taps.empty() && "update expression reads no grid cell");
+  for (const std::vector<int> &Tap : Taps) {
+    assert(static_cast<int>(Tap.size()) == NumDims &&
+           "grid read arity differs from declared dimensionality");
+    (void)Tap;
+  }
+  Radius = computeRadius(*Update);
+  Shape = classifyShape(*Update, NumDims);
+  Associative = isAssociativeUpdate(*Update);
+  UsesMathCall = containsMathCall(*Update);
+  Flops = countFlops(*Update);
+  Mix = estimateInstructionMix(*Update);
+}
+
+OptimizationClass StencilProgram::optimizationClass() const {
+  if (Shape == StencilShape::Star)
+    return OptimizationClass::DiagonalAccessFree;
+  if (Associative)
+    return OptimizationClass::AssociativeStencil;
+  return OptimizationClass::Otherwise;
+}
+
+double StencilProgram::coefficientValue(const std::string &CoefName) const {
+  auto It = Coefficients.find(CoefName);
+  assert(It != Coefficients.end() && "unbound coefficient name");
+  return It->second;
+}
+
+std::string StencilProgram::toString() const {
+  std::string Out = Name;
+  Out += ": ";
+  Out += scalarTypeName(ElemType);
+  Out += ' ';
+  Out += ArrayName;
+  Out += "[t+1]... = ";
+  Out += Update->toString();
+  Out += "  (radius ";
+  Out += std::to_string(Radius);
+  Out += ", ";
+  Out += stencilShapeName(Shape);
+  Out += Associative ? ", associative" : "";
+  Out += ")";
+  return Out;
+}
+
+} // namespace an5d

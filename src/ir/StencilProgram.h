@@ -1,0 +1,183 @@
+//===- StencilProgram.h - Normalized stencil description --------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// StencilProgram is the normalized form of a detected stencil: the update
+/// expression plus derived properties (radius, shape, optimization class)
+/// that drive the performance model (Section 5 of the paper), the blocked
+/// executor and the CUDA code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_IR_STENCILPROGRAM_H
+#define AN5D_IR_STENCILPROGRAM_H
+
+#include "ir/StencilExpr.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// Element type of the stencil grid.
+enum class ScalarType { Float, Double };
+
+/// Bytes per element for \p Type (the paper's nword, in bytes).
+int scalarSizeInBytes(ScalarType Type);
+
+/// The C spelling of \p Type ("float" / "double").
+const char *scalarTypeName(ScalarType Type);
+
+/// Spatial tap pattern of a stencil (Section 2.1 of the paper).
+enum class StencilShape {
+  /// Neighbors differ from the center in at most one dimension.
+  Star,
+  /// Taps cover the full (2*rad+1)^N cube.
+  Box,
+  /// Any other tap set.
+  General,
+};
+
+const char *stencilShapeName(StencilShape Shape);
+
+/// Which on-chip optimization strategy applies (Table 1 rows).
+enum class OptimizationClass {
+  /// Star stencils: registers cover the upper/lower sub-planes, shared
+  /// memory is only used within the current sub-plane.
+  DiagonalAccessFree,
+  /// Associative box stencils: partial summation over sub-planes, one
+  /// shared-memory store per cell.
+  AssociativeStencil,
+  /// General stencils: 1 + 2*rad sub-planes of shared memory per buffer.
+  Otherwise,
+};
+
+const char *optimizationClassName(OptimizationClass Class);
+
+/// Per-operation FLOP census of an update expression.
+struct FlopCount {
+  long long Adds = 0; ///< Additions and subtractions.
+  long long Muls = 0;
+  long long Divs = 0;
+
+  /// Total floating-point operations per cell. Math calls (sqrt) do not
+  /// count, which matches the FLOP/Cell column of Table 3.
+  long long total() const { return Adds + Muls + Divs; }
+};
+
+/// Post-compilation instruction mix used for the ALU-efficiency term of the
+/// performance model (Section 5): FMA counts as two FLOPs retired per
+/// instruction slot.
+struct InstructionMix {
+  long long Fma = 0;
+  long long Mul = 0;
+  long long Add = 0;
+  long long Other = 0;
+
+  /// effALU = (2*FMA + MUL + ADD + OTHER) / (2 * total instructions).
+  double aluEfficiency() const;
+};
+
+/// A fully analyzed stencil program: one double-buffered update statement
+/// over an N-dimensional grid.
+class StencilProgram {
+public:
+  /// Builds and analyzes a stencil.
+  ///
+  /// \param Name benchmark-style identifier (e.g. "j2d5pt").
+  /// \param NumDims number of spatial dimensions (2 or 3).
+  /// \param ElemType element type of the grid.
+  /// \param ArrayName name of the double-buffered array in the source.
+  /// \param Update the right-hand side of the update statement. Grid reads
+  ///        must address \p ArrayName with offsets of size \p NumDims.
+  /// \param Coefficients values for named coefficients used in \p Update.
+  StencilProgram(std::string Name, int NumDims, ScalarType ElemType,
+                 std::string ArrayName, ExprPtr Update,
+                 std::map<std::string, double> Coefficients = {});
+
+  const std::string &name() const { return Name; }
+  int numDims() const { return NumDims; }
+  ScalarType elemType() const { return ElemType; }
+  const std::string &arrayName() const { return ArrayName; }
+  const StencilExpr &update() const { return *Update; }
+
+  /// Bytes per grid element (nword in the paper's formulas).
+  int wordSize() const { return scalarSizeInBytes(ElemType); }
+
+  /// The stencil radius: the maximum absolute offset over all taps and
+  /// dimensions (Section 2.1).
+  int radius() const { return Radius; }
+
+  /// The spatial tap pattern.
+  StencilShape shape() const { return Shape; }
+
+  /// True if no tap has more than one non-zero offset component.
+  bool isDiagonalAccessFree() const {
+    return Shape == StencilShape::Star;
+  }
+
+  /// True if the update is a sum of per-tap products, optionally divided by
+  /// a constant — the shape that permits partial summation (Section 3).
+  bool isAssociative() const { return Associative; }
+
+  /// The Table 1 optimization row this stencil falls into.
+  OptimizationClass optimizationClass() const;
+
+  /// Distinct spatial taps read by the update (deduplicated, sorted
+  /// lexicographically). gradient2d reads some taps repeatedly; those appear
+  /// once here.
+  const std::vector<std::vector<int>> &taps() const { return Taps; }
+
+  /// FLOPs per cell update (Table 3 census: every textual arithmetic
+  /// operator counts once).
+  const FlopCount &flopsPerCell() const { return Flops; }
+
+  /// Estimated post-fast-math instruction mix (drives effALU).
+  const InstructionMix &instructionMix() const { return Mix; }
+
+  /// True if the update contains a division whose divisor is not a
+  /// compile-time constant, or any division when \p ForDouble — the case
+  /// where the paper reports inefficient NVCC code for double precision.
+  bool usesDivision() const { return Flops.Divs > 0; }
+
+  /// True if the update calls a math builtin (sqrt etc.).
+  bool usesMathCall() const { return UsesMathCall; }
+
+  /// Value bound to coefficient \p Name; asserts that the binding exists.
+  double coefficientValue(const std::string &CoefName) const;
+
+  const std::map<std::string, double> &coefficients() const {
+    return Coefficients;
+  }
+
+  /// Renders the update statement as C-like text (for docs and debugging).
+  std::string toString() const;
+
+private:
+  std::string Name;
+  int NumDims;
+  ScalarType ElemType;
+  std::string ArrayName;
+  ExprPtr Update;
+  std::map<std::string, double> Coefficients;
+
+  // Derived by analysis at construction time.
+  int Radius = 0;
+  StencilShape Shape = StencilShape::General;
+  bool Associative = false;
+  bool UsesMathCall = false;
+  std::vector<std::vector<int>> Taps;
+  FlopCount Flops;
+  InstructionMix Mix;
+
+  void analyze();
+};
+
+} // namespace an5d
+
+#endif // AN5D_IR_STENCILPROGRAM_H

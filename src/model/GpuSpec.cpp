@@ -1,0 +1,43 @@
+//===- GpuSpec.cpp - GPU device specifications (Table 4) -------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/GpuSpec.h"
+
+namespace an5d {
+
+GpuSpec GpuSpec::teslaV100() {
+  GpuSpec Spec;
+  Spec.Name = "Tesla V100 SXM2";
+  Spec.PeakGflopsFloat = 15700;
+  Spec.PeakGflopsDouble = 7850;
+  Spec.PeakGmemGBs = 900;
+  Spec.MeasuredGmemGBsFloat = 791;
+  Spec.MeasuredGmemGBsDouble = 805;
+  Spec.MeasuredSmemGBsFloat = 10650;
+  Spec.MeasuredSmemGBsDouble = 12750;
+  Spec.SmCount = 80;
+  Spec.SharedMemPerSmBytes = 96 * 1024;
+  Spec.SmemKernelEfficiency = 0.76;
+  return Spec;
+}
+
+GpuSpec GpuSpec::teslaP100() {
+  GpuSpec Spec;
+  Spec.Name = "Tesla P100 SXM2";
+  Spec.PeakGflopsFloat = 10600;
+  Spec.PeakGflopsDouble = 5300;
+  Spec.PeakGmemGBs = 720;
+  Spec.MeasuredGmemGBsFloat = 535;
+  Spec.MeasuredGmemGBsDouble = 540;
+  Spec.MeasuredSmemGBsFloat = 9700;
+  Spec.MeasuredSmemGBsDouble = 10150;
+  Spec.SmCount = 56;
+  Spec.SharedMemPerSmBytes = 64 * 1024;
+  Spec.SmemKernelEfficiency = 0.52;
+  return Spec;
+}
+
+} // namespace an5d

@@ -1,0 +1,169 @@
+//===- PerformanceModel.cpp - Roofline model of Section 5 -------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/PerformanceModel.h"
+
+#include "model/RegisterModel.h"
+#include "model/SharedMemoryModel.h"
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace an5d {
+
+const char *bottleneckName(Bottleneck B) {
+  switch (B) {
+  case Bottleneck::Compute:
+    return "compute";
+  case Bottleneck::GlobalMemory:
+    return "gmem";
+  case Bottleneck::SharedMemory:
+    return "smem";
+  }
+  return "unknown";
+}
+
+/// Concurrent thread-blocks per SM under the thread, shared-memory and
+/// register-file limits (Section 5; the register term reflects the
+/// -maxrregcount tuning of Section 6.3).
+static int concurrentBlocksPerSm(const StencilProgram &Program,
+                                 const GpuSpec &Spec,
+                                 const BlockConfig &Config) {
+  long long Threads = Config.numThreads();
+  long long ByThreads = Spec.MaxThreadsPerSm / Threads;
+
+  long long SmemPerBlock = an5dSmemBytesPerBlock(Program, Threads);
+  long long BySmem = SmemPerBlock > 0
+                         ? Spec.SharedMemPerSmBytes / SmemPerBlock
+                         : ByThreads;
+
+  // Uncapped, NVCC allocates some scheduling slack above the minimum live
+  // set; -maxrregcount trims that slack (Section 6.3). Caps below the
+  // minimum would spill, which the tuner treats as infeasible. NVCC also
+  // clamps the allocation so one block is always launchable (e.g. 64
+  // registers/thread for 1024-thread blocks).
+  int MinRegs = an5dRegistersPerThread(Program, Config.BT);
+  int MaxLaunchable =
+      static_cast<int>(Spec.RegistersPerSm / std::max<long long>(1, Threads));
+  if (MinRegs > MaxLaunchable)
+    return 0; // cannot hold the live set without spilling
+  int NaturalRegs = std::min(MinRegs + 12, MaxLaunchable);
+  int RegsPerThread = NaturalRegs;
+  if (Config.RegisterCap > 0) {
+    if (Config.RegisterCap < MinRegs)
+      return 0; // would spill
+    RegsPerThread = std::min(NaturalRegs, Config.RegisterCap);
+  }
+  long long ByRegs = Spec.RegistersPerSm /
+                     std::max<long long>(1, Threads * RegsPerThread);
+
+  long long Blocks = std::min({ByThreads, BySmem, ByRegs});
+  return static_cast<int>(std::max<long long>(0, Blocks));
+}
+
+/// SM utilization efficiency via wave quantization: with W waves of
+/// concurrent blocks, the tail wave idles (W_floor / W_ceil); when the
+/// whole launch fits in less than one wave, utilization is the filled
+/// fraction.
+static double smUtilizationEfficiency(long long NumThreadBlocks,
+                                      int BlocksPerSm, int SmCount) {
+  if (BlocksPerSm <= 0 || NumThreadBlocks <= 0)
+    return 0.0;
+  double BlocksPerWave =
+      static_cast<double>(BlocksPerSm) * static_cast<double>(SmCount);
+  double Waves = static_cast<double>(NumThreadBlocks) / BlocksPerWave;
+  if (Waves <= 1.0)
+    return Waves;
+  double Floor = std::floor(Waves);
+  double Ceil = std::ceil(Waves);
+  if (Floor == Ceil)
+    return 1.0;
+  return Floor / Ceil;
+}
+
+ModelBreakdown evaluateModel(const StencilProgram &Program,
+                             const GpuSpec &Spec, const BlockConfig &Config,
+                             const ProblemSize &Problem) {
+  ModelBreakdown Out;
+  if (!Config.isFeasible(Program.radius(), Spec.MaxThreadsPerBlock))
+    return Out;
+  if (exceedsRegisterLimits(Program, Config, Spec))
+    return Out;
+
+  int BlocksPerSm = concurrentBlocksPerSm(Program, Spec, Config);
+  if (BlocksPerSm < 1)
+    return Out;
+
+  ThreadCensus Census = computeThreadCensus(Program, Config, Problem);
+  Out.CensusPerInvocation = Census;
+  Out.ConcurrentBlocksPerSm = BlocksPerSm;
+
+  // One census covers one temporal block of BT steps; the host repeats it
+  // IT/BT times (the paper's model assumes divisibility; the host-side
+  // remainder handling only perturbs the last call).
+  double Invocations = static_cast<double>(Problem.TimeSteps) /
+                       static_cast<double>(Config.BT);
+
+  Out.TotalFlops =
+      static_cast<double>(censusFlops(Census, Program)) * Invocations;
+  Out.TotalGmemBytes =
+      static_cast<double>(censusGmemBytes(Census, Program)) * Invocations;
+  Out.TotalSmemBytes =
+      static_cast<double>(censusSmemBytes(Census, Program)) * Invocations;
+
+  Out.EffAlu = Program.instructionMix().aluEfficiency();
+  Out.TimeCompute =
+      Out.TotalFlops / (Spec.peakGflops(Program.elemType()) * 1e9 *
+                        std::max(Out.EffAlu, 1e-9));
+  Out.TimeGmem =
+      Out.TotalGmemBytes / (Spec.measuredGmemGBs(Program.elemType()) * 1e9);
+  Out.TimeSmem =
+      Out.TotalSmemBytes / (Spec.measuredSmemGBs(Program.elemType()) * 1e9);
+
+  double Slowest = Out.TimeCompute;
+  Out.Limit = Bottleneck::Compute;
+  if (Out.TimeGmem > Slowest) {
+    Slowest = Out.TimeGmem;
+    Out.Limit = Bottleneck::GlobalMemory;
+  }
+  if (Out.TimeSmem > Slowest) {
+    Slowest = Out.TimeSmem;
+    Out.Limit = Bottleneck::SharedMemory;
+  }
+
+  Out.EffSm = smUtilizationEfficiency(Census.NumThreadBlocks, BlocksPerSm,
+                                      Spec.SmCount);
+  if (Out.EffSm <= 0.0)
+    return Out;
+
+  Out.TimeSeconds = Slowest / Out.EffSm;
+  double UsefulFlops = static_cast<double>(Problem.cellCount()) *
+                       static_cast<double>(Problem.TimeSteps) *
+                       static_cast<double>(Program.flopsPerCell().total());
+  Out.Gflops = UsefulFlops / Out.TimeSeconds / 1e9;
+  Out.GcellPerSec = static_cast<double>(Problem.cellCount()) *
+                    static_cast<double>(Problem.TimeSteps) /
+                    Out.TimeSeconds / 1e9;
+  Out.Feasible = true;
+  return Out;
+}
+
+std::string ModelBreakdown::toString() const {
+  if (!Feasible)
+    return "infeasible";
+  std::string Out;
+  Out += "time=" + formatDouble(TimeSeconds * 1e3, 2) + "ms";
+  Out += " gflops=" + formatDouble(Gflops, 0);
+  Out += " bound=" + std::string(bottleneckName(Limit));
+  Out += " effALU=" + formatDouble(EffAlu, 2);
+  Out += " effSM=" + formatDouble(EffSm, 2);
+  Out += " blocks/SM=" + std::to_string(ConcurrentBlocksPerSm);
+  return Out;
+}
+
+} // namespace an5d

@@ -1,0 +1,79 @@
+//===- PerformanceModel.h - Roofline model of Section 5 ---------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The roofline-style performance model of Section 5. Given a stencil, a
+/// device and a blocking configuration, computes the expected kernel time
+/// from three candidate bottlenecks — compute (scaled by the FMA-mapping
+/// ALU efficiency), global memory and shared memory — divided by the SM
+/// utilization efficiency derived from wave quantization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_MODEL_PERFORMANCEMODEL_H
+#define AN5D_MODEL_PERFORMANCEMODEL_H
+
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "model/GpuSpec.h"
+#include "model/ThreadCensus.h"
+
+#include <string>
+
+namespace an5d {
+
+/// Which roofline term dominates the predicted run time.
+enum class Bottleneck { Compute, GlobalMemory, SharedMemory };
+
+const char *bottleneckName(Bottleneck B);
+
+/// Full model output for one (stencil, device, config, problem) tuple.
+struct ModelBreakdown {
+  bool Feasible = false;
+
+  // Per-run totals (all temporal blocks).
+  double TotalFlops = 0;
+  double TotalGmemBytes = 0;
+  double TotalSmemBytes = 0;
+
+  // Candidate times in seconds.
+  double TimeCompute = 0;
+  double TimeGmem = 0;
+  double TimeSmem = 0;
+
+  double EffAlu = 1.0;
+  double EffSm = 1.0;
+  Bottleneck Limit = Bottleneck::SharedMemory;
+
+  /// Predicted run time in seconds (max of the candidates / EffSm).
+  double TimeSeconds = 0;
+
+  /// Useful performance: grid cells x time-steps x FLOP/cell over
+  /// TimeSeconds, in GFLOP/s.
+  double Gflops = 0;
+
+  /// Useful cell-updates per second, in GCell/s.
+  double GcellPerSec = 0;
+
+  /// Occupancy: concurrent thread-blocks per SM after thread, shared
+  /// memory and register-file limits.
+  int ConcurrentBlocksPerSm = 0;
+
+  ThreadCensus CensusPerInvocation;
+
+  std::string toString() const;
+};
+
+/// Evaluates the Section 5 model. Infeasible configurations (no compute
+/// region, too many threads, register-limit violations) yield
+/// Feasible == false.
+ModelBreakdown evaluateModel(const StencilProgram &Program,
+                             const GpuSpec &Spec, const BlockConfig &Config,
+                             const ProblemSize &Problem);
+
+} // namespace an5d
+
+#endif // AN5D_MODEL_PERFORMANCEMODEL_H

@@ -1,0 +1,55 @@
+//===- RegisterModel.cpp - Register usage estimation ------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/RegisterModel.h"
+
+namespace an5d {
+
+int an5dRegistersPerThread(const StencilProgram &Program, int BT) {
+  int PlanesPerStream = 2 * Program.radius() + 1;
+  if (Program.elemType() == ScalarType::Float)
+    return BT * PlanesPerStream + BT + 20;
+  return 2 * BT * PlanesPerStream + BT + 30;
+}
+
+int stencilgenRegistersPerThread(const StencilProgram &Program, int BT) {
+  // The shifting allocation keeps the same sub-plane window live but also
+  // needs shift temporaries: one per register-held plane per stream. Fig. 7
+  // shows STENCILGEN above AN5D on average, with the gap widening for
+  // second-order stencils.
+  int PlanesPerStream = 2 * Program.radius() + 1;
+  int Shifting = BT * (PlanesPerStream + 1);
+  if (Program.elemType() == ScalarType::Float)
+    return Shifting + BT + 20 + 2 * Program.radius();
+  return 2 * Shifting + BT + 30 + 4 * Program.radius();
+}
+
+int an5dHardFloorRegisters(const StencilProgram &Program, int BT) {
+  return BT * (2 * Program.radius() + 1) + 8;
+}
+
+int stencilgenHardFloorRegisters(const StencilProgram &Program, int BT) {
+  return BT * (2 * Program.radius() + 2) + 8 + 2 * Program.radius();
+}
+
+bool exceedsRegisterLimits(const StencilProgram &Program,
+                           const BlockConfig &Config, const GpuSpec &Spec) {
+  int PerThread = an5dRegistersPerThread(Program, Config.BT);
+  if (PerThread > Spec.MaxRegistersPerThread)
+    return true;
+  long long PerBlock = PerThread * Config.numThreads();
+  return PerBlock > Spec.RegistersPerSm;
+}
+
+int preferredRegisterCap(const StencilProgram &Program, int BT) {
+  int Needed = an5dRegistersPerThread(Program, BT);
+  for (int Cap : {32, 64, 96})
+    if (Needed <= Cap)
+      return Cap;
+  return 0; // uncapped
+}
+
+} // namespace an5d

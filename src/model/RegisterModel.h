@@ -1,0 +1,61 @@
+//===- RegisterModel.h - Register usage estimation --------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-pressure estimates used to prune the configuration space
+/// (Section 6.3) and to reproduce the register-usage comparison of Fig. 7.
+///
+/// The paper experimentally finds AN5D kernels need at least
+///   bT*(2*rad+1) + bT + 20      registers/thread for float, and
+///   2*bT*(2*rad+1) + bT + 30    registers/thread for double.
+/// STENCILGEN's shifting register allocation moves every sub-plane value
+/// through 1+2*rad registers per update, which costs extra live ranges;
+/// the paper observes it uses more registers on average and spills for
+/// second-order stencils at the 32-register cap (Section 7.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_MODEL_REGISTERMODEL_H
+#define AN5D_MODEL_REGISTERMODEL_H
+
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "model/GpuSpec.h"
+
+namespace an5d {
+
+/// Minimum registers per thread an AN5D kernel needs (Section 6.3 lower
+/// bound).
+int an5dRegistersPerThread(const StencilProgram &Program, int BT);
+
+/// Register estimate for a STENCILGEN kernel of the same stencil: the
+/// shifting allocation keeps roughly one extra live value per combined
+/// time-step plus shift temporaries.
+int stencilgenRegistersPerThread(const StencilProgram &Program, int BT);
+
+/// Hard floor under -maxrregcount for AN5D: the fixed allocation keeps
+/// only the bT*(2*rad+1) sub-plane window truly live, so NVCC can trade
+/// everything else for recomputation. Section 7.1: none of the AN5D Sconf
+/// binaries spill at a 32-register cap.
+int an5dHardFloorRegisters(const StencilProgram &Program, int BT);
+
+/// Hard floor for STENCILGEN: the shifting allocation needs one extra
+/// live value per plane during the shift plus the shift temporaries, so
+/// second-order stencils exceed 32 registers and spill (Section 7.1).
+int stencilgenHardFloorRegisters(const StencilProgram &Program, int BT);
+
+/// True when \p Config exceeds the per-thread (255) or per-SM (65536)
+/// register limits of \p Spec and must be pruned (Section 6.3).
+bool exceedsRegisterLimits(const StencilProgram &Program,
+                           const BlockConfig &Config, const GpuSpec &Spec);
+
+/// Smallest cap from {32, 64, 96, 0 (uncapped)} that the estimated usage
+/// fits under without spilling; mirrors the Regs column of Table 5.
+int preferredRegisterCap(const StencilProgram &Program, int BT);
+
+} // namespace an5d
+
+#endif // AN5D_MODEL_REGISTERMODEL_H

@@ -1,0 +1,96 @@
+//===- SharedMemoryModel.cpp - Tables 1 and 2 of the paper -----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/SharedMemoryModel.h"
+
+#include "support/Support.h"
+
+namespace an5d {
+
+/// Sub-planes held per shared-memory buffer: 1 for the optimized classes,
+/// 1 + 2*rad for general stencils (Table 1).
+static long long subPlanesPerBuffer(const StencilProgram &Program) {
+  switch (Program.optimizationClass()) {
+  case OptimizationClass::DiagonalAccessFree:
+  case OptimizationClass::AssociativeStencil:
+    return 1;
+  case OptimizationClass::Otherwise:
+    return 1 + 2LL * Program.radius();
+  }
+  return 1;
+}
+
+long long an5dSmemBytesPerBlock(const StencilProgram &Program,
+                                long long NumThreads) {
+  // 2 x nthr x nword (x (1+2*rad) sub-planes for general stencils).
+  return 2LL * NumThreads * Program.wordSize() * subPlanesPerBuffer(Program);
+}
+
+long long stencilgenSmemBytesPerBlock(const StencilProgram &Program,
+                                      long long NumThreads, int BT) {
+  // One buffer per combined time-step: nthr x bT x nword, scaled by the
+  // per-buffer sub-plane count for general stencils.
+  return static_cast<long long>(BT) * NumThreads * Program.wordSize() *
+         subPlanesPerBuffer(Program);
+}
+
+int smemStoresPerCell(const StencilProgram &Program) {
+  switch (Program.optimizationClass()) {
+  case OptimizationClass::DiagonalAccessFree:
+  case OptimizationClass::AssociativeStencil:
+    return 1;
+  case OptimizationClass::Otherwise:
+    return 1 + 2 * Program.radius();
+  }
+  return 1;
+}
+
+long long smemReadsPerThreadExpected(const StencilProgram &Program) {
+  long long Rad = Program.radius();
+  long long Diameter = 2 * Rad + 1;
+  switch (Program.shape()) {
+  case StencilShape::Star:
+    // In-plane axis neighbors only: 2*rad per blocked dimension.
+    return 2 * Rad * (Program.numDims() - 1);
+  case StencilShape::Box:
+    // Every tap except the register-held streaming column.
+    return ipow(Diameter, Program.numDims()) - Diameter;
+  case StencilShape::General: {
+    // Taps minus the register-held streaming column (clamped at zero).
+    long long Taps = static_cast<long long>(Program.taps().size());
+    long long Held = 0;
+    for (const std::vector<int> &Tap : Program.taps()) {
+      bool OnStreamAxis = true;
+      for (std::size_t D = 1; D < Tap.size(); ++D)
+        if (Tap[D] != 0)
+          OnStreamAxis = false;
+      if (OnStreamAxis)
+        ++Held;
+    }
+    return Taps > Held ? Taps - Held : 0;
+  }
+  }
+  return 0;
+}
+
+long long smemReadsPerThreadPractical(const StencilProgram &Program) {
+  long long Rad = Program.radius();
+  long long Diameter = 2 * Rad + 1;
+  switch (Program.shape()) {
+  case StencilShape::Star:
+    // NVCC keeps star reads as-is; expected == practical.
+    return smemReadsPerThreadExpected(Program);
+  case StencilShape::Box:
+    // NVCC caches columns in registers: one read per stencil column,
+    // minus the register-held own column (Section 5).
+    return ipow(Diameter, Program.numDims() - 1) - 1;
+  case StencilShape::General:
+    return smemReadsPerThreadExpected(Program);
+  }
+  return 0;
+}
+
+} // namespace an5d

@@ -1,0 +1,56 @@
+//===- SharedMemoryModel.h - Tables 1 and 2 of the paper --------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared-memory footprint and per-thread traffic formulas.
+///
+/// Table 1 (footprint per block and stores per cell, AN5D vs STENCILGEN):
+///   AN5D uses exactly two buffers (double buffering, Section 4.2.2);
+///   STENCILGEN uses one buffer per combined time-step. For general
+///   ("Otherwise") stencils each buffer holds 1+2*rad sub-planes.
+///
+/// Table 2 (shared-memory accesses per computing thread): the expected
+/// read counts subtract the 2*rad+1 register-held column from the taps; the
+/// practical counts additionally account for NVCC caching a full column of
+/// box reads in registers (one read per stencil column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_MODEL_SHAREDMEMORYMODEL_H
+#define AN5D_MODEL_SHAREDMEMORYMODEL_H
+
+#include "ir/StencilProgram.h"
+
+namespace an5d {
+
+/// Shared-memory bytes per thread-block for AN5D's double-buffered layout
+/// (Table 1, AN5D column).
+long long an5dSmemBytesPerBlock(const StencilProgram &Program,
+                                long long NumThreads);
+
+/// Shared-memory bytes per thread-block for STENCILGEN's per-time-step
+/// multi-buffering (Table 1, STENCILGEN column).
+long long stencilgenSmemBytesPerBlock(const StencilProgram &Program,
+                                      long long NumThreads, int BT);
+
+/// Shared-memory stores per cell update (Table 1 bottom): 1 for
+/// diagonal-access-free and associative stencils, 1+2*rad otherwise. The
+/// same value applies to both frameworks.
+int smemStoresPerCell(const StencilProgram &Program);
+
+/// Expected shared-memory reads per computing thread (Table 2).
+long long smemReadsPerThreadExpected(const StencilProgram &Program);
+
+/// Practical shared-memory reads per computing thread after NVCC's
+/// register caching of box columns (Table 2).
+long long smemReadsPerThreadPractical(const StencilProgram &Program);
+
+/// Shared-memory writes per computing thread (Table 2): always 1.
+inline long long smemWritesPerThread() { return 1; }
+
+} // namespace an5d
+
+#endif // AN5D_MODEL_SHAREDMEMORYMODEL_H

@@ -1,0 +1,178 @@
+//===- ScheduleReport.cpp - Human-readable schedule/resource report ----------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/ScheduleReport.h"
+
+#include "model/PerformanceModel.h"
+#include "model/RegisterModel.h"
+#include "model/SharedMemoryModel.h"
+#include "model/ThreadCensus.h"
+#include "sim/MeasuredSimulator.h"
+#include "sim/TimeBlockScheduler.h"
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <algorithm>
+
+namespace an5d {
+
+static std::string line(const std::string &Label, const std::string &Value) {
+  return "  " + padRight(Label, 34) + Value + "\n";
+}
+
+static std::string mib(double Bytes) {
+  return formatDouble(Bytes / (1 << 20), 1) + " MiB";
+}
+
+std::string renderScheduleReport(const StencilProgram &Program,
+                                 const GpuSpec &Spec,
+                                 const BlockConfig &Config,
+                                 const ProblemSize &Problem) {
+  std::string Out;
+  Out += "AN5D schedule report\n";
+  Out += std::string(70, '=') + "\n";
+
+  Out += "stencil\n";
+  Out += line("name", Program.name());
+  Out += line("update", Program.update().toString());
+  Out += line("element type", scalarTypeName(Program.elemType()));
+  Out += line("shape / radius",
+              std::string(stencilShapeName(Program.shape())) + " / " +
+                  std::to_string(Program.radius()));
+  Out += line("optimization class",
+              optimizationClassName(Program.optimizationClass()));
+  Out += line("taps / FLOP per cell",
+              std::to_string(Program.taps().size()) + " / " +
+                  std::to_string(Program.flopsPerCell().total()));
+  Out += line("effALU (FMA mapping)",
+              formatDouble(Program.instructionMix().aluEfficiency(), 3));
+
+  Out += "configuration\n";
+  Out += line("device", Spec.Name);
+  Out += line("problem", Problem.toString());
+  Out += line("blocking", Config.toString());
+  Out += line("threads per block (nthr)",
+              std::to_string(Config.numThreads()));
+  {
+    std::string Widths;
+    for (std::size_t D = 0; D < Config.BS.size(); ++D) {
+      if (D != 0)
+        Widths += " x ";
+      Widths += std::to_string(
+          Config.computeWidth(static_cast<int>(D), Program.radius()));
+    }
+    Out += line("compute region per block", Widths);
+  }
+
+  if (!Config.isFeasible(Program.radius(), Spec.MaxThreadsPerBlock)) {
+    Out += "\nINFEASIBLE: the halo consumes the whole block "
+           "(bS <= 2*bT*rad) or the\nthread count exceeds the device "
+           "limit.\n";
+    return Out;
+  }
+
+  Out += "per-block resources\n";
+  long long Threads = Config.numThreads();
+  int MinRegs = an5dRegistersPerThread(Program, Config.BT);
+  Out += line("registers/thread (min est.)", std::to_string(MinRegs));
+  Out += line("register cap",
+              Config.RegisterCap > 0 ? std::to_string(Config.RegisterCap)
+                                     : "none");
+  long long SmemBlock = an5dSmemBytesPerBlock(Program, Threads);
+  Out += line("shared memory/block",
+              std::to_string(SmemBlock) + " B (double-buffered)");
+  Out += line("smem stores per cell",
+              std::to_string(smemStoresPerCell(Program)));
+  Out += line("smem reads per thread",
+              std::to_string(smemReadsPerThreadPractical(Program)) +
+                  " practical / " +
+                  std::to_string(smemReadsPerThreadExpected(Program)) +
+                  " expected");
+
+  ModelBreakdown Model = evaluateModel(Program, Spec, Config, Problem);
+  if (!Model.Feasible) {
+    Out += "\nINFEASIBLE for this device: register or occupancy limits "
+           "leave no\nresident block (see Section 6.3 pruning).\n";
+    return Out;
+  }
+
+  Out += "occupancy\n";
+  Out += line("blocks resident per SM",
+              std::to_string(Model.ConcurrentBlocksPerSm));
+  Out += line("thread-blocks launched (n'tb)",
+              std::to_string(Model.CensusPerInvocation.NumThreadBlocks));
+  Out += line("SM utilization (effSM)", formatDouble(Model.EffSm, 3));
+
+  Out += "traffic per temporal block (bT=" + std::to_string(Config.BT) +
+         " steps)\n";
+  const ThreadCensus &Census = Model.CensusPerInvocation;
+  Out += line("global memory",
+              mib(static_cast<double>(censusGmemBytes(Census, Program))));
+  Out += line("shared memory",
+              mib(static_cast<double>(censusSmemBytes(Census, Program))));
+  long long Useful = Problem.cellCount() * Config.BT;
+  double Redundancy =
+      100.0 * static_cast<double>(Census.redundantComputeOps(Useful)) /
+      static_cast<double>(std::max<long long>(1, Census.ComputeOps));
+  Out += line("redundant computation", formatDouble(Redundancy, 2) + " %");
+  double NaiveGmBytes = static_cast<double>(Useful) * 2 *
+                        Program.wordSize();
+  Out += line("gmem saved vs naive",
+              formatDouble((1.0 - static_cast<double>(censusGmemBytes(
+                                      Census, Program)) /
+                                      NaiveGmBytes) *
+                               100.0,
+                           1) +
+                  " %");
+
+  Out += "roofline (whole run)\n";
+  Out += line("compute time",
+              formatDouble(Model.TimeCompute * 1e3, 2) + " ms");
+  Out += line("global-memory time",
+              formatDouble(Model.TimeGmem * 1e3, 2) + " ms");
+  Out += line("shared-memory time",
+              formatDouble(Model.TimeSmem * 1e3, 2) + " ms");
+  Out += line("predicted bottleneck", bottleneckName(Model.Limit));
+  Out += line("model prediction",
+              formatDouble(Model.Gflops, 0) + " GFLOP/s (" +
+                  formatDouble(Model.GcellPerSec, 1) + " GCell/s)");
+
+  MeasuredResult Measured = simulateMeasured(Program, Spec, Config, Problem);
+  if (Measured.Feasible) {
+    Out += line("simulated measurement",
+                formatDouble(Measured.MeasuredGflops, 0) + " GFLOP/s");
+    Out += line("model accuracy",
+                formatDouble(100 * Measured.modelAccuracy(), 0) + " %");
+  }
+
+  Out += "host schedule (Section 4.3.1)\n";
+  std::vector<int> Degrees =
+      scheduleTimeBlocks(Problem.TimeSteps, Config.BT);
+  long long FullCalls = 0;
+  for (int D : Degrees)
+    if (D == Config.BT)
+      ++FullCalls;
+  Out += line("kernel calls",
+              std::to_string(Degrees.size()) + " (" +
+                  std::to_string(FullCalls) + " full, " +
+                  std::to_string(Degrees.size() - FullCalls) +
+                  " adjusted)");
+  std::string Tail;
+  std::size_t Shown = 0;
+  for (std::size_t I = Degrees.size() >= 4 ? Degrees.size() - 4 : 0;
+       I < Degrees.size(); ++I, ++Shown) {
+    if (!Tail.empty())
+      Tail += ", ";
+    Tail += std::to_string(Degrees[I]);
+  }
+  Out += line("final degrees", "..., " + Tail);
+  Out += line("result buffer",
+              "A[" + std::to_string(Problem.TimeSteps % 2) +
+                  "] (parity preserved)");
+  return Out;
+}
+
+} // namespace an5d

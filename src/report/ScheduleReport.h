@@ -1,0 +1,36 @@
+//===- ScheduleReport.h - Human-readable schedule/resource report -*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders everything a performance engineer would want to know about one
+/// (stencil, device, configuration) triple before launching it: the
+/// detected stencil properties, per-block resources and the occupancy
+/// limits they impose, the traffic/redundancy census, the roofline
+/// breakdown with the predicted bottleneck, the simulated measurement, and
+/// the host-side temporal-block schedule. Exposed through `an5dc --report`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_REPORT_SCHEDULEREPORT_H
+#define AN5D_REPORT_SCHEDULEREPORT_H
+
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "model/GpuSpec.h"
+
+#include <string>
+
+namespace an5d {
+
+/// Renders the full report as plain text.
+std::string renderScheduleReport(const StencilProgram &Program,
+                                 const GpuSpec &Spec,
+                                 const BlockConfig &Config,
+                                 const ProblemSize &Problem);
+
+} // namespace an5d
+
+#endif // AN5D_REPORT_SCHEDULEREPORT_H

@@ -1,0 +1,418 @@
+//===- BlockedExecutor.h - Functional N.5D blocking emulation ---*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CPU emulation of the exact execution model AN5D's generated CUDA
+/// kernels implement (Section 4.1):
+///
+///  * one thread-block per spatial block of bS lanes (compute region
+///    bS - 2*bT*rad plus halo), streaming over dimension 0;
+///  * bT computational streams (tiers); tier T at streaming step s
+///    processes sub-plane s - T*rad, so each tier lags its producer by one
+///    stencil radius;
+///  * per tier, a ring of 2*rad+1 sub-planes (the register-held window);
+///  * halo lanes overwrite with the previous tier's value (the paper's
+///    "original values" rule that avoids branching);
+///  * boundary sub-planes and boundary lanes stay pinned to the input's
+///    boundary conditions (the spare-register trick of Section 4.1);
+///  * optional division of the streaming dimension into hSN-long chunks
+///    with redundant leading/trailing planes (Section 4.2.3);
+///  * host-side temporal block scheduling with the parity adjustment of
+///    Section 4.3.1.
+///
+/// Because every cell evaluates through the same typed ExprEval as the
+/// reference executor, a correct schedule reproduces the naive result bit
+/// for bit — this is the correctness oracle for the whole framework.
+///
+/// The PoisonHalos option writes quiet NaNs instead of the halo-overwrite
+/// values; since halo values must never feed a valid computation, results
+/// must still match the reference exactly (failure injection for tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_SIM_BLOCKEDEXECUTOR_H
+#define AN5D_SIM_BLOCKEDEXECUTOR_H
+
+#include "ir/ExprEval.h"
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "sim/Grid.h"
+#include "sim/TimeBlockScheduler.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace an5d {
+
+/// Operation counters filled by the emulator when requested; comparable
+/// one-to-one with the analytic ThreadCensus of the performance model
+/// (the cross-check lives in tests/CensusCrossCheckTest.cpp).
+struct BlockedExecStats {
+  long long GmReadOps = 0;  ///< Loads of existing (interior+boundary) cells.
+  long long GmWriteOps = 0; ///< Compute-region stores.
+  long long ComputeOps = 0; ///< Stencil evaluations, redundancy included.
+};
+
+/// Behavioral switches for the blocked emulation.
+struct BlockedExecOptions {
+  /// Write NaN canaries into halo lanes and out-of-bound loads instead of
+  /// the halo-overwrite values. Valid outputs must stay NaN-free.
+  bool PoisonHalos = false;
+
+  /// When set, the emulator accumulates operation counts here.
+  BlockedExecStats *Stats = nullptr;
+};
+
+/// Emulates AN5D's blocked execution of one stencil.
+template <typename T> class BlockedExecutor {
+public:
+  BlockedExecutor(const StencilProgram &Program, const BlockConfig &Config,
+                  BlockedExecOptions Options = {})
+      : Program(Program), Config(Config), Options(Options),
+        Radius(Program.radius()),
+        RingDepth(2 * Program.radius() + 1) {
+    assert(Config.isFeasible(Radius) && "infeasible block configuration");
+    assert(static_cast<int>(Config.BS.size()) == Program.numDims() - 1 &&
+           "one block size per non-streaming dimension required");
+  }
+
+  /// Advances \p TimeSteps steps. \p Buffers[0] holds the input at t=0; on
+  /// return the result is in Buffers[TimeSteps % 2], exactly as the
+  /// original double-buffered loop would leave it.
+  void run(std::array<Grid<T> *, 2> Buffers, long long TimeSteps) const {
+    int InputIndex = 0;
+    for (int Degree : scheduleTimeBlocks(TimeSteps, Config.BT)) {
+      runInvocation(*Buffers[InputIndex], *Buffers[1 - InputIndex], Degree);
+      InputIndex = 1 - InputIndex;
+    }
+  }
+
+  /// Runs exactly one kernel call of \p Degree combined steps (bypasses
+  /// the host-side scheduler); used by the census cross-check tests.
+  void runKernelOnce(const Grid<T> &In, Grid<T> &Out, int Degree) const {
+    runInvocation(In, Out, Degree);
+  }
+
+private:
+  const StencilProgram &Program;
+  const BlockConfig &Config;
+  BlockedExecOptions Options;
+  int Radius;
+  int RingDepth;
+
+  static T poisonValue() {
+    return std::numeric_limits<T>::quiet_NaN();
+  }
+
+  /// One kernel call: one temporal block of \p Degree steps over the whole
+  /// grid, reading \p In and writing \p Out.
+  void runInvocation(const Grid<T> &In, Grid<T> &Out, int Degree) const {
+    const std::vector<long long> &Extents = In.extents();
+    long long StreamExtent = Extents[0];
+    int NumBlockedDims = static_cast<int>(Config.BS.size());
+
+    // Compute-region widths for this invocation's degree.
+    std::vector<long long> ComputeWidth(NumBlockedDims);
+    std::vector<long long> NumBlocks(NumBlockedDims);
+    for (int D = 0; D < NumBlockedDims; ++D) {
+      ComputeWidth[D] = Config.BS[static_cast<std::size_t>(D)] -
+                        2LL * Degree * Radius;
+      assert(ComputeWidth[D] >= 1 && "degree too large for block size");
+      NumBlocks[D] = ceilDiv(Extents[static_cast<std::size_t>(D) + 1],
+                             ComputeWidth[D]);
+    }
+
+    long long ChunkLength =
+        Config.HS > 0 ? static_cast<long long>(Config.HS) : StreamExtent;
+    long long NumChunks = ceilDiv(StreamExtent, ChunkLength);
+
+    // Iterate all (chunk, block-tuple) pairs; blocks are independent.
+    std::vector<long long> BlockIndex(static_cast<std::size_t>(NumBlockedDims),
+                                      0);
+    for (long long Chunk = 0; Chunk < NumChunks; ++Chunk) {
+      long long ChunkLo = Chunk * ChunkLength;
+      long long ChunkHi = std::min(ChunkLo + ChunkLength, StreamExtent);
+      std::fill(BlockIndex.begin(), BlockIndex.end(), 0);
+      while (true) {
+        std::vector<long long> Origins(static_cast<std::size_t>(
+            NumBlockedDims));
+        for (int D = 0; D < NumBlockedDims; ++D)
+          Origins[static_cast<std::size_t>(D)] =
+              BlockIndex[static_cast<std::size_t>(D)] * ComputeWidth[D];
+        runBlock(In, Out, Degree, ChunkLo, ChunkHi, Origins, ComputeWidth);
+
+        int D = NumBlockedDims - 1;
+        while (D >= 0) {
+          if (++BlockIndex[static_cast<std::size_t>(D)] < NumBlocks[D])
+            break;
+          BlockIndex[static_cast<std::size_t>(D)] = 0;
+          --D;
+        }
+        if (D < 0)
+          break;
+      }
+    }
+  }
+
+  /// Streams one thread-block through one chunk.
+  void runBlock(const Grid<T> &In, Grid<T> &Out, int Degree,
+                long long ChunkLo, long long ChunkHi,
+                const std::vector<long long> &Origins,
+                const std::vector<long long> &ComputeWidth) const {
+    const std::vector<long long> &Extents = In.extents();
+    long long StreamExtent = Extents[0];
+    int NumBlockedDims = static_cast<int>(Config.BS.size());
+
+    // Lane bookkeeping: lane l decomposes into per-dimension positions
+    // within the block span [Origin - Degree*rad, ... + bS).
+    long long LaneCount = 1;
+    for (int B : Config.BS)
+      LaneCount *= B;
+    std::vector<long long> LaneStride(static_cast<std::size_t>(
+        NumBlockedDims));
+    {
+      long long Stride = 1;
+      for (int D = NumBlockedDims - 1; D >= 0; --D) {
+        LaneStride[static_cast<std::size_t>(D)] = Stride;
+        Stride *= Config.BS[static_cast<std::size_t>(D)];
+      }
+    }
+    std::vector<long long> SpanLo(static_cast<std::size_t>(NumBlockedDims));
+    for (int D = 0; D < NumBlockedDims; ++D)
+      SpanLo[static_cast<std::size_t>(D)] =
+          Origins[static_cast<std::size_t>(D)] -
+          static_cast<long long>(Degree) * Radius;
+
+    // Register-window rings for tiers 0..Degree-1.
+    std::vector<std::vector<T>> Rings(static_cast<std::size_t>(Degree));
+    for (auto &Ring : Rings)
+      Ring.assign(static_cast<std::size_t>(RingDepth) *
+                      static_cast<std::size_t>(LaneCount),
+                  T(0));
+    auto RingSlot = [&](long long Plane) {
+      long long M = Plane % RingDepth;
+      return static_cast<std::size_t>(M < 0 ? M + RingDepth : M);
+    };
+    auto RingCell = [&](std::vector<T> &Ring, long long Plane,
+                        long long Lane) -> T & {
+      return Ring[RingSlot(Plane) * static_cast<std::size_t>(LaneCount) +
+                  static_cast<std::size_t>(Lane)];
+    };
+
+    std::vector<long long> Coords(static_cast<std::size_t>(NumBlockedDims));
+    auto DecodeLane = [&](long long Lane) {
+      for (int D = 0; D < NumBlockedDims; ++D)
+        Coords[static_cast<std::size_t>(D)] =
+            SpanLo[static_cast<std::size_t>(D)] +
+            (Lane / LaneStride[static_cast<std::size_t>(D)]) %
+                Config.BS[static_cast<std::size_t>(D)];
+    };
+
+    auto CellExists = [&](const std::vector<long long> &C) {
+      for (int D = 0; D < NumBlockedDims; ++D)
+        if (C[static_cast<std::size_t>(D)] < -Radius ||
+            C[static_cast<std::size_t>(D)] >=
+                Extents[static_cast<std::size_t>(D) + 1] + Radius)
+          return false;
+      return true;
+    };
+    auto IsInteriorLane = [&](const std::vector<long long> &C) {
+      for (int D = 0; D < NumBlockedDims; ++D)
+        if (C[static_cast<std::size_t>(D)] < 0 ||
+            C[static_cast<std::size_t>(D)] >=
+                Extents[static_cast<std::size_t>(D) + 1])
+          return false;
+      return true;
+    };
+    auto InTierValidRegion = [&](const std::vector<long long> &C, int Tier) {
+      long long Reach = static_cast<long long>(Degree - Tier) * Radius;
+      for (int D = 0; D < NumBlockedDims; ++D) {
+        long long Lo = Origins[static_cast<std::size_t>(D)] - Reach;
+        long long Hi = Origins[static_cast<std::size_t>(D)] +
+                       ComputeWidth[static_cast<std::size_t>(D)] + Reach;
+        long long X = C[static_cast<std::size_t>(D)];
+        if (X < Lo || X >= Hi)
+          return false;
+      }
+      return true;
+    };
+
+    std::vector<long long> GridCoords(
+        static_cast<std::size_t>(NumBlockedDims) + 1);
+    auto ReadInput = [&](long long Plane,
+                         const std::vector<long long> &C) -> T {
+      GridCoords[0] = Plane;
+      for (int D = 0; D < NumBlockedDims; ++D)
+        GridCoords[static_cast<std::size_t>(D) + 1] =
+            C[static_cast<std::size_t>(D)];
+      return In.at(GridCoords);
+    };
+
+    // The per-cell evaluation shared by all tiers: reads come from the
+    // previous tier's ring, shifted by the tap offsets.
+    std::vector<long long> NeighborCoords(
+        static_cast<std::size_t>(NumBlockedDims));
+    auto EvalCell = [&](std::vector<T> &PrevRing, long long Plane,
+                        const std::vector<long long> &C) -> T {
+      auto Read = [&](const GridReadExpr &R) -> T {
+        long long NeighborPlane = Plane + R.offsets()[0];
+        long long Lane = 0;
+        for (int D = 0; D < NumBlockedDims; ++D) {
+          long long X = C[static_cast<std::size_t>(D)] +
+                        R.offsets()[static_cast<std::size_t>(D) + 1];
+          Lane += (X - SpanLo[static_cast<std::size_t>(D)]) *
+                  LaneStride[static_cast<std::size_t>(D)];
+        }
+        (void)NeighborCoords;
+        return RingCell(PrevRing, NeighborPlane, Lane);
+      };
+      auto Coef = [&](const std::string &Name) -> T {
+        return static_cast<T>(Program.coefficientValue(Name));
+      };
+      return evalExpr<T>(Program.update(), Read, Coef);
+    };
+
+    // Streaming schedule: at step s, tier T processes plane s - T*rad.
+    long long SBegin = ChunkLo - static_cast<long long>(Degree) * Radius;
+    long long SEnd = ChunkHi - 1 + static_cast<long long>(Degree) * Radius;
+    for (long long S = SBegin; S <= SEnd; ++S) {
+      // Tier 0: load plane S from global memory into the tier-0 ring.
+      {
+        long long NeedLo =
+            std::max(ChunkLo - static_cast<long long>(Degree) * Radius,
+                     -static_cast<long long>(Radius));
+        long long NeedHi =
+            std::min(ChunkHi - 1 + static_cast<long long>(Degree) * Radius,
+                     StreamExtent - 1 + Radius);
+        if (S >= NeedLo && S <= NeedHi && Degree >= 1) {
+          for (long long Lane = 0; Lane < LaneCount; ++Lane) {
+            DecodeLane(Lane);
+            T Value;
+            if (CellExists(Coords)) {
+              Value = ReadInput(S, Coords);
+              if (Options.Stats)
+                ++Options.Stats->GmReadOps;
+            } else {
+              Value = Options.PoisonHalos ? poisonValue() : T(0);
+            }
+            RingCell(Rings[0], S, Lane) = Value;
+          }
+        }
+      }
+
+      // Tiers 1..Degree.
+      for (int Tier = 1; Tier <= Degree; ++Tier) {
+        long long Plane = S - static_cast<long long>(Tier) * Radius;
+        long long Reach = static_cast<long long>(Degree - Tier) * Radius;
+        long long NeedLo = std::max(ChunkLo - Reach,
+                                    -static_cast<long long>(Radius));
+        long long NeedHi =
+            std::min(ChunkHi - 1 + Reach, StreamExtent - 1 + Radius);
+        if (Plane < NeedLo || Plane > NeedHi)
+          continue;
+
+        std::vector<T> &PrevRing =
+            Rings[static_cast<std::size_t>(Tier) - 1];
+        bool IsInteriorPlane = Plane >= 0 && Plane < StreamExtent;
+
+        if (Tier < Degree) {
+          std::vector<T> &DstRing = Rings[static_cast<std::size_t>(Tier)];
+          for (long long Lane = 0; Lane < LaneCount; ++Lane) {
+            DecodeLane(Lane);
+            T Value;
+            if (!IsInteriorPlane || !IsInteriorLane(Coords)) {
+              // Boundary sub-planes / boundary lanes stay pinned to the
+              // input's boundary conditions; lanes past the padded grid
+              // are out-of-bound threads.
+              Value = CellExists(Coords)
+                          ? ReadInput(Plane, Coords)
+                          : (Options.PoisonHalos ? poisonValue() : T(0));
+            } else if (InTierValidRegion(Coords, Tier)) {
+              Value = EvalCell(PrevRing, Plane, Coords);
+              if (Options.Stats)
+                ++Options.Stats->ComputeOps;
+            } else {
+              // Halo overwrite (Section 4.1): carry the previous tier's
+              // value forward, or a canary under poisoning.
+              Value = Options.PoisonHalos
+                          ? poisonValue()
+                          : RingCell(PrevRing, Plane, Lane);
+            }
+            RingCell(DstRing, Plane, Lane) = Value;
+          }
+        } else {
+          // Final tier: store the compute region of the chunk's own
+          // interior planes straight to global memory.
+          if (!IsInteriorPlane || Plane < ChunkLo || Plane >= ChunkHi)
+            continue;
+          for (long long Lane = 0; Lane < LaneCount; ++Lane) {
+            DecodeLane(Lane);
+            if (!IsInteriorLane(Coords))
+              continue;
+            bool InComputeRegion = true;
+            for (int D = 0; D < NumBlockedDims; ++D) {
+              long long X = Coords[static_cast<std::size_t>(D)];
+              if (X < Origins[static_cast<std::size_t>(D)] ||
+                  X >= Origins[static_cast<std::size_t>(D)] +
+                           ComputeWidth[static_cast<std::size_t>(D)]) {
+                InComputeRegion = false;
+                break;
+              }
+            }
+            if (!InComputeRegion)
+              continue;
+            T Value = EvalCell(PrevRing, Plane, Coords);
+            if (Options.Stats) {
+              ++Options.Stats->ComputeOps;
+              ++Options.Stats->GmWriteOps;
+            }
+            GridCoords[0] = Plane;
+            for (int D = 0; D < NumBlockedDims; ++D)
+              GridCoords[static_cast<std::size_t>(D) + 1] =
+                  Coords[static_cast<std::size_t>(D)];
+            Out.at(GridCoords) = Value;
+          }
+        }
+      }
+    }
+  }
+};
+
+/// Convenience wrapper: construct an executor and run it.
+template <typename T>
+void blockedRun(const StencilProgram &Program, const BlockConfig &Config,
+                std::array<Grid<T> *, 2> Buffers, long long TimeSteps,
+                BlockedExecOptions Options = {}) {
+  BlockedExecutor<T> Executor(Program, Config, Options);
+  Executor.run(Buffers, TimeSteps);
+}
+
+/// True if any interior cell of \p G is NaN (poison-leak detector).
+template <typename T> bool interiorHasNaN(const Grid<T> &G) {
+  std::vector<long long> Coords(static_cast<std::size_t>(G.numDims()), 0);
+  const std::vector<long long> &Extents = G.extents();
+  while (true) {
+    if (std::isnan(static_cast<double>(G.at(Coords))))
+      return true;
+    int D = G.numDims() - 1;
+    while (D >= 0) {
+      if (++Coords[static_cast<std::size_t>(D)] <
+          Extents[static_cast<std::size_t>(D)])
+        break;
+      Coords[static_cast<std::size_t>(D)] = 0;
+      --D;
+    }
+    if (D < 0)
+      return false;
+  }
+}
+
+} // namespace an5d
+
+#endif // AN5D_SIM_BLOCKEDEXECUTOR_H

@@ -1,0 +1,155 @@
+//===- Grid.h - Halo-padded N-dimensional grid ------------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense N-dimensional grid (N = 1..3) with a halo of boundary cells of
+/// width \c Halo on every side. Interior cells live at coordinates
+/// [0, Extent) per dimension; boundary cells at [-Halo, 0) and
+/// [Extent, Extent+Halo) hold the (constant) boundary conditions, matching
+/// the input layout of Fig. 4 where loops run 1..I_S over an array with one
+/// extra cell per side.
+///
+/// Dimension 0 is the streaming dimension throughout the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_SIM_GRID_H
+#define AN5D_SIM_GRID_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace an5d {
+
+template <typename T> class Grid {
+public:
+  /// Constructs a zero-initialized grid with the given interior extents
+  /// (streaming dimension first) and halo width.
+  Grid(std::vector<long long> Extents, int Halo)
+      : Extents(std::move(Extents)), Halo(Halo) {
+    assert(!this->Extents.empty() && this->Extents.size() <= 3 &&
+           "grids support 1 to 3 dimensions");
+    long long Total = 1;
+    for (long long E : this->Extents) {
+      assert(E >= 1 && "grid extents must be positive");
+      PaddedExtents.push_back(E + 2 * Halo);
+      Total *= E + 2 * Halo;
+    }
+    Strides.assign(this->Extents.size(), 1);
+    for (int D = static_cast<int>(this->Extents.size()) - 2; D >= 0; --D)
+      Strides[D] = Strides[D + 1] * PaddedExtents[D + 1];
+    Data.assign(static_cast<std::size_t>(Total), T(0));
+  }
+
+  int numDims() const { return static_cast<int>(Extents.size()); }
+  int halo() const { return Halo; }
+  const std::vector<long long> &extents() const { return Extents; }
+
+  /// Total cells including the halo ring.
+  std::size_t size() const { return Data.size(); }
+
+  /// True if interior coordinate \p C along dim \p D addresses an existing
+  /// cell (interior or boundary).
+  bool inBounds(int D, long long C) const {
+    return C >= -Halo && C < Extents[static_cast<std::size_t>(D)] + Halo;
+  }
+
+  /// True if the coordinates address an interior (updated) cell.
+  bool isInterior(const std::vector<long long> &Coords) const {
+    for (std::size_t D = 0; D < Coords.size(); ++D)
+      if (Coords[D] < 0 || Coords[D] >= Extents[D])
+        return false;
+    return true;
+  }
+
+  /// Element access by interior coordinates (boundary cells reachable with
+  /// negative / >=Extent coordinates within the halo).
+  T &at(const std::vector<long long> &Coords) {
+    return Data[flatten(Coords)];
+  }
+  const T &at(const std::vector<long long> &Coords) const {
+    return Data[flatten(Coords)];
+  }
+
+  /// Convenience 2D access (streaming coordinate \p I, blocked \p J).
+  T &at2(long long I, long long J) {
+    assert(numDims() == 2 && "at2 requires a 2D grid");
+    return Data[flatten2(I, J)];
+  }
+  const T &at2(long long I, long long J) const {
+    assert(numDims() == 2 && "at2 requires a 2D grid");
+    return Data[flatten2(I, J)];
+  }
+
+  /// Convenience 3D access.
+  T &at3(long long I, long long J, long long K) {
+    assert(numDims() == 3 && "at3 requires a 3D grid");
+    return Data[flatten3(I, J, K)];
+  }
+  const T &at3(long long I, long long J, long long K) const {
+    assert(numDims() == 3 && "at3 requires a 3D grid");
+    return Data[flatten3(I, J, K)];
+  }
+
+  /// Raw storage (row-major over padded extents) for whole-grid compares.
+  const std::vector<T> &raw() const { return Data; }
+  std::vector<T> &raw() { return Data; }
+
+private:
+  std::vector<long long> Extents;
+  int Halo;
+  std::vector<long long> PaddedExtents;
+  std::vector<long long> Strides;
+  std::vector<T> Data;
+
+  std::size_t flatten(const std::vector<long long> &Coords) const {
+    assert(Coords.size() == Extents.size() && "coordinate arity mismatch");
+    long long Index = 0;
+    for (std::size_t D = 0; D < Coords.size(); ++D) {
+      assert(inBounds(static_cast<int>(D), Coords[D]) &&
+             "grid access out of padded bounds");
+      Index += (Coords[D] + Halo) * Strides[D];
+    }
+    return static_cast<std::size_t>(Index);
+  }
+
+  std::size_t flatten2(long long I, long long J) const {
+    assert(inBounds(0, I) && inBounds(1, J) && "grid access out of bounds");
+    return static_cast<std::size_t>((I + Halo) * Strides[0] + (J + Halo));
+  }
+
+  std::size_t flatten3(long long I, long long J, long long K) const {
+    assert(inBounds(0, I) && inBounds(1, J) && inBounds(2, K) &&
+           "grid access out of bounds");
+    return static_cast<std::size_t>((I + Halo) * Strides[0] +
+                                    (J + Halo) * Strides[1] + (K + Halo));
+  }
+};
+
+/// Deterministically fills \p G (interior and boundary) with values in
+/// (0, 1) derived from a linear congruential sequence; \p Seed selects the
+/// sequence.
+template <typename T> void fillGridDeterministic(Grid<T> &G, std::uint64_t Seed) {
+  std::uint64_t State = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (T &Cell : G.raw()) {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Map the top bits into (0, 1).
+    double Unit = static_cast<double>((State >> 11) + 1) /
+                  static_cast<double>((1ULL << 53) + 2);
+    Cell = static_cast<T>(Unit);
+  }
+}
+
+/// Copies every cell of \p Src into \p Dst (extents must match).
+template <typename T> void copyGrid(const Grid<T> &Src, Grid<T> &Dst) {
+  assert(Src.size() == Dst.size() && "grid size mismatch");
+  Dst.raw() = Src.raw();
+}
+
+} // namespace an5d
+
+#endif // AN5D_SIM_GRID_H

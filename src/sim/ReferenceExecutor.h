@@ -1,0 +1,79 @@
+//===- ReferenceExecutor.h - Naive stencil execution ------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The naive, trivially correct stencil executor: the literal semantics of
+/// the input C loop nest (Fig. 4). It alternates between two buffers per
+/// time-step and updates every interior cell from the previous buffer.
+/// This is the oracle the blocked N.5D emulator is compared against —
+/// because both evaluate cells through the same typed ExprEval, a correct
+/// blocked schedule reproduces these results bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_SIM_REFERENCEEXECUTOR_H
+#define AN5D_SIM_REFERENCEEXECUTOR_H
+
+#include "ir/ExprEval.h"
+#include "ir/StencilProgram.h"
+#include "sim/Grid.h"
+
+#include <array>
+
+namespace an5d {
+
+/// Updates one interior cell of \p Out at \p Coords from \p In.
+template <typename T>
+T evalStencilCell(const StencilProgram &Program, const Grid<T> &In,
+                  const std::vector<long long> &Coords) {
+  std::vector<long long> Neighbor(Coords.size());
+  auto Read = [&](const GridReadExpr &R) -> T {
+    for (std::size_t D = 0; D < Coords.size(); ++D)
+      Neighbor[D] = Coords[D] + R.offsets()[D];
+    return In.at(Neighbor);
+  };
+  auto Coef = [&](const std::string &Name) -> T {
+    return static_cast<T>(Program.coefficientValue(Name));
+  };
+  return evalExpr<T>(Program.update(), Read, Coef);
+}
+
+/// Advances \p NumSteps time-steps naively. \p Buffers[0] holds the input
+/// at t=0; on return the result of step NumSteps is in
+/// Buffers[NumSteps % 2]. Boundary cells are expected to hold identical
+/// (constant) values in both buffers and are never written.
+template <typename T>
+void referenceRun(const StencilProgram &Program,
+                  std::array<Grid<T> *, 2> Buffers, long long NumSteps) {
+  const std::vector<long long> &Extents = Buffers[0]->extents();
+  int NumDims = Buffers[0]->numDims();
+  std::vector<long long> Coords(static_cast<std::size_t>(NumDims), 0);
+
+  for (long long Step = 0; Step < NumSteps; ++Step) {
+    const Grid<T> &In = *Buffers[Step % 2];
+    Grid<T> &Out = *Buffers[(Step + 1) % 2];
+
+    // Odometer walk over the interior cells.
+    std::fill(Coords.begin(), Coords.end(), 0);
+    while (true) {
+      Out.at(Coords) = evalStencilCell(Program, In, Coords);
+      int D = NumDims - 1;
+      while (D >= 0) {
+        if (++Coords[static_cast<std::size_t>(D)] <
+            Extents[static_cast<std::size_t>(D)])
+          break;
+        Coords[static_cast<std::size_t>(D)] = 0;
+        --D;
+      }
+      if (D < 0)
+        break;
+    }
+  }
+}
+
+} // namespace an5d
+
+#endif // AN5D_SIM_REFERENCEEXECUTOR_H

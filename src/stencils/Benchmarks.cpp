@@ -1,0 +1,246 @@
+//===- Benchmarks.cpp - Table 3 benchmark stencils --------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencils/Benchmarks.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+
+namespace an5d {
+
+/// Deterministic per-tap coefficient: small variation around 1/NumTaps so
+/// that the update is (approximately) averaging and iterates stay bounded.
+static double tapCoefficient(int TapIndex, int NumTaps) {
+  double Base = 1.0 / static_cast<double>(NumTaps);
+  double Wiggle = 0.01 * static_cast<double>(TapIndex % 7) -
+                  0.03; // in [-0.03, +0.03]
+  return Base * (1.0 + Wiggle);
+}
+
+/// Builds sum_{taps} c_k * A[tap]; \p Taps supplies the offsets.
+static ExprPtr buildWeightedSum(const std::vector<std::vector<int>> &Taps,
+                                std::map<std::string, double> &Coefficients) {
+  ExprPtr Sum;
+  int NumTaps = static_cast<int>(Taps.size());
+  for (int K = 0; K < NumTaps; ++K) {
+    std::string CoefName = "c" + std::to_string(K + 1);
+    Coefficients[CoefName] = tapCoefficient(K, NumTaps);
+    ExprPtr Term =
+        makeMul(makeCoefficient(CoefName), makeGridRead("A", Taps[K]));
+    Sum = Sum ? makeAdd(std::move(Sum), std::move(Term)) : std::move(Term);
+  }
+  return Sum;
+}
+
+/// Offsets of the star pattern: center plus axis taps out to \p Radius.
+static std::vector<std::vector<int>> starTaps(int NumDims, int Radius) {
+  std::vector<std::vector<int>> Taps;
+  Taps.push_back(std::vector<int>(NumDims, 0));
+  for (int D = 0; D < NumDims; ++D)
+    for (int R = 1; R <= Radius; ++R)
+      for (int Sign : {-1, 1}) {
+        std::vector<int> Tap(NumDims, 0);
+        Tap[D] = Sign * R;
+        Taps.push_back(std::move(Tap));
+      }
+  return Taps;
+}
+
+/// Offsets of the full (2R+1)^N box in row-major order.
+static std::vector<std::vector<int>> boxTaps(int NumDims, int Radius) {
+  std::vector<std::vector<int>> Taps;
+  std::vector<int> Tap(NumDims, -Radius);
+  while (true) {
+    Taps.push_back(Tap);
+    int D = NumDims - 1;
+    while (D >= 0) {
+      if (++Tap[D] <= Radius)
+        break;
+      Tap[D] = -Radius;
+      --D;
+    }
+    if (D < 0)
+      break;
+  }
+  return Taps;
+}
+
+std::unique_ptr<StencilProgram> makeStarStencil(int NumDims, int Radius,
+                                                ScalarType Type) {
+  assert(Radius >= 1 && "star stencil requires a positive radius");
+  std::map<std::string, double> Coefficients;
+  ExprPtr Update = buildWeightedSum(starTaps(NumDims, Radius), Coefficients);
+  std::string Name = "star" + std::to_string(NumDims) + "d" +
+                     std::to_string(Radius) + "r";
+  return std::make_unique<StencilProgram>(Name, NumDims, Type, "A",
+                                          std::move(Update),
+                                          std::move(Coefficients));
+}
+
+std::unique_ptr<StencilProgram> makeBoxStencil(int NumDims, int Radius,
+                                               ScalarType Type) {
+  assert(Radius >= 1 && "box stencil requires a positive radius");
+  std::map<std::string, double> Coefficients;
+  ExprPtr Update = buildWeightedSum(boxTaps(NumDims, Radius), Coefficients);
+  std::string Name = "box" + std::to_string(NumDims) + "d" +
+                     std::to_string(Radius) + "r";
+  return std::make_unique<StencilProgram>(Name, NumDims, Type, "A",
+                                          std::move(Update),
+                                          std::move(Coefficients));
+}
+
+std::unique_ptr<StencilProgram> makeJacobi2d5pt(ScalarType Type) {
+  // Fig. 4: (5.1*A[i-1][j] + 12.1*A[i][j-1] + 15.0*A[i][j]
+  //          + 12.2*A[i][j+1] + 5.2*A[i+1][j]) / 118
+  ExprPtr Sum = makeMul(makeNumber(5.1), makeGridRead("A", {-1, 0}));
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeNumber(12.1), makeGridRead("A", {0, -1})));
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeNumber(15.0), makeGridRead("A", {0, 0})));
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeNumber(12.2), makeGridRead("A", {0, 1})));
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeNumber(5.2), makeGridRead("A", {1, 0})));
+  ExprPtr Update = makeDiv(std::move(Sum), makeNumber(118.0));
+  return std::make_unique<StencilProgram>("j2d5pt", 2, Type, "A",
+                                          std::move(Update));
+}
+
+std::unique_ptr<StencilProgram> makeJacobi2d9pt(ScalarType Type) {
+  std::map<std::string, double> Coefficients;
+  ExprPtr Sum = buildWeightedSum(starTaps(2, 2), Coefficients);
+  Coefficients["c0"] = 1.04;
+  ExprPtr Update = makeDiv(std::move(Sum), makeCoefficient("c0"));
+  return std::make_unique<StencilProgram>("j2d9pt", 2, Type, "A",
+                                          std::move(Update),
+                                          std::move(Coefficients));
+}
+
+std::unique_ptr<StencilProgram> makeJacobi2d9ptGol(ScalarType Type) {
+  std::map<std::string, double> Coefficients;
+  ExprPtr Sum = buildWeightedSum(boxTaps(2, 1), Coefficients);
+  Coefficients["c0"] = 1.04;
+  ExprPtr Update = makeDiv(std::move(Sum), makeCoefficient("c0"));
+  return std::make_unique<StencilProgram>("j2d9pt-gol", 2, Type, "A",
+                                          std::move(Update),
+                                          std::move(Coefficients));
+}
+
+std::unique_ptr<StencilProgram> makeGradient2d(ScalarType Type) {
+  // c * f + 1.0 / sqrt(c0 + sum over 4 axis neighbors of
+  //                    (f - f_n) * (f - f_n))
+  auto Center = [] { return makeGridRead("A", {0, 0}); };
+  auto SquaredDiff = [&](std::vector<int> Offsets) {
+    ExprPtr D1 = makeSub(Center(), makeGridRead("A", Offsets));
+    ExprPtr D2 = makeSub(Center(), makeGridRead("A", Offsets));
+    return makeMul(std::move(D1), std::move(D2));
+  };
+  ExprPtr Inner = makeCoefficient("c0");
+  Inner = makeAdd(std::move(Inner), SquaredDiff({-1, 0}));
+  Inner = makeAdd(std::move(Inner), SquaredDiff({1, 0}));
+  Inner = makeAdd(std::move(Inner), SquaredDiff({0, -1}));
+  Inner = makeAdd(std::move(Inner), SquaredDiff({0, 1}));
+  ExprPtr Rsqrt =
+      makeDiv(makeNumber(1.0),
+              makeCall("sqrt", [&] {
+                std::vector<ExprPtr> Args;
+                Args.push_back(std::move(Inner));
+                return Args;
+              }()));
+  ExprPtr Update = makeAdd(makeMul(makeCoefficient("c1"), Center()),
+                           std::move(Rsqrt));
+  std::map<std::string, double> Coefficients = {{"c0", 4.0}, {"c1", 0.72}};
+  return std::make_unique<StencilProgram>("gradient2d", 2, Type, "A",
+                                          std::move(Update),
+                                          std::move(Coefficients));
+}
+
+std::unique_ptr<StencilProgram> makeJacobi3d27pt(ScalarType Type) {
+  std::map<std::string, double> Coefficients;
+  ExprPtr Sum = buildWeightedSum(boxTaps(3, 1), Coefficients);
+  Coefficients["c0"] = 1.04;
+  ExprPtr Update = makeDiv(std::move(Sum), makeCoefficient("c0"));
+  return std::make_unique<StencilProgram>("j3d27pt", 3, Type, "A",
+                                          std::move(Update),
+                                          std::move(Coefficients));
+}
+
+std::vector<std::string> benchmarkStencilNames() {
+  return {"star2d1r", "star2d2r", "star2d3r", "star2d4r",
+          "box2d1r",  "box2d2r",  "box2d3r",  "box2d4r",
+          "j2d5pt",   "j2d9pt",   "j2d9pt-gol", "gradient2d",
+          "star3d1r", "star3d2r", "star3d3r", "star3d4r",
+          "box3d1r",  "box3d2r",  "box3d3r",  "box3d4r",
+          "j3d27pt"};
+}
+
+std::unique_ptr<StencilProgram> makeBenchmarkStencil(const std::string &Name,
+                                                     ScalarType Type) {
+  auto ParseOrderSuffix = [&](const std::string &Prefix) -> int {
+    // Matches e.g. "star2d3r" against Prefix "star2d"; returns the order.
+    if (Name.size() == Prefix.size() + 2 &&
+        Name.compare(0, Prefix.size(), Prefix) == 0 && Name.back() == 'r') {
+      char Digit = Name[Prefix.size()];
+      if (Digit >= '1' && Digit <= '4')
+        return Digit - '0';
+    }
+    return 0;
+  };
+
+  if (int R = ParseOrderSuffix("star2d"))
+    return makeStarStencil(2, R, Type);
+  if (int R = ParseOrderSuffix("box2d"))
+    return makeBoxStencil(2, R, Type);
+  if (int R = ParseOrderSuffix("star3d"))
+    return makeStarStencil(3, R, Type);
+  if (int R = ParseOrderSuffix("box3d"))
+    return makeBoxStencil(3, R, Type);
+  if (Name == "j2d5pt")
+    return makeJacobi2d5pt(Type);
+  if (Name == "j2d9pt")
+    return makeJacobi2d9pt(Type);
+  if (Name == "j2d9pt-gol")
+    return makeJacobi2d9ptGol(Type);
+  if (Name == "gradient2d")
+    return makeGradient2d(Type);
+  if (Name == "j3d27pt")
+    return makeJacobi3d27pt(Type);
+  return nullptr;
+}
+
+std::string j2d5ptSource() {
+  return "for (t = 0; t < I_T; t++)\n"
+         "  for (i = 1; i <= I_S2; i++)\n"
+         "    for (j = 1; j <= I_S1; j++)\n"
+         "      A[(t+1)%2][i][j] = (5.1f * A[t%2][i-1][j]\n"
+         "        + 12.1f * A[t%2][i][j-1] + 15.0f * A[t%2][i][j]\n"
+         "        + 12.2f * A[t%2][i][j+1] + 5.2f * A[t%2][i+1][j]) / 118;\n";
+}
+
+std::string j2d9ptSource() {
+  return "for (t = 0; t < I_T; t++)\n"
+         "  for (i = 2; i <= I_S2; i++)\n"
+         "    for (j = 2; j <= I_S1; j++)\n"
+         "      A[(t+1)%2][i][j] = (c1 * A[t%2][i-2][j] + c2 * A[t%2][i-1][j]\n"
+         "        + c3 * A[t%2][i][j-2] + c4 * A[t%2][i][j-1]\n"
+         "        + c5 * A[t%2][i][j] + c6 * A[t%2][i][j+1]\n"
+         "        + c7 * A[t%2][i][j+2] + c8 * A[t%2][i+1][j]\n"
+         "        + c9 * A[t%2][i+2][j]) / c0;\n";
+}
+
+std::string star3d1rSource() {
+  return "for (t = 0; t < I_T; t++)\n"
+         "  for (i = 1; i <= I_S3; i++)\n"
+         "    for (j = 1; j <= I_S2; j++)\n"
+         "      for (k = 1; k <= I_S1; k++)\n"
+         "        A[(t+1)%2][i][j][k] = 0.125f * A[t%2][i-1][j][k]\n"
+         "          + 0.125f * A[t%2][i+1][j][k] + 0.125f * A[t%2][i][j-1][k]\n"
+         "          + 0.125f * A[t%2][i][j+1][k] + 0.125f * A[t%2][i][j][k-1]\n"
+         "          + 0.125f * A[t%2][i][j][k+1] + 0.25f * A[t%2][i][j][k];\n";
+}
+
+} // namespace an5d

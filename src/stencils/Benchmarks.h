@@ -1,0 +1,71 @@
+//===- Benchmarks.h - Table 3 benchmark stencils ----------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic builders for every benchmark in Table 3 of the paper:
+/// synthetic star/box stencils of order 1-4 in 2D and 3D, the Jacobi
+/// kernels (j2d5pt, j2d9pt, j2d9pt-gol, j3d27pt) and gradient2d.
+/// Coefficient values are deterministic and scaled so that repeated
+/// application stays numerically tame in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_STENCILS_BENCHMARKS_H
+#define AN5D_STENCILS_BENCHMARKS_H
+
+#include "ir/StencilProgram.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// Builds the synthetic star stencil star{N}d{R}r of Table 3: center tap
+/// plus 2*N*R axis taps, each with its own compile-time coefficient.
+std::unique_ptr<StencilProgram> makeStarStencil(int NumDims, int Radius,
+                                                ScalarType Type);
+
+/// Builds the synthetic box stencil box{N}d{R}r of Table 3: the full
+/// (2R+1)^N cube of taps, each with its own coefficient.
+std::unique_ptr<StencilProgram> makeBoxStencil(int NumDims, int Radius,
+                                               ScalarType Type);
+
+/// The 2D 5-point Jacobi kernel of Fig. 4 (literal coefficients, /118).
+std::unique_ptr<StencilProgram> makeJacobi2d5pt(ScalarType Type);
+
+/// The 2nd-order 2D 9-point star Jacobi kernel.
+std::unique_ptr<StencilProgram> makeJacobi2d9pt(ScalarType Type);
+
+/// The 2D 9-point box ("game of life" shaped) Jacobi kernel.
+std::unique_ptr<StencilProgram> makeJacobi2d9ptGol(ScalarType Type);
+
+/// The gradient2d kernel: c*f + 1/sqrt(c0 + sum of squared differences).
+std::unique_ptr<StencilProgram> makeGradient2d(ScalarType Type);
+
+/// The 3D 27-point box Jacobi kernel.
+std::unique_ptr<StencilProgram> makeJacobi3d27pt(ScalarType Type);
+
+/// All Table 3 benchmark names in the paper's order.
+std::vector<std::string> benchmarkStencilNames();
+
+/// Builds the benchmark named \p Name (one of benchmarkStencilNames()).
+/// Returns nullptr for unknown names.
+std::unique_ptr<StencilProgram> makeBenchmarkStencil(const std::string &Name,
+                                                     ScalarType Type);
+
+/// The j2d5pt C source of Fig. 4, usable with the frontend.
+std::string j2d5ptSource();
+
+/// A 2nd-order star C source (j2d9pt-like) for frontend tests.
+std::string j2d9ptSource();
+
+/// A 3D 7-point star C source for frontend tests.
+std::string star3d1rSource();
+
+} // namespace an5d
+
+#endif // AN5D_STENCILS_BENCHMARKS_H

@@ -1,0 +1,61 @@
+//===- Diagnostic.cpp - Error and warning reporting -----------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+namespace an5d {
+
+static const char *kindLabel(DiagnosticKind Kind) {
+  switch (Kind) {
+  case DiagnosticKind::Error:
+    return "error";
+  case DiagnosticKind::Warning:
+    return "warning";
+  case DiagnosticKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::toString() const {
+  std::string Result = kindLabel(Kind);
+  Result += ": ";
+  if (Loc.isValid()) {
+    Result += Loc.toString();
+    Result += ": ";
+  }
+  Result += Message;
+  return Result;
+}
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagnosticKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagnosticKind::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagnosticKind::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::toString() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    Result += D.toString();
+    Result += '\n';
+  }
+  return Result;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}
+
+} // namespace an5d

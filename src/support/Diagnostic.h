@@ -1,0 +1,69 @@
+//===- Diagnostic.h - Error and warning reporting ---------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine shared by the lexer, parser and the stencil
+/// extractor. Diagnostics accumulate in a DiagnosticEngine; callers inspect
+/// hasErrors() after a phase and may render all diagnostics to a string.
+/// Messages follow the LLVM style: lowercase first letter, no trailing
+/// period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_SUPPORT_DIAGNOSTIC_H
+#define AN5D_SUPPORT_DIAGNOSTIC_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// Severity of a diagnostic message.
+enum class DiagnosticKind { Error, Warning, Note };
+
+/// One reported issue: severity, location and message text.
+struct Diagnostic {
+  DiagnosticKind Kind = DiagnosticKind::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:5: message" (location omitted when unknown).
+  std::string toString() const;
+};
+
+/// Collects diagnostics produced while processing one input buffer.
+class DiagnosticEngine {
+public:
+  /// Reports an error at \p Loc.
+  void error(SourceLocation Loc, std::string Message);
+
+  /// Reports a warning at \p Loc.
+  void warning(SourceLocation Loc, std::string Message);
+
+  /// Attaches an explanatory note at \p Loc.
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every accumulated diagnostic, one per line.
+  std::string toString() const;
+
+  /// Drops all accumulated diagnostics.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace an5d
+
+#endif // AN5D_SUPPORT_DIAGNOSTIC_H

@@ -1,0 +1,41 @@
+//===- SourceLocation.h - Positions within stencil source -------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight (line, column) pair used by the lexer, parser and the
+/// diagnostic engine to point at positions in the user's C stencil source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_SUPPORT_SOURCELOCATION_H
+#define AN5D_SUPPORT_SOURCELOCATION_H
+
+#include <string>
+
+namespace an5d {
+
+/// A 1-based (line, column) position in the input buffer. Line 0 denotes an
+/// invalid/unknown location (used for programmatically built IR).
+struct SourceLocation {
+  int Line = 0;
+  int Column = 0;
+
+  constexpr bool isValid() const { return Line > 0; }
+
+  std::string toString() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  friend constexpr bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace an5d
+
+#endif // AN5D_SUPPORT_SOURCELOCATION_H

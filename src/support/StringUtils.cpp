@@ -1,0 +1,79 @@
+//===- StringUtils.cpp - String formatting helpers ------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+namespace an5d {
+
+std::string join(const std::vector<std::string> &Items,
+                 const std::string &Separator) {
+  std::string Result;
+  for (std::size_t I = 0; I < Items.size(); ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Items[I];
+  }
+  return Result;
+}
+
+std::string indentLines(const std::string &Text, int Spaces) {
+  std::string Prefix(static_cast<std::size_t>(Spaces), ' ');
+  std::string Result;
+  std::size_t Start = 0;
+  while (Start <= Text.size()) {
+    std::size_t End = Text.find('\n', Start);
+    std::string Line = Text.substr(
+        Start, End == std::string::npos ? std::string::npos : End - Start);
+    if (!Line.empty())
+      Result += Prefix + Line;
+    if (End == std::string::npos) {
+      break;
+    }
+    Result += '\n';
+    Start = End + 1;
+  }
+  return Result;
+}
+
+std::string formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string padRight(const std::string &Text, std::size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return Text + std::string(Width - Text.size(), ' ');
+}
+
+std::string padLeft(const std::string &Text, std::size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+bool startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::size_t countOccurrences(const std::string &Haystack,
+                             const std::string &Needle) {
+  if (Needle.empty())
+    return 0;
+  std::size_t Count = 0;
+  std::size_t Pos = Haystack.find(Needle);
+  while (Pos != std::string::npos) {
+    ++Count;
+    Pos = Haystack.find(Needle, Pos + Needle.size());
+  }
+  return Count;
+}
+
+} // namespace an5d

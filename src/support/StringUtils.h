@@ -1,0 +1,46 @@
+//===- StringUtils.h - String formatting helpers ----------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers used by the code generator and the benchmark table
+/// printers: join, indent, fixed-width numeric formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_SUPPORT_STRINGUTILS_H
+#define AN5D_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// Joins \p Items with \p Separator between consecutive elements.
+std::string join(const std::vector<std::string> &Items,
+                 const std::string &Separator);
+
+/// Prefixes every non-empty line of \p Text with \p Spaces spaces.
+std::string indentLines(const std::string &Text, int Spaces);
+
+/// Formats \p Value with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, int Precision);
+
+/// Right-pads \p Text with spaces to at least \p Width characters.
+std::string padRight(const std::string &Text, std::size_t Width);
+
+/// Left-pads \p Text with spaces to at least \p Width characters.
+std::string padLeft(const std::string &Text, std::size_t Width);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Counts non-overlapping occurrences of \p Needle in \p Haystack.
+std::size_t countOccurrences(const std::string &Haystack,
+                             const std::string &Needle);
+
+} // namespace an5d
+
+#endif // AN5D_SUPPORT_STRINGUTILS_H

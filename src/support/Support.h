@@ -1,0 +1,62 @@
+//===- Support.h - Small math and container helpers ------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Freestanding helpers used across the AN5D libraries: integer ceiling
+/// division, rounding, and small numeric utilities shared by the performance
+/// model and the emulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_SUPPORT_SUPPORT_H
+#define AN5D_SUPPORT_SUPPORT_H
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace an5d {
+
+/// Integer ceiling division for non-negative numerators and positive
+/// denominators; mirrors the ceil() terms in the paper's formulas for
+/// thread-block counts (Section 4.1) and SM utilization (Section 5).
+template <typename T>
+constexpr T ceilDiv(T Numerator, T Denominator) {
+  static_assert(std::is_integral_v<T>, "ceilDiv requires an integral type");
+  assert(Denominator > 0 && "ceilDiv by non-positive denominator");
+  assert(Numerator >= 0 && "ceilDiv of negative numerator");
+  return (Numerator + Denominator - 1) / Denominator;
+}
+
+/// Rounds \p Value up to the next multiple of \p Multiple.
+template <typename T>
+constexpr T roundUpTo(T Value, T Multiple) {
+  return ceilDiv(Value, Multiple) * Multiple;
+}
+
+/// Clamps \p Value into the closed interval [\p Lo, \p Hi].
+template <typename T>
+constexpr T clampTo(T Value, T Lo, T Hi) {
+  assert(Lo <= Hi && "clampTo with inverted bounds");
+  if (Value < Lo)
+    return Lo;
+  if (Value > Hi)
+    return Hi;
+  return Value;
+}
+
+/// Integer power with a small non-negative exponent.
+constexpr std::int64_t ipow(std::int64_t Base, int Exponent) {
+  assert(Exponent >= 0 && "ipow of negative exponent");
+  std::int64_t Result = 1;
+  for (int I = 0; I < Exponent; ++I)
+    Result *= Base;
+  return Result;
+}
+
+} // namespace an5d
+
+#endif // AN5D_SUPPORT_SUPPORT_H

@@ -1,0 +1,221 @@
+//===- ExprSimplify.cpp - Algebraic simplification of updates ----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/ExprSimplify.h"
+
+#include "ir/ExprEval.h"
+
+namespace an5d {
+
+bool isConstantExpr(const StencilExpr &E) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::Number:
+  case StencilExpr::Kind::Coefficient:
+    return true;
+  case StencilExpr::Kind::GridRead:
+    return false;
+  case StencilExpr::Kind::Unary:
+    return isConstantExpr(cast<UnaryExpr>(E).operand());
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    return isConstantExpr(B.lhs()) && isConstantExpr(B.rhs());
+  }
+  case StencilExpr::Kind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(E).args())
+      if (!isConstantExpr(*A))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+double evaluateConstantExpr(const StencilExpr &E,
+                            const StencilProgram *Program) {
+  assert(isConstantExpr(E) && "not a constant expression");
+  auto Read = [](const GridReadExpr &) -> double {
+    assert(false && "constant expression cannot read the grid");
+    return 0;
+  };
+  auto Coef = [&](const std::string &Name) -> double {
+    assert(Program && "coefficient evaluation requires bindings");
+    return Program->coefficientValue(Name);
+  };
+  return evalExpr<double>(E, Read, Coef);
+}
+
+/// True when \p E is the literal \p Value.
+static bool isLiteral(const StencilExpr &E, double Value) {
+  const auto *N = dyn_cast<NumberExpr>(&E);
+  return N && N->value() == Value;
+}
+
+/// True when the subtree can be fully evaluated right now: constant, and
+/// either free of named coefficients or bindings are available.
+static bool isFoldable(const StencilExpr &E, const StencilProgram *Program) {
+  switch (E.kind()) {
+  case StencilExpr::Kind::Number:
+    return true;
+  case StencilExpr::Kind::Coefficient:
+    return Program != nullptr;
+  case StencilExpr::Kind::GridRead:
+    return false;
+  case StencilExpr::Kind::Unary:
+    return isFoldable(cast<UnaryExpr>(E).operand(), Program);
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    return isFoldable(B.lhs(), Program) && isFoldable(B.rhs(), Program);
+  }
+  case StencilExpr::Kind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(E).args())
+      if (!isFoldable(*A, Program))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+static void bump(int SimplifyStats::*Member, SimplifyStats *Stats) {
+  if (Stats)
+    ++(Stats->*Member);
+}
+
+ExprPtr simplifyExpr(ExprPtr E, const StencilProgram *Program,
+                     SimplifyStats *Stats) {
+  switch (E->kind()) {
+  case StencilExpr::Kind::Number:
+  case StencilExpr::Kind::Coefficient:
+  case StencilExpr::Kind::GridRead:
+    return E;
+
+  case StencilExpr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(*E);
+    ExprPtr Operand = simplifyExpr(U.operand().clone(), Program, Stats);
+    // -(-x) -> x
+    if (const auto *Inner = dyn_cast<UnaryExpr>(Operand.get())) {
+      bump(&SimplifyStats::NegationsFolded, Stats);
+      return Inner->operand().clone();
+    }
+    // -(literal) -> literal
+    if (const auto *N = dyn_cast<NumberExpr>(Operand.get())) {
+      bump(&SimplifyStats::NegationsFolded, Stats);
+      return makeNumber(-N->value());
+    }
+    return makeNeg(std::move(Operand));
+  }
+
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(*E);
+    ExprPtr L = simplifyExpr(B.lhs().clone(), Program, Stats);
+    ExprPtr R = simplifyExpr(B.rhs().clone(), Program, Stats);
+    BinaryOpKind Op = B.op();
+
+    // Arithmetic identities.
+    switch (Op) {
+    case BinaryOpKind::Add:
+      if (isLiteral(*L, 0.0)) {
+        bump(&SimplifyStats::IdentitiesRemoved, Stats);
+        return R;
+      }
+      if (isLiteral(*R, 0.0)) {
+        bump(&SimplifyStats::IdentitiesRemoved, Stats);
+        return L;
+      }
+      break;
+    case BinaryOpKind::Sub:
+      if (isLiteral(*R, 0.0)) {
+        bump(&SimplifyStats::IdentitiesRemoved, Stats);
+        return L;
+      }
+      break;
+    case BinaryOpKind::Mul:
+      if (isLiteral(*L, 1.0)) {
+        bump(&SimplifyStats::IdentitiesRemoved, Stats);
+        return R;
+      }
+      if (isLiteral(*R, 1.0)) {
+        bump(&SimplifyStats::IdentitiesRemoved, Stats);
+        return L;
+      }
+      if (isLiteral(*L, 0.0) || isLiteral(*R, 0.0)) {
+        bump(&SimplifyStats::IdentitiesRemoved, Stats);
+        return makeNumber(0.0);
+      }
+      break;
+    case BinaryOpKind::Div:
+      if (isLiteral(*R, 1.0)) {
+        bump(&SimplifyStats::IdentitiesRemoved, Stats);
+        return L;
+      }
+      break;
+    }
+
+    ExprPtr Folded = makeBinary(Op, std::move(L), std::move(R));
+    if (isFoldable(*Folded, Program) && !isa<NumberExpr>(*Folded)) {
+      bump(&SimplifyStats::ConstantsFolded, Stats);
+      return makeNumber(evaluateConstantExpr(*Folded, Program));
+    }
+    return Folded;
+  }
+
+  case StencilExpr::Kind::Call: {
+    const auto &C = cast<CallExpr>(*E);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &A : C.args())
+      Args.push_back(simplifyExpr(A->clone(), Program, Stats));
+    ExprPtr Folded = makeCall(C.callee(), std::move(Args));
+    if (isFoldable(*Folded, Program)) {
+      bump(&SimplifyStats::ConstantsFolded, Stats);
+      return makeNumber(evaluateConstantExpr(*Folded, Program));
+    }
+    return Folded;
+  }
+  }
+  return E;
+}
+
+ExprPtr rewriteDivisionByConstant(ExprPtr E, const StencilProgram *Program,
+                                  int *NumRewritten) {
+  switch (E->kind()) {
+  case StencilExpr::Kind::Number:
+  case StencilExpr::Kind::Coefficient:
+  case StencilExpr::Kind::GridRead:
+    return E;
+  case StencilExpr::Kind::Unary:
+    return makeNeg(rewriteDivisionByConstant(
+        cast<UnaryExpr>(*E).operand().clone(), Program, NumRewritten));
+  case StencilExpr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(*E);
+    ExprPtr L = rewriteDivisionByConstant(B.lhs().clone(), Program,
+                                          NumRewritten);
+    ExprPtr R = rewriteDivisionByConstant(B.rhs().clone(), Program,
+                                          NumRewritten);
+    if (B.op() == BinaryOpKind::Div && isConstantExpr(*R)) {
+      // x / c -> x * (1/c): the divisor is a compile-time constant, so the
+      // reciprocal folds at compile time too.
+      bool CanEvaluate =
+          isFoldable(*R, Program) || isa<NumberExpr>(*R);
+      if (CanEvaluate) {
+        double Divisor = evaluateConstantExpr(*R, Program);
+        if (NumRewritten)
+          ++*NumRewritten;
+        return makeMul(std::move(L), makeNumber(1.0 / Divisor));
+      }
+    }
+    return makeBinary(B.op(), std::move(L), std::move(R));
+  }
+  case StencilExpr::Kind::Call: {
+    const auto &C = cast<CallExpr>(*E);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &A : C.args())
+      Args.push_back(
+          rewriteDivisionByConstant(A->clone(), Program, NumRewritten));
+    return makeCall(C.callee(), std::move(Args));
+  }
+  }
+  return E;
+}
+
+} // namespace an5d

@@ -1,0 +1,71 @@
+//===- ExprSimplify.h - Algebraic simplification of updates -----*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Normalization transforms over stencil update expressions, playing the
+/// role PPCG's frontend normalization plays in the paper (Section 4.3.3:
+/// AN5D consumes a "normalized (dead-code eliminated and loop rescheduled)"
+/// representation). Provided transforms:
+///
+///  * constant folding — evaluate constant subtrees;
+///  * identity elimination — x*1, 1*x, x+0, 0+x, x-0, x/1, x*0, 0*x,
+///    double negation;
+///  * reciprocal-of-constant division rewriting (the paper's suggested
+///    "/N" -> "*(1/N)" work-around for the double-precision division
+///    slowdown, Section 7.1).
+///
+/// IMPORTANT: folding evaluates constants in double precision, and the
+/// division rewrite changes rounding, so these transforms are *not* applied
+/// in the default pipeline (which promises bit-exact equivalence with the
+/// input program); they are opt-in via an5dc --simplify / --div-to-mul and
+/// CodegenOptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_TRANSFORMS_EXPRSIMPLIFY_H
+#define AN5D_TRANSFORMS_EXPRSIMPLIFY_H
+
+#include "ir/StencilExpr.h"
+#include "ir/StencilProgram.h"
+
+namespace an5d {
+
+/// Statistics of one simplification run.
+struct SimplifyStats {
+  int ConstantsFolded = 0;
+  int IdentitiesRemoved = 0;
+  int NegationsFolded = 0;
+
+  int total() const {
+    return ConstantsFolded + IdentitiesRemoved + NegationsFolded;
+  }
+};
+
+/// Returns true if \p E contains no grid reads (only literals, named
+/// coefficients, arithmetic and math calls over them).
+bool isConstantExpr(const StencilExpr &E);
+
+/// Evaluates a constant expression in double precision. \p Program supplies
+/// coefficient bindings; may be null when \p E uses none.
+double evaluateConstantExpr(const StencilExpr &E,
+                            const StencilProgram *Program);
+
+/// Folds constant subtrees and removes arithmetic identities. Coefficient
+/// names are preserved (not inlined) unless they combine with literals
+/// inside a fully constant subtree and \p Program provides their values.
+ExprPtr simplifyExpr(ExprPtr E, const StencilProgram *Program = nullptr,
+                     SimplifyStats *Stats = nullptr);
+
+/// Rewrites every division by a constant into a multiplication by its
+/// reciprocal — the Section 7.1 work-around for NVCC's slow
+/// double-precision division. Changes rounding; opt-in only.
+ExprPtr rewriteDivisionByConstant(ExprPtr E,
+                                  const StencilProgram *Program = nullptr,
+                                  int *NumRewritten = nullptr);
+
+} // namespace an5d
+
+#endif // AN5D_TRANSFORMS_EXPRSIMPLIFY_H

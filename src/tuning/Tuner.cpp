@@ -1,0 +1,126 @@
+//===- Tuner.cpp - Model-guided parameter tuning (Section 6.3) --------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuning/Tuner.h"
+
+#include "model/RegisterModel.h"
+
+#include <algorithm>
+
+namespace an5d {
+
+std::vector<BlockConfig>
+Tuner::enumerateConfigs(const StencilProgram &Program) const {
+  std::vector<BlockConfig> Configs;
+  if (Program.numDims() == 2) {
+    for (int BT = 1; BT <= 16; ++BT)
+      for (int BS : {128, 256, 512})
+        for (int HS : {256, 512, 1024}) {
+          BlockConfig C;
+          C.BT = BT;
+          C.BS = {BS};
+          C.HS = HS;
+          Configs.push_back(std::move(C));
+        }
+    return Configs;
+  }
+  if (Program.numDims() == 3) {
+    static const int Shapes[][2] = {{16, 16}, {32, 16}, {32, 32}, {64, 16}};
+    for (int BT = 1; BT <= 8; ++BT)
+      for (const auto &Shape : Shapes)
+        for (int HS : {128, 256}) {
+          BlockConfig C;
+          C.BT = BT;
+          C.BS = {Shape[0], Shape[1]};
+          C.HS = HS;
+          Configs.push_back(std::move(C));
+        }
+    return Configs;
+  }
+  // 1D stencils: a reduced grid in the same spirit.
+  for (int BT = 1; BT <= 16; ++BT) {
+    BlockConfig C;
+    C.BT = BT;
+    C.BS = {};
+    C.HS = 0;
+    Configs.push_back(std::move(C));
+  }
+  return Configs;
+}
+
+std::vector<RankedConfig> Tuner::rankByModel(const StencilProgram &Program,
+                                             const ProblemSize &Problem,
+                                             std::size_t TopK) const {
+  std::vector<RankedConfig> Ranked;
+  for (const BlockConfig &Config : enumerateConfigs(Program)) {
+    if (!Config.isFeasible(Program.radius(), Spec.MaxThreadsPerBlock))
+      continue;
+    if (exceedsRegisterLimits(Program, Config, Spec))
+      continue;
+    ModelBreakdown Model = evaluateModel(Program, Spec, Config, Problem);
+    if (!Model.Feasible)
+      continue;
+    Ranked.push_back({Config, std::move(Model)});
+  }
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const RankedConfig &A, const RankedConfig &B) {
+              if (A.Model.Gflops != B.Model.Gflops)
+                return A.Model.Gflops > B.Model.Gflops;
+              // Deterministic tie-break: smaller bT, then smaller block.
+              if (A.Config.BT != B.Config.BT)
+                return A.Config.BT < B.Config.BT;
+              return A.Config.numThreads() < B.Config.numThreads();
+            });
+  if (Ranked.size() > TopK)
+    Ranked.resize(TopK);
+  return Ranked;
+}
+
+TuneOutcome Tuner::tune(const StencilProgram &Program,
+                        const ProblemSize &Problem) const {
+  TuneOutcome Outcome;
+  Outcome.TopByModel = rankByModel(Program, Problem, /*TopK=*/5);
+  if (Outcome.TopByModel.empty())
+    return Outcome;
+
+  for (const RankedConfig &Candidate : Outcome.TopByModel) {
+    // Section 6.3: besides the uncapped build, try register limits of 32,
+    // 64 and 96 per thread and keep whichever measures fastest.
+    for (int Cap : {0, 32, 64, 96}) {
+      BlockConfig Config = Candidate.Config;
+      Config.RegisterCap = Cap;
+      MeasuredResult Measured =
+          simulateMeasured(Program, Spec, Config, Problem);
+      if (!Measured.Feasible)
+        continue;
+      if (!Outcome.Feasible ||
+          Measured.MeasuredGflops > Outcome.BestMeasured.MeasuredGflops) {
+        Outcome.Feasible = true;
+        Outcome.Best = Config;
+        Outcome.BestMeasured = Measured;
+      }
+    }
+  }
+  return Outcome;
+}
+
+BlockConfig Tuner::sconf(const StencilProgram &Program) {
+  BlockConfig Config;
+  Config.BT = 4;
+  if (Program.numDims() == 2) {
+    Config.BS = {32};
+    Config.HS = 128;
+  } else {
+    // The paper abbreviates STENCILGEN's 3D block shape; 32x32 is the
+    // shape its released 3D kernels use and keeps bT=4 halos feasible for
+    // second-order stencils (interpretation documented in EXPERIMENTS.md).
+    Config.BS = {32, 32};
+    Config.HS = 0; // streaming division disabled for 3D (Section 6.3)
+  }
+  return Config;
+}
+
+} // namespace an5d

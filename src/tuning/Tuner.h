@@ -1,0 +1,78 @@
+//===- Tuner.h - Model-guided parameter tuning (Section 6.3) ----*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model-guided tuning flow of Section 6.3: enumerate the parameter
+/// sets (bT in [1,16] for 2D / [1,8] for 3D; bS in {128,256,512} for 2D /
+/// {16x16, 32x16, 32x32, 64x16} for 3D; hSN in {256,512,1024} / {128,256}),
+/// prune by the register-usage estimate, rank everything with the
+/// performance model, "run" the top five through the measured-performance
+/// simulator with register caps {none, 32, 64, 96}, and keep the fastest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_TUNING_TUNER_H
+#define AN5D_TUNING_TUNER_H
+
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "model/GpuSpec.h"
+#include "model/PerformanceModel.h"
+#include "sim/MeasuredSimulator.h"
+
+#include <vector>
+
+namespace an5d {
+
+/// One model-ranked candidate.
+struct RankedConfig {
+  BlockConfig Config;
+  ModelBreakdown Model;
+};
+
+/// The tuner's final verdict for one stencil on one device.
+struct TuneOutcome {
+  bool Feasible = false;
+  BlockConfig Best;            ///< Includes the chosen register cap.
+  MeasuredResult BestMeasured; ///< Simulated "Tuned" performance.
+  std::vector<RankedConfig> TopByModel;
+};
+
+/// Model-guided configuration search for one device.
+class Tuner {
+public:
+  explicit Tuner(GpuSpec Spec) : Spec(std::move(Spec)) {}
+
+  const GpuSpec &spec() const { return Spec; }
+
+  /// The raw Section 6.3 parameter grid for \p Program's dimensionality
+  /// (no pruning, RegisterCap unset).
+  std::vector<BlockConfig> enumerateConfigs(const StencilProgram &Program)
+      const;
+
+  /// Evaluates the model over the pruned grid and returns the best \p TopK
+  /// candidates in descending model performance.
+  std::vector<RankedConfig> rankByModel(const StencilProgram &Program,
+                                        const ProblemSize &Problem,
+                                        std::size_t TopK) const;
+
+  /// Full tuning flow: rank, simulate the top five with each register cap,
+  /// return the fastest measured configuration.
+  TuneOutcome tune(const StencilProgram &Program,
+                   const ProblemSize &Problem) const;
+
+  /// The Sconf configuration of Section 6.3 (STENCILGEN's kernel
+  /// parameters): bT=4, hSN=128, bS=32 for 2D / 32x4 for 3D, with the
+  /// streaming division disabled for 3D stencils.
+  static BlockConfig sconf(const StencilProgram &Program);
+
+private:
+  GpuSpec Spec;
+};
+
+} // namespace an5d
+
+#endif // AN5D_TUNING_TUNER_H

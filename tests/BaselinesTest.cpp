@@ -1,0 +1,124 @@
+//===- BaselinesTest.cpp - Comparison framework models ------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+
+#include "model/RegisterModel.h"
+#include "sim/MeasuredSimulator.h"
+#include "stencils/Benchmarks.h"
+#include "tuning/Tuner.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+double an5dTunedGflops(const StencilProgram &P, const GpuSpec &Spec) {
+  Tuner T(Spec);
+  TuneOutcome Outcome = T.tune(P, ProblemSize::paperDefault(P.numDims()));
+  EXPECT_TRUE(Outcome.Feasible);
+  return Outcome.BestMeasured.MeasuredGflops;
+}
+
+} // namespace
+
+TEST(Baselines, AllFrameworksProduceResults) {
+  GpuSpec V100 = GpuSpec::teslaV100();
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  for (const FrameworkResult &R :
+       {simulateStencilGen(*P, V100, Problem),
+        simulateHybridTiling(*P, V100, Problem),
+        simulateLoopTiling(*P, V100, Problem)}) {
+    EXPECT_TRUE(R.Feasible) << R.Framework;
+    EXPECT_GT(R.Gflops, 0) << R.Framework;
+    EXPECT_LT(R.Gflops, V100.PeakGflopsFloat) << R.Framework;
+  }
+}
+
+TEST(Baselines, LoopTilingLosesToEveryone) {
+  // Fig. 6: "Loop tiling fails to compete with any of the evaluated
+  // frameworks."
+  GpuSpec V100 = GpuSpec::teslaV100();
+  ProblemSize P2 = ProblemSize::paperDefault(2);
+  for (const char *Name : {"j2d5pt", "j2d9pt", "gradient2d"}) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    FrameworkResult Loop = simulateLoopTiling(*P, V100, P2);
+    FrameworkResult Sg = simulateStencilGen(*P, V100, P2);
+    FrameworkResult Hybrid = simulateHybridTiling(*P, V100, P2);
+    EXPECT_LT(Loop.Gflops, Sg.Gflops) << Name;
+    EXPECT_LT(Loop.Gflops, Hybrid.Gflops) << Name;
+    EXPECT_LT(Loop.Gflops, an5dTunedGflops(*P, V100)) << Name;
+  }
+}
+
+TEST(Baselines, An5dTunedWinsOnV100) {
+  // Fig. 6 headline: AN5D achieves the highest performance on V100 for all
+  // seven compared stencils, float and double.
+  GpuSpec V100 = GpuSpec::teslaV100();
+  for (ScalarType Type : {ScalarType::Float, ScalarType::Double}) {
+    for (const char *Name : {"j2d5pt", "j2d9pt", "j2d9pt-gol", "gradient2d",
+                             "star3d1r", "star3d2r", "j3d27pt"}) {
+      auto P = makeBenchmarkStencil(Name, Type);
+      ProblemSize Problem = ProblemSize::paperDefault(P->numDims());
+      double An5d = an5dTunedGflops(*P, V100);
+      EXPECT_GT(An5d, simulateStencilGen(*P, V100, Problem).Gflops)
+          << Name << " vs STENCILGEN";
+      EXPECT_GT(An5d, simulateHybridTiling(*P, V100, Problem).Gflops)
+          << Name << " vs hybrid tiling";
+      EXPECT_GT(An5d, simulateLoopTiling(*P, V100, Problem).Gflops)
+          << Name << " vs loop tiling";
+    }
+  }
+}
+
+TEST(Baselines, HybridTilingWeakerIn3d) {
+  // Section 7.1: hybrid tiling is competitive for 2D but falls behind
+  // N.5D-based frameworks for 3D stencils (no streaming).
+  GpuSpec V100 = GpuSpec::teslaV100();
+  auto P2 = makeJacobi2d5pt(ScalarType::Float);
+  auto P3 = makeStarStencil(3, 1, ScalarType::Float);
+  FrameworkResult H2 =
+      simulateHybridTiling(*P2, V100, ProblemSize::paperDefault(2));
+  FrameworkResult S2 =
+      simulateStencilGen(*P2, V100, ProblemSize::paperDefault(2));
+  FrameworkResult H3 =
+      simulateHybridTiling(*P3, V100, ProblemSize::paperDefault(3));
+  FrameworkResult S3 =
+      simulateStencilGen(*P3, V100, ProblemSize::paperDefault(3));
+  double Ratio2d = H2.Gflops / S2.Gflops;
+  double Ratio3d = H3.Gflops / S3.Gflops;
+  EXPECT_LT(Ratio3d, Ratio2d)
+      << "hybrid/N.5D ratio must drop from 2D to 3D";
+}
+
+TEST(Baselines, StencilGenRegisterUsage) {
+  // Fig. 7: STENCILGEN uses more registers than AN5D on average, and its
+  // second-order kernels spill at the 32-register cap while AN5D's do not.
+  auto First = makeJacobi2d5pt(ScalarType::Float);
+  auto Second = makeJacobi2d9pt(ScalarType::Float);
+  EXPECT_GT(stencilgenRegisterUsage(*Second),
+            an5dRegistersPerThread(*Second, 4));
+  EXPECT_GT(stencilgenRegisterUsage(*Second), 32)
+      << "second-order STENCILGEN kernels spill under a 32-register cap";
+  EXPECT_GT(stencilgenRegisterUsage(*First), 0);
+}
+
+TEST(Baselines, An5dSconfCompetitiveWithStencilGen) {
+  // Section 7.1: with STENCILGEN's own configuration, AN5D improves
+  // performance in most cases, especially for double precision.
+  GpuSpec V100 = GpuSpec::teslaV100();
+  for (const char *Name : {"j2d5pt", "star3d1r"}) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Double);
+    ProblemSize Problem = ProblemSize::paperDefault(P->numDims());
+    BlockConfig Sconf = Tuner::sconf(*P);
+    MeasuredResult An5dSconf = simulateMeasured(*P, V100, Sconf, Problem);
+    FrameworkResult Sg = simulateStencilGen(*P, V100, Problem);
+    ASSERT_TRUE(An5dSconf.Feasible) << Name;
+    EXPECT_GE(An5dSconf.MeasuredGflops, 0.8 * Sg.Gflops) << Name;
+  }
+}

@@ -1,0 +1,108 @@
+//===- BenchmarksTest.cpp - Table 3 benchmark builders -----------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencils/Benchmarks.h"
+
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+TEST(Benchmarks, AllNamesBuild) {
+  for (const std::string &Name : benchmarkStencilNames()) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    ASSERT_NE(P, nullptr) << Name;
+    EXPECT_EQ(P->name(), Name);
+    auto D = makeBenchmarkStencil(Name, ScalarType::Double);
+    ASSERT_NE(D, nullptr) << Name;
+    EXPECT_EQ(D->elemType(), ScalarType::Double);
+  }
+  EXPECT_EQ(benchmarkStencilNames().size(), 21u) << "Table 3 lists 21 rows";
+}
+
+TEST(Benchmarks, UnknownNameReturnsNull) {
+  EXPECT_EQ(makeBenchmarkStencil("star2d5r", ScalarType::Float), nullptr);
+  EXPECT_EQ(makeBenchmarkStencil("bogus", ScalarType::Float), nullptr);
+}
+
+TEST(Benchmarks, StarFlopCountsMatchTable3) {
+  // star2d{x}r: 8x+1; star3d{x}r: 12x+1.
+  for (int X = 1; X <= 4; ++X) {
+    auto S2 = makeStarStencil(2, X, ScalarType::Float);
+    EXPECT_EQ(S2->flopsPerCell().total(), 8 * X + 1) << "star2d" << X;
+    EXPECT_EQ(S2->radius(), X);
+    EXPECT_EQ(S2->shape(), StencilShape::Star);
+    auto S3 = makeStarStencil(3, X, ScalarType::Float);
+    EXPECT_EQ(S3->flopsPerCell().total(), 12 * X + 1) << "star3d" << X;
+  }
+}
+
+TEST(Benchmarks, BoxFlopCountsMatchTable3) {
+  // box2d{x}r: 2*(2x+1)^2 - 1; box3d{x}r: 2*(2x+1)^3 - 1.
+  for (int X = 1; X <= 4; ++X) {
+    auto B2 = makeBoxStencil(2, X, ScalarType::Float);
+    EXPECT_EQ(B2->flopsPerCell().total(), 2 * ipow(2 * X + 1, 2) - 1);
+    EXPECT_EQ(B2->shape(), StencilShape::Box);
+    EXPECT_TRUE(B2->isAssociative());
+    auto B3 = makeBoxStencil(3, X, ScalarType::Float);
+    EXPECT_EQ(B3->flopsPerCell().total(), 2 * ipow(2 * X + 1, 3) - 1);
+    EXPECT_EQ(B3->taps().size(),
+              static_cast<std::size_t>(ipow(2 * X + 1, 3)));
+  }
+}
+
+TEST(Benchmarks, JacobiFlopCountsMatchTable3) {
+  EXPECT_EQ(makeJacobi2d5pt(ScalarType::Float)->flopsPerCell().total(), 10);
+  EXPECT_EQ(makeJacobi2d9pt(ScalarType::Float)->flopsPerCell().total(), 18);
+  EXPECT_EQ(makeJacobi2d9ptGol(ScalarType::Float)->flopsPerCell().total(),
+            18);
+  EXPECT_EQ(makeGradient2d(ScalarType::Float)->flopsPerCell().total(), 19);
+  EXPECT_EQ(makeJacobi3d27pt(ScalarType::Float)->flopsPerCell().total(), 54);
+}
+
+TEST(Benchmarks, OptimizationClasses) {
+  EXPECT_EQ(makeJacobi2d5pt(ScalarType::Float)->optimizationClass(),
+            OptimizationClass::DiagonalAccessFree);
+  EXPECT_EQ(makeJacobi2d9ptGol(ScalarType::Float)->optimizationClass(),
+            OptimizationClass::AssociativeStencil);
+  EXPECT_EQ(makeGradient2d(ScalarType::Float)->optimizationClass(),
+            OptimizationClass::DiagonalAccessFree)
+      << "gradient2d is star-shaped even though it is not associative";
+  EXPECT_FALSE(makeGradient2d(ScalarType::Float)->isAssociative());
+  EXPECT_EQ(makeJacobi3d27pt(ScalarType::Float)->optimizationClass(),
+            OptimizationClass::AssociativeStencil);
+}
+
+TEST(Benchmarks, OrdersAndRadii) {
+  EXPECT_EQ(makeJacobi2d9pt(ScalarType::Float)->radius(), 2)
+      << "j2d9pt is the only non-first-order general benchmark";
+  EXPECT_EQ(makeJacobi2d9ptGol(ScalarType::Float)->radius(), 1);
+  EXPECT_EQ(makeGradient2d(ScalarType::Float)->radius(), 1);
+  EXPECT_EQ(makeJacobi3d27pt(ScalarType::Float)->radius(), 1);
+}
+
+TEST(Benchmarks, CoefficientsKeepUpdatesBounded) {
+  // Per-tap coefficients roughly average: their sum stays close to 1 so the
+  // iterates neither explode nor vanish in long runs.
+  for (const char *Name : {"star2d2r", "box3d2r"}) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Double);
+    double Sum = 0;
+    for (const auto &[CoefName, Value] : P->coefficients())
+      if (CoefName != "c0")
+        Sum += Value;
+    EXPECT_NEAR(Sum, 1.0, 0.1) << Name;
+  }
+}
+
+TEST(Benchmarks, SourcesExtractConsistentlyWithBuilders) {
+  // The Fig. 4 C source and the programmatic builder agree on structure.
+  auto FromBuilder = makeJacobi2d5pt(ScalarType::Float);
+  EXPECT_EQ(FromBuilder->taps().size(), 5u);
+  EXPECT_NE(j2d5ptSource().find("A[(t+1)%2][i][j]"), std::string::npos);
+  EXPECT_NE(j2d9ptSource().find("i-2"), std::string::npos);
+  EXPECT_NE(star3d1rSource().find("[k]"), std::string::npos);
+}

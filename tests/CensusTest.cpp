@@ -1,0 +1,176 @@
+//===- CensusTest.cpp - Thread census invariants -----------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/ThreadCensus.h"
+
+#include "stencils/Benchmarks.h"
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+ProblemSize smallProblem2d() {
+  ProblemSize P;
+  P.Extents = {96, 80};
+  P.TimeSteps = 24;
+  return P;
+}
+
+} // namespace
+
+TEST(Census, WritesEqualGridCells) {
+  auto Star = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = smallProblem2d();
+  for (int BT : {1, 2, 4}) {
+    for (int HS : {0, 32}) {
+      BlockConfig Config;
+      Config.BT = BT;
+      Config.BS = {64};
+      Config.HS = HS;
+      ThreadCensus Census = computeThreadCensus(*Star, Config, Problem);
+      EXPECT_EQ(Census.GmWriteOps, Problem.cellCount())
+          << "every interior cell stored exactly once per temporal block";
+    }
+  }
+}
+
+TEST(Census, ComputeCoversAtLeastUsefulWork) {
+  auto Star = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = smallProblem2d();
+  BlockConfig Config;
+  Config.BT = 4;
+  Config.BS = {64};
+  Config.HS = 0;
+  ThreadCensus Census = computeThreadCensus(*Star, Config, Problem);
+  long long Useful = Problem.cellCount() * Config.BT;
+  EXPECT_GE(Census.ComputeOps, Useful);
+  EXPECT_GT(Census.redundantComputeOps(Useful), 0)
+      << "overlapped tiling always recomputes halo cells";
+}
+
+TEST(Census, NoTemporalBlockingHasNoRedundancy) {
+  auto Star = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = smallProblem2d();
+  BlockConfig Config;
+  Config.BT = 1;
+  Config.BS = {64};
+  Config.HS = 0;
+  ThreadCensus Census = computeThreadCensus(*Star, Config, Problem);
+  // With bT = 1 the tier-1 valid region equals the compute region, so the
+  // only extra compute comes from blocks overhanging the grid edge; with
+  // 80 % 62 != 0 the last block overhangs, but valid lanes clip to the
+  // grid, so compute equals the useful work exactly.
+  EXPECT_EQ(Census.ComputeOps, Problem.cellCount());
+}
+
+TEST(Census, RedundancyGrowsWithBt) {
+  auto Star = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = smallProblem2d();
+  long long PrevCompute = 0;
+  for (int BT : {1, 2, 4, 8}) {
+    BlockConfig Config;
+    Config.BT = BT;
+    Config.BS = {64};
+    Config.HS = 0;
+    ThreadCensus Census = computeThreadCensus(*Star, Config, Problem);
+    // Normalize per time-step: compute per step grows with bT.
+    long long PerStep = Census.ComputeOps / BT;
+    if (PrevCompute > 0) {
+      EXPECT_GE(PerStep, PrevCompute)
+          << "larger bT means larger halos and more redundant compute";
+    }
+    PrevCompute = PerStep;
+  }
+}
+
+TEST(Census, StreamDivisionAddsRedundantPlanes) {
+  auto Star = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = smallProblem2d();
+  BlockConfig NoSplit, Split;
+  NoSplit.BT = Split.BT = 4;
+  NoSplit.BS = Split.BS = {64};
+  NoSplit.HS = 0;
+  Split.HS = 24;
+  ThreadCensus A = computeThreadCensus(*Star, NoSplit, Problem);
+  ThreadCensus B = computeThreadCensus(*Star, Split, Problem);
+  EXPECT_GT(B.ComputeOps, A.ComputeOps);
+  EXPECT_GT(B.GmReadOps, A.GmReadOps);
+  EXPECT_GT(B.NumThreadBlocks, A.NumThreadBlocks)
+      << "that extra redundancy is the price of more parallelism";
+  EXPECT_EQ(B.GmWriteOps, A.GmWriteOps) << "stores never duplicate";
+
+  // Section 4.2.3: per cut, each tier T < bT reloads rad*(bT-T) planes on
+  // both sides.
+  long long ExpectedExtraPlanesPerCut = 0;
+  for (int T = 0; T < Split.BT; ++T)
+    ExpectedExtraPlanesPerCut += 2 * 1 * (Split.BT - T);
+  long long Cuts = ceilDiv(Problem.Extents[0],
+                           static_cast<long long>(Split.HS)) -
+                   1;
+  EXPECT_GT(Cuts, 0);
+  (void)ExpectedExtraPlanesPerCut;
+}
+
+TEST(Census, GmReadsCoverInputOncePlusHalos) {
+  auto Star = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = smallProblem2d();
+  BlockConfig Config;
+  Config.BT = 2;
+  Config.BS = {64};
+  Config.HS = 0;
+  ThreadCensus Census = computeThreadCensus(*Star, Config, Problem);
+  // Reads must at least cover the interior once and at most the padded
+  // grid times the per-dimension block overlap factor.
+  EXPECT_GE(Census.GmReadOps, Problem.cellCount());
+  long long Padded = (Problem.Extents[0] + 2) * (Problem.Extents[1] + 2);
+  long long Blocks = ceilDiv<long long>(80, 64 - 2 * 2);
+  EXPECT_LE(Census.GmReadOps, Padded * Blocks);
+}
+
+TEST(Census, ThreeDimensionalCounts) {
+  auto Star = makeStarStencil(3, 1, ScalarType::Float);
+  ProblemSize Problem;
+  Problem.Extents = {40, 36, 36};
+  Problem.TimeSteps = 8;
+  BlockConfig Config;
+  Config.BT = 2;
+  Config.BS = {24, 24};
+  Config.HS = 20;
+  ThreadCensus Census = computeThreadCensus(*Star, Config, Problem);
+  EXPECT_EQ(Census.GmWriteOps, 40LL * 36 * 36);
+  EXPECT_GE(Census.ComputeOps, 40LL * 36 * 36 * 2);
+  long long BlocksPerDim = ceilDiv<long long>(36, 24 - 4);
+  long long Chunks = 2;
+  EXPECT_EQ(Census.NumThreadBlocks, BlocksPerDim * BlocksPerDim * Chunks);
+}
+
+TEST(Census, TrafficHelpersScaleWithWordSize) {
+  auto F = makeStarStencil(2, 1, ScalarType::Float);
+  auto D = makeStarStencil(2, 1, ScalarType::Double);
+  ProblemSize Problem = smallProblem2d();
+  BlockConfig Config;
+  Config.BT = 2;
+  Config.BS = {64};
+  ThreadCensus CF = computeThreadCensus(*F, Config, Problem);
+  ThreadCensus CD = computeThreadCensus(*D, Config, Problem);
+  EXPECT_EQ(CF.ComputeOps, CD.ComputeOps);
+  EXPECT_EQ(censusGmemBytes(CD, *D), 2 * censusGmemBytes(CF, *F));
+  EXPECT_EQ(censusSmemBytes(CD, *D), 2 * censusSmemBytes(CF, *F));
+}
+
+TEST(Census, FlopsUseTable3Counts) {
+  auto Box = makeBoxStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = smallProblem2d();
+  BlockConfig Config;
+  Config.BT = 1;
+  Config.BS = {64};
+  ThreadCensus Census = computeThreadCensus(*Box, Config, Problem);
+  EXPECT_EQ(censusFlops(Census, *Box),
+            Census.ComputeOps * Box->flopsPerCell().total());
+}

@@ -1,0 +1,163 @@
+//===- CliToolTest.cpp - Integration tests for the an5dc driver ---------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exercises the installed an5dc binary end to end: stencil detection from
+/// a C file, rejection diagnostics, tuning, verification and CUDA emission.
+/// The binary path is injected by CMake as AN5DC_BINARY_PATH.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+/// Runs a command, captures stdout+stderr, returns (exit code, output).
+std::pair<int, std::string> runCommand(const std::string &Command) {
+  std::string Full = Command + " 2>&1";
+  FILE *Pipe = popen(Full.c_str(), "r");
+  if (!Pipe)
+    return {-1, ""};
+  std::string Output;
+  std::array<char, 4096> Buffer;
+  while (std::fgets(Buffer.data(), Buffer.size(), Pipe))
+    Output += Buffer.data();
+  int Status = pclose(Pipe);
+  return {WEXITSTATUS(Status), Output};
+}
+
+std::string an5dc() { return AN5DC_BINARY_PATH; }
+
+std::string writeTempStencil(const std::string &Tag,
+                             const std::string &Source) {
+  std::string Path = ::testing::TempDir() + "/an5dc_" + Tag + ".c";
+  std::ofstream Out(Path);
+  Out << Source;
+  return Path;
+}
+
+const char *ValidStencil =
+    "for (t = 0; t < I_T; t++)\n"
+    "  for (i = 1; i <= I_S2; i++)\n"
+    "    for (j = 1; j <= I_S1; j++)\n"
+    "      A[(t+1)%2][i][j] = 0.25f * A[t%2][i-1][j] + 0.5f * A[t%2][i][j]\n"
+    "        + 0.25f * A[t%2][i+1][j];\n";
+
+} // namespace
+
+TEST(CliTool, ListBenchmarks) {
+  auto [Code, Output] = runCommand(an5dc() + " --list-benchmarks");
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Output.find("star2d1r"), std::string::npos);
+  EXPECT_NE(Output.find("j3d27pt"), std::string::npos);
+}
+
+TEST(CliTool, PrintStencilFromFile) {
+  std::string Path = writeTempStencil("valid", ValidStencil);
+  auto [Code, Output] =
+      runCommand(an5dc() + " --print-stencil " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Output.find("star"), std::string::npos);
+  EXPECT_NE(Output.find("radius 1"), std::string::npos);
+  EXPECT_NE(Output.find("FLOP/cell: 5"), std::string::npos);
+}
+
+TEST(CliTool, RejectsBadStencilWithDiagnostics) {
+  std::string Path = writeTempStencil(
+      "bad", "for (t = 0; t < I_T; t++)\n"
+             "  for (i = 1; i <= I_S2; i++)\n"
+             "    for (j = 1; j <= I_S1; j++)\n"
+             "      A[(t+1)%2][i][j] = A[(t+1)%2][i-1][j];\n");
+  auto [Code, Output] = runCommand(an5dc() + " " + Path);
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("error:"), std::string::npos);
+  EXPECT_NE(Output.find("data independent"), std::string::npos);
+}
+
+TEST(CliTool, VerifyManualConfig) {
+  std::string Path = writeTempStencil("verify", ValidStencil);
+  auto [Code, Output] = runCommand(
+      an5dc() + " --bt 3 --bs 64 --hs 16 --verify " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Output.find("blocked == reference (bitwise)"),
+            std::string::npos);
+}
+
+TEST(CliTool, EmitCudaWritesFiles) {
+  std::string Path = writeTempStencil("emit", ValidStencil);
+  std::string Dir = ::testing::TempDir() + "/an5dc_out";
+  auto [Code, Output] = runCommand(an5dc() + " --bt 4 --emit-cuda " + Dir +
+                                   " " + Path);
+  EXPECT_EQ(Code, 0);
+  std::ifstream Kernel(Dir + "/an5d_an5dc_emit_bt4.cu");
+  EXPECT_TRUE(Kernel.good()) << Output;
+  std::string Text((std::istreambuf_iterator<char>(Kernel)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(Text.find("__global__"), std::string::npos);
+}
+
+TEST(CliTool, BenchmarkTuneAndModel) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark star2d1r --tune --print-model");
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Output.find("tuned: bT="), std::string::npos);
+  EXPECT_NE(Output.find("simulated measurement:"), std::string::npos);
+}
+
+TEST(CliTool, ReportShowsScheduleAndRoofline) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d9pt --bt 6 --bs 256 --hs 512 --report");
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Output.find("AN5D schedule report"), std::string::npos);
+  EXPECT_NE(Output.find("predicted bottleneck"), std::string::npos);
+  EXPECT_NE(Output.find("host schedule"), std::string::npos);
+}
+
+TEST(CliTool, SimplifyReportsFoldCounts) {
+  std::string Path = writeTempStencil(
+      "simplify",
+      "for (t = 0; t < I_T; t++)\n"
+      "  for (i = 1; i <= I_S2; i++)\n"
+      "    for (j = 1; j <= I_S1; j++)\n"
+      "      A[(t+1)%2][i][j] = 1.0f * A[t%2][i][j] + 0.0f\n"
+      "        + (0.25f + 0.25f) * A[t%2][i-1][j];\n");
+  auto [Code, Output] = runCommand(
+      an5dc() + " --simplify --print-stencil " + Path);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Output.find("simplify: folded"), std::string::npos);
+  EXPECT_NE(Output.find("0.5"), std::string::npos)
+      << "0.25+0.25 folds to 0.5";
+}
+
+TEST(CliTool, DivToMulRemovesDivision) {
+  auto [Code, Output] = runCommand(
+      an5dc() +
+      " --benchmark j2d5pt --type double --div-to-mul --print-stencil");
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Output.find("rewrote 1 division"), std::string::npos);
+  EXPECT_EQ(Output.find("/ 118"), std::string::npos)
+      << "the division must be gone from the printed update";
+}
+
+TEST(CliTool, UnknownBenchmarkFails) {
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark nosuchthing");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("unknown benchmark"), std::string::npos);
+}
+
+TEST(CliTool, InfeasibleManualConfigRejected) {
+  std::string Path = writeTempStencil("infeasible", ValidStencil);
+  auto [Code, Output] =
+      runCommand(an5dc() + " --bt 16 --bs 16 " + Path);
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("infeasible"), std::string::npos);
+}

@@ -1,0 +1,224 @@
+//===- ExtractorTest.cpp - Unit tests for stencil extraction -----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/StencilExtractor.h"
+#include "stencils/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+std::optional<ExtractionResult>
+extractOk(const std::string &Source,
+          std::map<std::string, double> Coefs = {}) {
+  DiagnosticEngine Diags;
+  StencilExtractor Extractor(Diags);
+  auto Result = Extractor.extractFromSource(Source, "test", std::nullopt,
+                                            std::move(Coefs));
+  EXPECT_TRUE(Result.has_value()) << Diags.toString();
+  return Result;
+}
+
+void extractFails(const std::string &Source, const std::string &MsgPart) {
+  DiagnosticEngine Diags;
+  StencilExtractor Extractor(Diags);
+  auto Result = Extractor.extractFromSource(Source, "test");
+  EXPECT_FALSE(Result.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.toString().find(MsgPart), std::string::npos)
+      << "diagnostics were:\n"
+      << Diags.toString();
+}
+
+} // namespace
+
+TEST(Extractor, Fig4J2d5pt) {
+  auto Result = extractOk(j2d5ptSource());
+  const StencilProgram &P = *Result->Program;
+  EXPECT_EQ(P.numDims(), 2);
+  EXPECT_EQ(P.radius(), 1);
+  EXPECT_EQ(P.shape(), StencilShape::Star);
+  EXPECT_TRUE(P.isAssociative());
+  EXPECT_EQ(P.elemType(), ScalarType::Float) << "f suffixes imply float";
+  EXPECT_EQ(P.flopsPerCell().total(), 10) << "Table 3: j2d5pt = 10 FLOP";
+  EXPECT_EQ(P.taps().size(), 5u);
+
+  EXPECT_EQ(Result->Source.TimeVar, "t");
+  ASSERT_EQ(Result->Source.SpatialVars.size(), 2u);
+  EXPECT_EQ(Result->Source.SpatialVars[0], "i") << "streaming dim is i";
+  EXPECT_EQ(Result->Source.SpatialVars[1], "j");
+  EXPECT_EQ(Result->Source.TimeBound, "I_T");
+  EXPECT_EQ(Result->Source.SpatialBounds[0], "I_S2");
+}
+
+TEST(Extractor, SecondOrderStar) {
+  std::map<std::string, double> Coefs;
+  for (int I = 0; I <= 9; ++I)
+    Coefs["c" + std::to_string(I)] = 0.1;
+  auto Result = extractOk(j2d9ptSource(), Coefs);
+  const StencilProgram &P = *Result->Program;
+  EXPECT_EQ(P.radius(), 2);
+  EXPECT_EQ(P.shape(), StencilShape::Star);
+  EXPECT_EQ(P.flopsPerCell().total(), 18) << "Table 3: j2d9pt = 18 FLOP";
+}
+
+TEST(Extractor, ThreeDimensionalStar) {
+  auto Result = extractOk(star3d1rSource());
+  const StencilProgram &P = *Result->Program;
+  EXPECT_EQ(P.numDims(), 3);
+  EXPECT_EQ(P.radius(), 1);
+  EXPECT_EQ(P.shape(), StencilShape::Star);
+  EXPECT_EQ(P.taps().size(), 7u);
+  ASSERT_EQ(Result->Source.SpatialVars.size(), 3u);
+  EXPECT_EQ(Result->Source.SpatialVars[0], "i");
+}
+
+TEST(Extractor, BoxWithDiagonals) {
+  auto Result = extractOk(
+      "for (t = 0; t < I_T; t++)\n"
+      "  for (i = 1; i <= I_S2; i++)\n"
+      "    for (j = 1; j <= I_S1; j++)\n"
+      "      A[(t+1)%2][i][j] = 0.1f * A[t%2][i-1][j-1] + 0.1f * "
+      "A[t%2][i-1][j] + 0.1f * A[t%2][i-1][j+1]\n"
+      "        + 0.1f * A[t%2][i][j-1] + 0.2f * A[t%2][i][j] + 0.1f * "
+      "A[t%2][i][j+1]\n"
+      "        + 0.1f * A[t%2][i+1][j-1] + 0.1f * A[t%2][i+1][j] + 0.1f * "
+      "A[t%2][i+1][j+1];\n");
+  EXPECT_EQ(Result->Program->shape(), StencilShape::Box);
+  EXPECT_TRUE(Result->Program->isAssociative());
+  EXPECT_EQ(Result->Program->optimizationClass(),
+            OptimizationClass::AssociativeStencil);
+}
+
+TEST(Extractor, DoubleInferredWithoutSuffix) {
+  auto Result = extractOk(
+      "for (t = 0; t < I_T; t++)\n"
+      "  for (i = 1; i <= I_S2; i++)\n"
+      "    for (j = 1; j <= I_S1; j++)\n"
+      "      A[(t+1)%2][i][j] = 0.25 * A[t%2][i-1][j] + 0.75 * "
+      "A[t%2][i][j];\n");
+  EXPECT_EQ(Result->Program->elemType(), ScalarType::Double);
+}
+
+TEST(Extractor, TypeOverrideWins) {
+  DiagnosticEngine Diags;
+  StencilExtractor Extractor(Diags);
+  auto Result = Extractor.extractFromSource(j2d5ptSource(), "j2d5pt",
+                                            ScalarType::Double);
+  ASSERT_TRUE(Result.has_value()) << Diags.toString();
+  EXPECT_EQ(Result->Program->elemType(), ScalarType::Double);
+}
+
+TEST(Extractor, RejectsReadOfOutputBuffer) {
+  // Gauss-Seidel-style access violates rule 3 (data independence).
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[(t+1)%2][i][j] = 0.5f * A[(t+1)%2][i-1][j] + 0.5f * "
+               "A[t%2][i][j];\n",
+               "data independent");
+}
+
+TEST(Extractor, RejectsNonStaticReadAddress) {
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[(t+1)%2][i][j] = A[t%2][i][j * 2];\n",
+               "static read");
+}
+
+TEST(Extractor, RejectsIndirectIndexing) {
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[(t+1)%2][i][j] = A[t%2][i][B[j]];\n",
+               "static read");
+}
+
+TEST(Extractor, RejectsNonDoubleBufferedStore) {
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[t%2][i][j] = A[t%2][i][j];\n",
+               "(t+1) % 2");
+}
+
+TEST(Extractor, RejectsSecondArray) {
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[(t+1)%2][i][j] = B[t%2][i][j];\n",
+               "only one grid array");
+}
+
+TEST(Extractor, RejectsTimeLoopNotOutermost) {
+  extractFails("for (i = 1; i <= I_S2; i++)\n"
+               "  for (t = 0; t < I_T; t++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[(t+1)%2][i][j] = A[t%2][i][j];\n",
+               "time loop");
+}
+
+TEST(Extractor, RejectsMultipleStatements) {
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++) {\n"
+               "      A[(t+1)%2][i][j] = A[t%2][i][j];\n"
+               "      A[(t+1)%2][i][j] = A[t%2][i][j];\n"
+               "    }\n",
+               "singleton");
+}
+
+TEST(Extractor, RejectsLoopVarInComputation) {
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[(t+1)%2][i][j] = A[t%2][i][j] + i;\n",
+               "loop variable");
+}
+
+TEST(Extractor, RejectsUnknownCall) {
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[(t+1)%2][i][j] = myfunc(A[t%2][i][j]);\n",
+               "unknown function");
+}
+
+TEST(Extractor, RejectsPermutedStoreSubscripts) {
+  extractFails("for (t = 0; t < I_T; t++)\n"
+               "  for (i = 1; i <= I_S2; i++)\n"
+               "    for (j = 1; j <= I_S1; j++)\n"
+               "      A[(t+1)%2][j][i] = A[t%2][i][j];\n",
+               "loop variable");
+}
+
+TEST(Extractor, CoefficientIdentifiersBecomeCoefficients) {
+  auto Result = extractOk(
+      "for (t = 0; t < I_T; t++)\n"
+      "  for (i = 1; i <= I_S2; i++)\n"
+      "    for (j = 1; j <= I_S1; j++)\n"
+      "      A[(t+1)%2][i][j] = alpha * A[t%2][i-1][j] + beta * "
+      "A[t%2][i][j];\n",
+      {{"alpha", 0.3}, {"beta", 0.7}});
+  EXPECT_DOUBLE_EQ(Result->Program->coefficientValue("alpha"), 0.3);
+  EXPECT_DOUBLE_EQ(Result->Program->coefficientValue("beta"), 0.7);
+}
+
+TEST(Extractor, GradientLikeNonAssociative) {
+  auto Result = extractOk(
+      "for (t = 0; t < I_T; t++)\n"
+      "  for (i = 1; i <= I_S2; i++)\n"
+      "    for (j = 1; j <= I_S1; j++)\n"
+      "      A[(t+1)%2][i][j] = 0.5f * A[t%2][i][j] + 1.0f / sqrtf(1.0f + \n"
+      "        (A[t%2][i][j] - A[t%2][i-1][j]) * (A[t%2][i][j] - "
+      "A[t%2][i-1][j]));\n");
+  EXPECT_FALSE(Result->Program->isAssociative());
+  EXPECT_TRUE(Result->Program->usesMathCall());
+  EXPECT_EQ(Result->Program->shape(), StencilShape::Star);
+}

@@ -1,0 +1,111 @@
+//===- GoldenCudaTest.cpp - Golden-file regression for the CUDA backend -------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Byte-for-byte regression of representative generated CUDA translation
+/// units against checked-in golden files (tests/golden/). If an intentional
+/// codegen change breaks these, regenerate the goldens and review the diff
+/// like any compiler change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CudaCodegen.h"
+#include "stencils/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace an5d;
+
+namespace {
+
+std::string readGolden(const std::string &FileName) {
+  std::ifstream In(std::string(AN5D_GOLDEN_DIR) + "/" + FileName);
+  EXPECT_TRUE(In.good()) << "missing golden file " << FileName;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Reports the first differing line to make diffs actionable.
+void expectEqualWithContext(const std::string &Got,
+                            const std::string &Want,
+                            const std::string &Tag) {
+  if (Got == Want) {
+    SUCCEED();
+    return;
+  }
+  std::stringstream GotStream(Got), WantStream(Want);
+  std::string GotLine, WantLine;
+  int LineNo = 0;
+  while (true) {
+    ++LineNo;
+    bool GotOk = static_cast<bool>(std::getline(GotStream, GotLine));
+    bool WantOk = static_cast<bool>(std::getline(WantStream, WantLine));
+    if (!GotOk && !WantOk)
+      break;
+    if (GotLine != WantLine || GotOk != WantOk) {
+      FAIL() << Tag << ": first difference at line " << LineNo
+             << "\n  golden:    " << (WantOk ? WantLine : "<eof>")
+             << "\n  generated: " << (GotOk ? GotLine : "<eof>")
+             << "\nIf the change is intentional, regenerate tests/golden/.";
+      return;
+    }
+  }
+  FAIL() << Tag << ": content differs (lengths " << Got.size() << " vs "
+         << Want.size() << ")";
+}
+
+} // namespace
+
+TEST(GoldenCuda, J2d5ptKernel) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS = {128};
+  C.HS = 128;
+  GeneratedCuda Code = generateCuda(*P, C);
+  expectEqualWithContext(Code.KernelSource,
+                         readGolden("an5d_j2d5pt_bt2.cu.golden"),
+                         "j2d5pt kernel");
+}
+
+TEST(GoldenCuda, J2d5ptHost) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS = {128};
+  C.HS = 128;
+  GeneratedCuda Code = generateCuda(*P, C);
+  expectEqualWithContext(Code.HostSource,
+                         readGolden("an5d_j2d5pt_bt2_host.cpp.golden"),
+                         "j2d5pt host");
+}
+
+TEST(GoldenCuda, Star3d1rDoubleKernel) {
+  auto P = makeStarStencil(3, 1, ScalarType::Double);
+  BlockConfig C;
+  C.BT = 3;
+  C.BS = {32, 16};
+  C.HS = 128;
+  GeneratedCuda Code = generateCuda(*P, C);
+  expectEqualWithContext(Code.KernelSource,
+                         readGolden("an5d_star3d1r_bt3.cu.golden"),
+                         "star3d1r kernel");
+}
+
+TEST(GoldenCuda, GenerationIsDeterministic) {
+  auto P = makeJacobi2d9ptGol(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 5;
+  C.BS = {256};
+  C.HS = 512;
+  GeneratedCuda A = generateCuda(*P, C);
+  GeneratedCuda B = generateCuda(*P, C);
+  EXPECT_EQ(A.KernelSource, B.KernelSource);
+  EXPECT_EQ(A.HostSource, B.HostSource);
+}

@@ -1,0 +1,207 @@
+//===- IrTest.cpp - Unit tests for the stencil IR ----------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ExprAnalysis.h"
+#include "ir/ExprEval.h"
+#include "ir/StencilExpr.h"
+#include "ir/StencilProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+/// c1*A[-1,0] + c2*A[0,0] + c3*A[1,0]: a tiny 2D star along the streaming
+/// axis.
+ExprPtr makeTinyStar() {
+  ExprPtr Sum = makeMul(makeCoefficient("c1"), makeGridRead("A", {-1, 0}));
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeCoefficient("c2"), makeGridRead("A", {0, 0})));
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeCoefficient("c3"), makeGridRead("A", {1, 0})));
+  return Sum;
+}
+
+} // namespace
+
+TEST(StencilExpr, CloneIsStructurallyEqual) {
+  ExprPtr E = makeTinyStar();
+  ExprPtr Copy = E->clone();
+  EXPECT_TRUE(E->equals(*Copy));
+}
+
+TEST(StencilExpr, EqualityDetectsDifferences) {
+  ExprPtr A = makeTinyStar();
+  ExprPtr B = makeMul(makeCoefficient("c1"), makeGridRead("A", {-1, 0}));
+  EXPECT_FALSE(A->equals(*B));
+  ExprPtr C = makeGridRead("A", {0, 1});
+  ExprPtr D = makeGridRead("A", {1, 0});
+  EXPECT_FALSE(C->equals(*D));
+  ExprPtr E = makeGridRead("B", {0, 1});
+  EXPECT_FALSE(C->equals(*E));
+}
+
+TEST(StencilExpr, ToStringRendersOffsets) {
+  ExprPtr E = makeGridRead("A", {-1, 2});
+  EXPECT_EQ(E->toString(), "A[i-1][j+2]");
+  ExprPtr Center = makeGridRead("A", {0, 0, 0});
+  EXPECT_EQ(Center->toString(), "A[i][j][k]");
+}
+
+TEST(StencilExpr, IsaDynCast) {
+  ExprPtr E = makeNumber(4.0);
+  EXPECT_TRUE(isa<NumberExpr>(*E));
+  EXPECT_FALSE(isa<GridReadExpr>(*E));
+  EXPECT_NE(dyn_cast<NumberExpr>(E.get()), nullptr);
+  EXPECT_EQ(dyn_cast<CallExpr>(E.get()), nullptr);
+}
+
+TEST(ExprAnalysis, CollectTapsDeduplicates) {
+  // (A[0,0]-A[1,0])*(A[0,0]-A[1,0]) reads two distinct taps.
+  ExprPtr Diff1 = makeSub(makeGridRead("A", {0, 0}), makeGridRead("A", {1, 0}));
+  ExprPtr Diff2 = makeSub(makeGridRead("A", {0, 0}), makeGridRead("A", {1, 0}));
+  ExprPtr E = makeMul(std::move(Diff1), std::move(Diff2));
+  EXPECT_EQ(collectTaps(*E).size(), 2u);
+}
+
+TEST(ExprAnalysis, RadiusIsMaxAbsOffset) {
+  ExprPtr E = makeAdd(makeGridRead("A", {-3, 0}), makeGridRead("A", {0, 2}));
+  EXPECT_EQ(computeRadius(*E), 3);
+}
+
+TEST(ExprAnalysis, ShapeClassification) {
+  EXPECT_EQ(classifyShape(*makeTinyStar(), 2), StencilShape::Star);
+
+  // Full 3x3 box.
+  ExprPtr Box;
+  for (int I = -1; I <= 1; ++I)
+    for (int J = -1; J <= 1; ++J) {
+      ExprPtr Term = makeGridRead("A", {I, J});
+      Box = Box ? makeAdd(std::move(Box), std::move(Term)) : std::move(Term);
+    }
+  EXPECT_EQ(classifyShape(*Box, 2), StencilShape::Box);
+
+  // A diagonal tap without the full cube is General.
+  ExprPtr Diag = makeAdd(makeGridRead("A", {1, 1}), makeGridRead("A", {0, 0}));
+  EXPECT_EQ(classifyShape(*Diag, 2), StencilShape::General);
+}
+
+TEST(ExprAnalysis, FlopCountMatchesTable3Conventions) {
+  // 3 muls + 2 adds.
+  FlopCount Flops = countFlops(*makeTinyStar());
+  EXPECT_EQ(Flops.Muls, 3);
+  EXPECT_EQ(Flops.Adds, 2);
+  EXPECT_EQ(Flops.Divs, 0);
+  EXPECT_EQ(Flops.total(), 5);
+}
+
+TEST(ExprAnalysis, DivisionAndCallCounting) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(makeGridRead("A", {0, 0}));
+  ExprPtr E = makeDiv(makeCall("sqrt", std::move(Args)), makeNumber(2.0));
+  FlopCount Flops = countFlops(*E);
+  EXPECT_EQ(Flops.Divs, 1);
+  EXPECT_EQ(Flops.total(), 1) << "sqrt is not charged as a FLOP";
+  EXPECT_TRUE(containsMathCall(*E));
+  EXPECT_TRUE(containsConstantDivision(*E));
+}
+
+TEST(ExprAnalysis, NonConstantDivisionDetected) {
+  ExprPtr E = makeDiv(makeNumber(1.0), makeGridRead("A", {0, 0}));
+  EXPECT_FALSE(containsConstantDivision(*E));
+  EXPECT_EQ(countFlops(*E).Divs, 1);
+}
+
+TEST(ExprAnalysis, AssociativeDetection) {
+  EXPECT_TRUE(isAssociativeUpdate(*makeTinyStar()));
+
+  // Sum divided by a constant stays associative (the Jacobi pattern).
+  ExprPtr Jacobi = makeDiv(makeTinyStar(), makeNumber(118.0));
+  EXPECT_TRUE(isAssociativeUpdate(*Jacobi));
+
+  // A product of two grid reads is not associative.
+  ExprPtr Product =
+      makeMul(makeGridRead("A", {0, 0}), makeGridRead("A", {1, 0}));
+  EXPECT_FALSE(isAssociativeUpdate(*Product));
+
+  // A sqrt anywhere breaks associativity.
+  std::vector<ExprPtr> Args;
+  Args.push_back(makeGridRead("A", {0, 0}));
+  ExprPtr WithCall =
+      makeAdd(makeCall("sqrt", std::move(Args)), makeGridRead("A", {1, 0}));
+  EXPECT_FALSE(isAssociativeUpdate(*WithCall));
+}
+
+TEST(ExprAnalysis, InstructionMixAssociative) {
+  // 3 terms, no trailing division: 2 FMA + 1 MUL.
+  InstructionMix Mix = estimateInstructionMix(*makeTinyStar());
+  EXPECT_EQ(Mix.Fma, 2);
+  EXPECT_EQ(Mix.Mul, 1);
+  // Retired FLOPs = 2*2+1 = 5 == the FLOP census.
+  EXPECT_EQ(2 * Mix.Fma + Mix.Mul + Mix.Add + Mix.Other,
+            countFlops(*makeTinyStar()).total());
+}
+
+TEST(ExprAnalysis, InstructionMixConstDivisionFusesFully) {
+  ExprPtr Jacobi = makeDiv(makeTinyStar(), makeNumber(118.0));
+  InstructionMix Mix = estimateInstructionMix(*Jacobi);
+  EXPECT_EQ(Mix.Fma, 3);
+  EXPECT_EQ(Mix.Mul, 0);
+  EXPECT_DOUBLE_EQ(Mix.aluEfficiency(), 1.0);
+}
+
+TEST(ExprEval, ArithmeticAndCalls) {
+  // 2*A[0,0] + A[1,0] with A[0,0]=3, A[1,0]=4 -> 10.
+  ExprPtr E = makeAdd(makeMul(makeNumber(2.0), makeGridRead("A", {0, 0})),
+                      makeGridRead("A", {1, 0}));
+  auto Read = [](const GridReadExpr &R) -> double {
+    return R.offsets()[0] == 0 ? 3.0 : 4.0;
+  };
+  auto Coef = [](const std::string &) -> double { return 0.0; };
+  EXPECT_DOUBLE_EQ(evalExpr<double>(*E, Read, Coef), 10.0);
+
+  std::vector<ExprPtr> Args;
+  Args.push_back(makeNumber(9.0));
+  ExprPtr Sqrt = makeCall("sqrt", std::move(Args));
+  EXPECT_DOUBLE_EQ(evalExpr<double>(*Sqrt, Read, Coef), 3.0);
+}
+
+TEST(ExprEval, FloatTruncationMatchesFloatArithmetic) {
+  ExprPtr E = makeDiv(makeNumber(1.0), makeNumber(3.0));
+  auto Read = [](const GridReadExpr &) -> float { return 0.0f; };
+  auto Coef = [](const std::string &) -> float { return 0.0f; };
+  EXPECT_EQ(evalExpr<float>(*E, Read, Coef), 1.0f / 3.0f);
+}
+
+TEST(StencilProgram, DerivedPropertiesStar) {
+  std::map<std::string, double> Coefs = {
+      {"c1", 0.25}, {"c2", 0.5}, {"c3", 0.25}};
+  StencilProgram P("tiny", 2, ScalarType::Float, "A", makeTinyStar(), Coefs);
+  EXPECT_EQ(P.radius(), 1);
+  EXPECT_EQ(P.shape(), StencilShape::Star);
+  EXPECT_TRUE(P.isDiagonalAccessFree());
+  EXPECT_TRUE(P.isAssociative());
+  EXPECT_EQ(P.optimizationClass(), OptimizationClass::DiagonalAccessFree);
+  EXPECT_EQ(P.wordSize(), 4);
+  EXPECT_EQ(P.taps().size(), 3u);
+  EXPECT_DOUBLE_EQ(P.coefficientValue("c2"), 0.5);
+}
+
+TEST(StencilProgram, ScalarTypeHelpers) {
+  EXPECT_EQ(scalarSizeInBytes(ScalarType::Float), 4);
+  EXPECT_EQ(scalarSizeInBytes(ScalarType::Double), 8);
+  EXPECT_STREQ(scalarTypeName(ScalarType::Double), "double");
+}
+
+TEST(StencilProgram, ToStringMentionsShape) {
+  StencilProgram P("tiny", 2, ScalarType::Double, "A", makeTinyStar(),
+                   {{"c1", 1}, {"c2", 1}, {"c3", 1}});
+  std::string Text = P.toString();
+  EXPECT_NE(Text.find("tiny"), std::string::npos);
+  EXPECT_NE(Text.find("star"), std::string::npos);
+  EXPECT_NE(Text.find("radius 1"), std::string::npos);
+}

@@ -1,0 +1,133 @@
+//===- LexerTest.cpp - Unit tests for the lexer ------------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.tokenizeAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return Tokens;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  std::vector<Token> Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  std::vector<Token> Tokens = lex("for int float double foo I_S1 _x");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::KwFor));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::KwInt));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::KwFloat));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::KwDouble));
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Identifier));
+  EXPECT_EQ(Tokens[5].Text, "I_S1");
+  EXPECT_EQ(Tokens[6].Text, "_x");
+}
+
+TEST(Lexer, IntegerLiteral) {
+  std::vector<Token> Tokens = lex("118");
+  ASSERT_TRUE(Tokens[0].is(TokenKind::Number));
+  EXPECT_DOUBLE_EQ(Tokens[0].NumberValue, 118.0);
+  EXPECT_TRUE(Tokens[0].IsIntegerLiteral);
+  EXPECT_FALSE(Tokens[0].IsFloatSuffixed);
+}
+
+TEST(Lexer, FloatSuffixedLiteral) {
+  std::vector<Token> Tokens = lex("5.1f 12.0F 7f");
+  ASSERT_TRUE(Tokens[0].is(TokenKind::Number));
+  EXPECT_DOUBLE_EQ(Tokens[0].NumberValue, 5.1);
+  EXPECT_TRUE(Tokens[0].IsFloatSuffixed);
+  EXPECT_FALSE(Tokens[0].IsIntegerLiteral);
+  EXPECT_TRUE(Tokens[1].IsFloatSuffixed);
+  EXPECT_TRUE(Tokens[2].IsFloatSuffixed);
+  EXPECT_FALSE(Tokens[2].IsIntegerLiteral);
+}
+
+TEST(Lexer, ExponentLiteral) {
+  std::vector<Token> Tokens = lex("1e3 2.5e-2");
+  EXPECT_DOUBLE_EQ(Tokens[0].NumberValue, 1000.0);
+  EXPECT_FALSE(Tokens[0].IsIntegerLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumberValue, 0.025);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  std::vector<Token> Tokens = lex("( ) [ ] { } ; , = < <= ++ += + - * / %");
+  TokenKind Expected[] = {
+      TokenKind::LParen,    TokenKind::RParen,   TokenKind::LBracket,
+      TokenKind::RBracket,  TokenKind::LBrace,   TokenKind::RBrace,
+      TokenKind::Semicolon, TokenKind::Comma,    TokenKind::Assign,
+      TokenKind::Less,      TokenKind::LessEqual, TokenKind::PlusPlus,
+      TokenKind::PlusEqual, TokenKind::Plus,     TokenKind::Minus,
+      TokenKind::Star,      TokenKind::Slash,    TokenKind::Percent,
+      TokenKind::EndOfFile};
+  ASSERT_EQ(Tokens.size(), std::size(Expected));
+  for (std::size_t I = 0; I < Tokens.size(); ++I)
+    EXPECT_TRUE(Tokens[I].is(Expected[I])) << "token " << I;
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  std::vector<Token> Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3);
+}
+
+TEST(Lexer, LineComments) {
+  std::vector<Token> Tokens = lex("a // comment with * and /\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(Lexer, BlockComments) {
+  std::vector<Token> Tokens = lex("a /* multi\nline */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[1].Loc.Line, 2);
+}
+
+TEST(Lexer, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("a /* oops", Diags);
+  L.tokenizeAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnknownCharacterDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("a @ b", Diags);
+  std::vector<Token> Tokens = L.tokenizeAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  bool SawUnknown = false;
+  for (const Token &T : Tokens)
+    if (T.is(TokenKind::Unknown))
+      SawUnknown = true;
+  EXPECT_TRUE(SawUnknown);
+}
+
+TEST(Lexer, Fig4FirstLine) {
+  std::vector<Token> Tokens = lex("for (t = 0; t < I_T; t++)");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::KwFor));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::LParen));
+  EXPECT_EQ(Tokens[2].Text, "t");
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Assign));
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Number));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::Semicolon));
+  EXPECT_TRUE(Tokens[11].is(TokenKind::PlusPlus));
+}

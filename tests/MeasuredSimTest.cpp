@@ -1,0 +1,161 @@
+//===- MeasuredSimTest.cpp - Measured-performance simulator properties --------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MeasuredSimulator.h"
+
+#include "model/RegisterModel.h"
+#include "stencils/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+BlockConfig config2d(int BT, int BS, int HS, int Cap = 0) {
+  BlockConfig C;
+  C.BT = BT;
+  C.BS = {BS};
+  C.HS = HS;
+  C.RegisterCap = Cap;
+  return C;
+}
+
+} // namespace
+
+TEST(MeasuredSim, NeverExceedsModel) {
+  // Every calibration term only slows things down, so the simulated
+  // measurement is bounded by the pure model.
+  GpuSpec V100 = GpuSpec::teslaV100();
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  for (const char *Name : {"star2d1r", "j2d5pt", "box2d2r", "gradient2d"}) {
+    for (ScalarType Type : {ScalarType::Float, ScalarType::Double}) {
+      auto P = makeBenchmarkStencil(Name, Type);
+      MeasuredResult R =
+          simulateMeasured(*P, V100, config2d(4, 256, 512), Problem);
+      ASSERT_TRUE(R.Feasible) << Name;
+      EXPECT_LE(R.MeasuredGflops, R.Model.Gflops * 1.0001) << Name;
+      EXPECT_GT(R.modelAccuracy(), 0.0) << Name;
+      EXPECT_LE(R.modelAccuracy(), 1.0001) << Name;
+    }
+  }
+}
+
+TEST(MeasuredSim, InfeasiblePropagates) {
+  GpuSpec V100 = GpuSpec::teslaV100();
+  auto P = makeStarStencil(2, 4, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  MeasuredResult R =
+      simulateMeasured(*P, V100, config2d(16, 128, 256), Problem);
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_EQ(R.MeasuredGflops, 0);
+}
+
+TEST(MeasuredSim, DivisionPenaltyOnlyForDoubleConstantDivision) {
+  GpuSpec V100 = GpuSpec::teslaV100();
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  BlockConfig Config = config2d(4, 256, 512);
+
+  // Same shape, with and without the constant division.
+  auto JacobiF = makeJacobi2d5pt(ScalarType::Float);
+  auto JacobiD = makeJacobi2d5pt(ScalarType::Double);
+  auto StarF = makeStarStencil(2, 1, ScalarType::Float);
+  auto StarD = makeStarStencil(2, 1, ScalarType::Double);
+
+  double AccJacobiF =
+      simulateMeasured(*JacobiF, V100, Config, Problem).modelAccuracy();
+  double AccJacobiD =
+      simulateMeasured(*JacobiD, V100, Config, Problem).modelAccuracy();
+  double AccStarF =
+      simulateMeasured(*StarF, V100, Config, Problem).modelAccuracy();
+  double AccStarD =
+      simulateMeasured(*StarD, V100, Config, Problem).modelAccuracy();
+
+  EXPECT_NEAR(AccJacobiF, AccStarF, 0.1)
+      << "float division folds into multiplies under fast math";
+  EXPECT_LT(AccJacobiD, AccStarD - 0.15)
+      << "double constant division must stand out (Section 7.1)";
+}
+
+TEST(MeasuredSim, SyncOverheadGrowsWithDegree) {
+  // At fixed spatial parameters, the measured/model ratio of a
+  // shared-memory-bound stencil must decay as bT rises.
+  GpuSpec V100 = GpuSpec::teslaV100();
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  MeasuredResult R10 =
+      simulateMeasured(*P, V100, config2d(10, 512, 256), Problem);
+  MeasuredResult R14 =
+      simulateMeasured(*P, V100, config2d(14, 512, 256), Problem);
+  ASSERT_TRUE(R10.Feasible && R14.Feasible);
+  EXPECT_GT(R10.modelAccuracy(), R14.modelAccuracy());
+}
+
+TEST(MeasuredSim, RegisterCapCanImproveOccupancy) {
+  // star2d1r at bT=9/bS=512 needs 56 registers; NVCC's natural allocation
+  // allows only one resident block, a 64-register cap allows two.
+  GpuSpec V100 = GpuSpec::teslaV100();
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  MeasuredResult Uncapped =
+      simulateMeasured(*P, V100, config2d(9, 512, 256, 0), Problem);
+  MeasuredResult Capped =
+      simulateMeasured(*P, V100, config2d(9, 512, 256, 64), Problem);
+  ASSERT_TRUE(Uncapped.Feasible && Capped.Feasible);
+  EXPECT_GT(Capped.Model.ConcurrentBlocksPerSm,
+            Uncapped.Model.ConcurrentBlocksPerSm);
+  EXPECT_GT(Capped.MeasuredGflops, Uncapped.MeasuredGflops);
+}
+
+TEST(MeasuredSim, HighOrder3dBoxCannotScaleTemporally) {
+  // Section 7.3: for high-order 3D box stencils "register pressure and the
+  // ratio of halo size to spatial block size is too high to allow
+  // performance scaling with temporal blocking". Concretely: at bT=2 and
+  // radius 4, every Section 6.3 block shape loses its compute region or
+  // its register budget, so only bT=1 survives — which is exactly what
+  // the tuner picks (Table 5).
+  GpuSpec V100 = GpuSpec::teslaV100();
+  ProblemSize Problem = ProblemSize::paperDefault(3);
+  auto Heavy = makeBoxStencil(3, 4, ScalarType::Double);
+  static const int Shapes[][2] = {{16, 16}, {32, 16}, {32, 32}, {64, 16}};
+  for (const auto &Shape : Shapes) {
+    BlockConfig C;
+    C.BT = 2;
+    C.BS = {Shape[0], Shape[1]};
+    C.HS = 128;
+    EXPECT_FALSE(simulateMeasured(*Heavy, V100, C, Problem).Feasible)
+        << Shape[0] << "x" << Shape[1];
+  }
+  // And the register estimate explains why even wider blocks would not
+  // help: the live set alone dwarfs the budget of a 1024-thread block.
+  EXPECT_GT(an5dRegistersPerThread(*Heavy, 2) * 1024, 65536);
+}
+
+TEST(MeasuredSim, P100AccuracyBelowV100) {
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  BlockConfig Config = config2d(10, 512, 256, 64);
+  MeasuredResult V =
+      simulateMeasured(*P, GpuSpec::teslaV100(), Config, Problem);
+  MeasuredResult Pp =
+      simulateMeasured(*P, GpuSpec::teslaP100(), Config, Problem);
+  ASSERT_TRUE(V.Feasible && Pp.Feasible);
+  EXPECT_GT(V.modelAccuracy(), Pp.modelAccuracy())
+      << "Section 7.2: V100's shared memory is markedly more efficient";
+}
+
+TEST(RegisterFloors, SpillPredictionsMatchSection71) {
+  // At the Sconf degree (bT=4) and a 32-register cap: AN5D never spills;
+  // STENCILGEN spills exactly for the second-order stencils.
+  for (const char *Name : {"j2d5pt", "j2d9pt", "j2d9pt-gol", "gradient2d",
+                           "star3d1r", "star3d2r", "j3d27pt"}) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    EXPECT_LE(an5dHardFloorRegisters(*P, 4), 32) << Name;
+    bool SecondOrder = P->radius() == 2;
+    EXPECT_EQ(stencilgenHardFloorRegisters(*P, 4) > 32, SecondOrder)
+        << Name;
+  }
+}

@@ -1,0 +1,160 @@
+//===- ParserTest.cpp - Unit tests for the parser -----------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Parser.h"
+#include "stencils/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+using namespace an5d::ast;
+
+namespace {
+
+StmtNode parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  StmtNode Root = P.parseProgram();
+  EXPECT_TRUE(Root != nullptr) << Diags.toString();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return Root;
+}
+
+void parseFails(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  StmtNode Root = P.parseProgram();
+  EXPECT_TRUE(Root == nullptr || Diags.hasErrors())
+      << "expected a parse failure";
+}
+
+} // namespace
+
+TEST(Parser, Fig4ParsesCompletely) {
+  StmtNode Root = parseOk(j2d5ptSource());
+  const auto *TimeLoop = ast_dyn_cast<ForStmt>(Root.get());
+  ASSERT_NE(TimeLoop, nullptr);
+  EXPECT_EQ(TimeLoop->loopVar(), "t");
+  EXPECT_FALSE(TimeLoop->isInclusiveUpper());
+  EXPECT_EQ(TimeLoop->upperBound().toString(), "I_T");
+
+  const auto *StreamLoop = ast_dyn_cast<ForStmt>(&TimeLoop->body());
+  ASSERT_NE(StreamLoop, nullptr);
+  EXPECT_EQ(StreamLoop->loopVar(), "i");
+  EXPECT_TRUE(StreamLoop->isInclusiveUpper());
+
+  const auto *InnerLoop = ast_dyn_cast<ForStmt>(&StreamLoop->body());
+  ASSERT_NE(InnerLoop, nullptr);
+  const auto *Assign = ast_dyn_cast<AssignStmt>(&InnerLoop->body());
+  ASSERT_NE(Assign, nullptr);
+  EXPECT_EQ(ast_cast<ArrayRefExpr>(Assign->lhs()).base(), "A");
+  EXPECT_EQ(ast_cast<ArrayRefExpr>(Assign->lhs()).indices().size(), 3u);
+}
+
+TEST(Parser, StepForms) {
+  parseOk("for (t = 0; t < 4; t++) for (i = 0; i < 4; ++i) "
+          "for (j = 0; j < 4; j += 1) A[(t+1)%2][i][j] = A[t%2][i][j];");
+  parseOk("for (t = 0; t < 4; t = t + 1) for (i = 0; i < 4; i++) "
+          "for (j = 0; j < 4; j++) A[(t+1)%2][i][j] = A[t%2][i][j];");
+}
+
+TEST(Parser, RejectsNonUnitStride) {
+  parseFails("for (t = 0; t < 4; t += 2) for (i = 0; i < 4; i++) "
+             "for (j = 0; j < 4; j++) A[(t+1)%2][i][j] = A[t%2][i][j];");
+}
+
+TEST(Parser, RejectsWrongConditionVariable) {
+  parseFails("for (t = 0; x < 4; t++) A[(t+1)%2][0][0] = 1;");
+}
+
+TEST(Parser, RejectsGreaterThanCondition) {
+  parseFails("for (t = 4; t = 0; t++) A[1][0][0] = 1;");
+}
+
+TEST(Parser, RejectsTrailingTokens) {
+  parseFails("for (t = 0; t < 4; t++) for (i = 0; i < 4; i++) "
+             "for (j = 0; j < 4; j++) A[(t+1)%2][i][j] = A[t%2][i][j]; "
+             "extra_tokens");
+}
+
+TEST(Parser, BracedBodies) {
+  StmtNode Root = parseOk(
+      "for (t = 0; t < 4; t++) { for (i = 0; i < 4; i++) { "
+      "for (j = 0; j < 4; j++) { A[(t+1)%2][i][j] = A[t%2][i][j]; } } }");
+  const auto *TimeLoop = ast_dyn_cast<ForStmt>(Root.get());
+  ASSERT_NE(TimeLoop, nullptr);
+  EXPECT_EQ(TimeLoop->body().kind(), Stmt::Kind::Compound);
+}
+
+TEST(Parser, IntDeclarationInInit) {
+  parseOk("for (int t = 0; t < 4; t++) for (int i = 0; i < 4; i++) "
+          "for (int j = 0; j < 4; j++) A[(t+1)%2][i][j] = A[t%2][i][j];");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  StmtNode Root =
+      parseOk("for (t = 0; t < 4; t++) for (i = 0; i < 4; i++) "
+              "for (j = 0; j < 4; j++) "
+              "A[(t+1)%2][i][j] = 1 + 2 * A[t%2][i][j];");
+  // Walk to the assignment.
+  const Stmt *S = Root.get();
+  while (const auto *Loop = ast_dyn_cast<ForStmt>(S))
+    S = &Loop->body();
+  const auto *Assign = ast_dyn_cast<AssignStmt>(S);
+  ASSERT_NE(Assign, nullptr);
+  const auto *Add = ast_dyn_cast<BinaryOpExpr>(&Assign->rhs());
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->op(), BinOp::Add);
+  const auto *Mul = ast_dyn_cast<BinaryOpExpr>(&Add->rhs());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->op(), BinOp::Mul);
+}
+
+TEST(Parser, UnaryMinus) {
+  StmtNode Root =
+      parseOk("for (t = 0; t < 4; t++) for (i = 0; i < 4; i++) "
+              "for (j = 0; j < 4; j++) "
+              "A[(t+1)%2][i][j] = -A[t%2][i][j];");
+  const Stmt *S = Root.get();
+  while (const auto *Loop = ast_dyn_cast<ForStmt>(S))
+    S = &Loop->body();
+  const auto *Assign = ast_dyn_cast<AssignStmt>(S);
+  ASSERT_NE(Assign, nullptr);
+  EXPECT_EQ(Assign->rhs().kind(), Expr::Kind::Unary);
+}
+
+TEST(Parser, CallExpressions) {
+  parseOk("for (t = 0; t < 4; t++) for (i = 0; i < 4; i++) "
+          "for (j = 0; j < 4; j++) "
+          "A[(t+1)%2][i][j] = sqrtf(A[t%2][i][j]);");
+}
+
+TEST(Parser, RejectsAssignmentToScalar) {
+  parseFails("for (t = 0; t < 4; t++) x = 1;");
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  parseFails("for (t = 0; t < 4; t++) for (i = 0; i < 4; i++) "
+             "for (j = 0; j < 4; j++) A[(t+1)%2][i][j] = A[t%2][i][j]");
+}
+
+TEST(Parser, RejectsUnbalancedParens) {
+  parseFails("for (t = 0; t < 4; t++) for (i = 0; i < 4; i++) "
+             "for (j = 0; j < 4; j++) A[(t+1)%2][i][j] = (1 + 2;");
+}
+
+TEST(Parser, AstPrinterRoundTrip) {
+  StmtNode Root = parseOk(j2d5ptSource());
+  const Stmt *S = Root.get();
+  while (const auto *Loop = ast_dyn_cast<ForStmt>(S))
+    S = &Loop->body();
+  const auto *Assign = ast_dyn_cast<AssignStmt>(S);
+  ASSERT_NE(Assign, nullptr);
+  std::string Text = Assign->rhs().toString();
+  EXPECT_NE(Text.find("5.1f"), std::string::npos);
+  EXPECT_NE(Text.find("/ 118"), std::string::npos);
+  EXPECT_FALSE(Text.empty());
+}

@@ -1,0 +1,85 @@
+//===- ReportTest.cpp - Schedule/resource report rendering --------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/ScheduleReport.h"
+
+#include "stencils/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+BlockConfig goodConfig2d() {
+  BlockConfig C;
+  C.BT = 9;
+  C.BS = {512};
+  C.HS = 256;
+  C.RegisterCap = 64;
+  return C;
+}
+
+} // namespace
+
+TEST(ScheduleReport, ContainsAllSections) {
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  std::string Report = renderScheduleReport(
+      *P, GpuSpec::teslaV100(), goodConfig2d(), ProblemSize::paperDefault(2));
+  for (const char *Section :
+       {"stencil", "configuration", "per-block resources", "occupancy",
+        "traffic per temporal block", "roofline", "host schedule"})
+    EXPECT_NE(Report.find(Section), std::string::npos) << Section;
+  EXPECT_NE(Report.find("star2d1r"), std::string::npos);
+  EXPECT_NE(Report.find("predicted bottleneck"), std::string::npos);
+  EXPECT_NE(Report.find("GFLOP/s"), std::string::npos);
+}
+
+TEST(ScheduleReport, ReportsGmemSavings) {
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  std::string Report = renderScheduleReport(
+      *P, GpuSpec::teslaV100(), goodConfig2d(), ProblemSize::paperDefault(2));
+  EXPECT_NE(Report.find("gmem saved vs naive"), std::string::npos);
+  EXPECT_NE(Report.find("redundant computation"), std::string::npos);
+}
+
+TEST(ScheduleReport, InfeasibleConfigExplained) {
+  auto P = makeStarStencil(2, 4, ScalarType::Float);
+  BlockConfig Bad;
+  Bad.BT = 16;
+  Bad.BS = {128}; // 2*16*4 = 128 halo: no compute region
+  std::string Report = renderScheduleReport(
+      *P, GpuSpec::teslaV100(), Bad, ProblemSize::paperDefault(2));
+  EXPECT_NE(Report.find("INFEASIBLE"), std::string::npos);
+}
+
+TEST(ScheduleReport, ScheduleSectionShowsParity) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 4;
+  C.BS = {256};
+  C.HS = 256;
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  Problem.TimeSteps = 13; // forces remainder + parity handling
+  std::string Report =
+      renderScheduleReport(*P, GpuSpec::teslaV100(), C, Problem);
+  EXPECT_NE(Report.find("kernel calls"), std::string::npos);
+  EXPECT_NE(Report.find("result buffer"), std::string::npos);
+  EXPECT_NE(Report.find("A[1]"), std::string::npos) << "13 % 2 == 1";
+}
+
+TEST(ScheduleReport, ThreeDimensionalConfig) {
+  auto P = makeJacobi3d27pt(ScalarType::Double);
+  BlockConfig C;
+  C.BT = 3;
+  C.BS = {32, 32};
+  C.HS = 256;
+  std::string Report = renderScheduleReport(
+      *P, GpuSpec::teslaP100(), C, ProblemSize::paperDefault(3));
+  EXPECT_NE(Report.find("P100"), std::string::npos);
+  EXPECT_NE(Report.find("26 x 26"), std::string::npos)
+      << "compute region 32 - 2*3*1 per blocked dimension";
+}

@@ -1,0 +1,75 @@
+//===- SchedulerTest.cpp - Temporal block schedule invariants ----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TimeBlockScheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace an5d;
+
+TEST(Scheduler, DivisibleAndParityAligned) {
+  // IT=8, bT=4: two calls, 8 mod 2 == 2 mod 2: no adjustment.
+  std::vector<int> Degrees = scheduleTimeBlocks(8, 4);
+  EXPECT_EQ(Degrees, (std::vector<int>{4, 4}));
+}
+
+TEST(Scheduler, RemainderBlockAppended) {
+  // IT=10, bT=4: 4+4+2 = three calls; 10 mod 2 = 0 != 3 mod 2 -> split.
+  std::vector<int> Degrees = scheduleTimeBlocks(10, 4);
+  long long Sum = std::accumulate(Degrees.begin(), Degrees.end(), 0LL);
+  EXPECT_EQ(Sum, 10);
+  EXPECT_EQ(Degrees.size() % 2, 0u);
+}
+
+TEST(Scheduler, ParityMismatchSplitsABlock) {
+  // IT=4, bT=4: one call but 4 mod 2 = 0 -> must split into two.
+  std::vector<int> Degrees = scheduleTimeBlocks(4, 4);
+  EXPECT_EQ(Degrees, (std::vector<int>{2, 2}));
+}
+
+TEST(Scheduler, DegreeOneTrivial) {
+  std::vector<int> Degrees = scheduleTimeBlocks(7, 1);
+  EXPECT_EQ(Degrees.size(), 7u);
+  for (int D : Degrees)
+    EXPECT_EQ(D, 1);
+}
+
+TEST(Scheduler, ZeroSteps) {
+  EXPECT_TRUE(scheduleTimeBlocks(0, 4).empty());
+}
+
+TEST(Scheduler, SingleStep) {
+  EXPECT_EQ(scheduleTimeBlocks(1, 8), (std::vector<int>{1}));
+}
+
+TEST(Scheduler, TwoStepsLargeBt) {
+  // IT=2, bT=8: [2] has one call, parity 0 != 1 -> split into [1,1].
+  EXPECT_EQ(scheduleTimeBlocks(2, 8), (std::vector<int>{1, 1}));
+}
+
+/// Exhaustive invariant sweep over (IT, bT).
+class SchedulerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerSweep, InvariantsHoldForAllTimeStepCounts) {
+  int BT = GetParam();
+  for (long long IT = 0; IT <= 64; ++IT) {
+    std::vector<int> Degrees = scheduleTimeBlocks(IT, BT);
+    long long Sum = 0;
+    for (int D : Degrees) {
+      EXPECT_GE(D, 1) << "IT=" << IT << " bT=" << BT;
+      EXPECT_LE(D, BT) << "IT=" << IT << " bT=" << BT;
+      Sum += D;
+    }
+    EXPECT_EQ(Sum, IT) << "IT=" << IT << " bT=" << BT;
+    EXPECT_EQ(static_cast<long long>(Degrees.size()) % 2, IT % 2)
+        << "buffer parity, IT=" << IT << " bT=" << BT;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, SchedulerSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 16));

@@ -1,0 +1,105 @@
+//===- SupportTest.cpp - Unit tests for the support library -----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceilDiv(10, 5), 2);
+  EXPECT_EQ(ceilDiv(11, 5), 3);
+  EXPECT_EQ(ceilDiv(0, 5), 0);
+  EXPECT_EQ(ceilDiv(1, 5), 1);
+  EXPECT_EQ(ceilDiv<long long>(16384, 236), 70);
+}
+
+TEST(RoundUpTo, Basics) {
+  EXPECT_EQ(roundUpTo(10, 4), 12);
+  EXPECT_EQ(roundUpTo(12, 4), 12);
+  EXPECT_EQ(roundUpTo(1, 32), 32);
+}
+
+TEST(ClampTo, Basics) {
+  EXPECT_EQ(clampTo(5, 0, 10), 5);
+  EXPECT_EQ(clampTo(-5, 0, 10), 0);
+  EXPECT_EQ(clampTo(50, 0, 10), 10);
+}
+
+TEST(Ipow, SmallPowers) {
+  EXPECT_EQ(ipow(3, 0), 1);
+  EXPECT_EQ(ipow(3, 2), 9);
+  EXPECT_EQ(ipow(5, 3), 125);
+  EXPECT_EQ(ipow(9, 3), 729);
+}
+
+TEST(Diagnostics, AccumulateAndRender) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 2}, "something odd");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({3, 4}, "something wrong");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  std::string Text = Diags.toString();
+  EXPECT_NE(Text.find("warning: 1:2: something odd"), std::string::npos);
+  EXPECT_NE(Text.find("error: 3:4: something wrong"), std::string::npos);
+}
+
+TEST(Diagnostics, UnknownLocationOmitted) {
+  Diagnostic D;
+  D.Kind = DiagnosticKind::Error;
+  D.Message = "no location";
+  EXPECT_EQ(D.toString(), "error: no location");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error({1, 1}, "x");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtils, IndentLines) {
+  EXPECT_EQ(indentLines("a\nb\n", 2), "  a\n  b\n");
+  EXPECT_EQ(indentLines("a\n\nb", 2), "  a\n\n  b");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+TEST(StringUtils, CountOccurrences) {
+  EXPECT_EQ(countOccurrences("aaaa", "aa"), 2u);
+  EXPECT_EQ(countOccurrences("CALC1 CALC2 CALC1", "CALC1"), 2u);
+  EXPECT_EQ(countOccurrences("abc", ""), 0u);
+}
+
+TEST(StringUtils, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(formatDouble(0.125, 3), "0.125");
+}
+
+TEST(SourceLocation, Validity) {
+  SourceLocation Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  EXPECT_EQ(Invalid.toString(), "<unknown>");
+  SourceLocation Valid{3, 7};
+  EXPECT_TRUE(Valid.isValid());
+  EXPECT_EQ(Valid.toString(), "3:7");
+}

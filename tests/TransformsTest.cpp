@@ -1,0 +1,154 @@
+//===- TransformsTest.cpp - Expression simplification transforms --------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/ExprSimplify.h"
+
+#include "ir/ExprAnalysis.h"
+#include "ir/ExprEval.h"
+#include "sim/Grid.h"
+#include "sim/ReferenceExecutor.h"
+#include "stencils/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+ExprPtr read(int I, int J) { return makeGridRead("A", {I, J}); }
+
+} // namespace
+
+TEST(ConstantExpr, Detection) {
+  EXPECT_TRUE(isConstantExpr(*makeNumber(3.0)));
+  EXPECT_TRUE(isConstantExpr(*makeCoefficient("c")));
+  EXPECT_FALSE(isConstantExpr(*read(0, 0)));
+  EXPECT_TRUE(isConstantExpr(*makeAdd(makeNumber(1), makeNumber(2))));
+  EXPECT_FALSE(isConstantExpr(*makeAdd(makeNumber(1), read(0, 0))));
+}
+
+TEST(ConstantExpr, Evaluation) {
+  ExprPtr E = makeDiv(makeNumber(10.0), makeNumber(4.0));
+  EXPECT_DOUBLE_EQ(evaluateConstantExpr(*E, nullptr), 2.5);
+
+  StencilProgram P("t", 2, ScalarType::Double, "A",
+                   makeMul(makeCoefficient("c"), read(0, 0)), {{"c", 3.0}});
+  ExprPtr WithCoef = makeMul(makeCoefficient("c"), makeNumber(2.0));
+  EXPECT_DOUBLE_EQ(evaluateConstantExpr(*WithCoef, &P), 6.0);
+}
+
+TEST(Simplify, FoldsConstantSubtrees) {
+  // (2 + 3) * A[0][0] -> 5 * A[0][0]
+  SimplifyStats Stats;
+  ExprPtr E = makeMul(makeAdd(makeNumber(2), makeNumber(3)), read(0, 0));
+  ExprPtr S = simplifyExpr(std::move(E), nullptr, &Stats);
+  EXPECT_EQ(S->toString(), "(5 * A[i][j])");
+  EXPECT_EQ(Stats.ConstantsFolded, 1);
+}
+
+TEST(Simplify, RemovesIdentities) {
+  SimplifyStats Stats;
+  // 1 * A + 0 -> A
+  ExprPtr E = makeAdd(makeMul(makeNumber(1), read(0, 0)), makeNumber(0));
+  ExprPtr S = simplifyExpr(std::move(E), nullptr, &Stats);
+  EXPECT_EQ(S->toString(), "A[i][j]");
+  EXPECT_EQ(Stats.IdentitiesRemoved, 2);
+
+  // A * 0 -> 0
+  ExprPtr Zero = simplifyExpr(makeMul(read(0, 0), makeNumber(0)));
+  const auto *N = dyn_cast<NumberExpr>(Zero.get());
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->value(), 0.0);
+}
+
+TEST(Simplify, FoldsDoubleNegation) {
+  SimplifyStats Stats;
+  ExprPtr E = makeNeg(makeNeg(read(1, 0)));
+  ExprPtr S = simplifyExpr(std::move(E), nullptr, &Stats);
+  EXPECT_EQ(S->toString(), "A[i+1][j]");
+  EXPECT_GE(Stats.NegationsFolded, 1);
+}
+
+TEST(Simplify, DivisionByOne) {
+  ExprPtr S = simplifyExpr(makeDiv(read(0, 0), makeNumber(1)));
+  EXPECT_EQ(S->toString(), "A[i][j]");
+}
+
+TEST(Simplify, FoldsConstantCalls) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(makeNumber(9.0));
+  ExprPtr S = simplifyExpr(makeCall("sqrt", std::move(Args)));
+  const auto *N = dyn_cast<NumberExpr>(S.get());
+  ASSERT_NE(N, nullptr);
+  EXPECT_DOUBLE_EQ(N->value(), 3.0);
+}
+
+TEST(Simplify, LeavesNonTrivialExpressionsAlone) {
+  // j2d5pt has no dead arithmetic; simplification must be a no-op.
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  SimplifyStats Stats;
+  ExprPtr S = simplifyExpr(P->update().clone(), P.get(), &Stats);
+  EXPECT_TRUE(S->equals(P->update()));
+  EXPECT_EQ(Stats.total(), 0);
+}
+
+TEST(Simplify, PreservesDoublePrecisionSemantics) {
+  // Simplified expressions evaluate to the same double value (folding is
+  // exact in double precision).
+  ExprPtr Original =
+      makeAdd(makeMul(makeAdd(makeNumber(0.25), makeNumber(0.5)),
+                      read(0, 0)),
+              makeMul(makeNumber(1.0), read(1, 0)));
+  ExprPtr Simplified = simplifyExpr(Original->clone());
+  auto Read = [](const GridReadExpr &R) -> double {
+    return R.offsets()[0] == 0 ? 1.5 : -2.0;
+  };
+  auto Coef = [](const std::string &) -> double { return 0; };
+  EXPECT_DOUBLE_EQ(evalExpr<double>(*Original, Read, Coef),
+                   evalExpr<double>(*Simplified, Read, Coef));
+}
+
+TEST(DivToMul, RewritesConstantDivision) {
+  auto P = makeJacobi2d5pt(ScalarType::Double);
+  int Rewritten = 0;
+  ExprPtr R =
+      rewriteDivisionByConstant(P->update().clone(), P.get(), &Rewritten);
+  EXPECT_EQ(Rewritten, 1);
+  EXPECT_EQ(countFlops(*R).Divs, 0);
+  EXPECT_FALSE(containsConstantDivision(*R));
+  // The rewritten program escapes the Section 7.1 double-division penalty.
+  StencilProgram Q("j2d5pt-recip", 2, ScalarType::Double, "A", R->clone());
+  EXPECT_FALSE(Q.usesDivision());
+}
+
+TEST(DivToMul, LeavesNonConstantDivisionAlone) {
+  // gradient2d divides by sqrt(...) which reads the grid: untouched.
+  auto P = makeGradient2d(ScalarType::Double);
+  int Rewritten = 0;
+  ExprPtr R =
+      rewriteDivisionByConstant(P->update().clone(), P.get(), &Rewritten);
+  EXPECT_EQ(Rewritten, 0);
+  EXPECT_TRUE(R->equals(P->update()));
+}
+
+TEST(DivToMul, NumericallyCloseOnRealRun) {
+  // The rewritten j2d5pt must stay within float tolerance of the original
+  // over several reference steps (it is a work-around, not an identity).
+  auto Original = makeJacobi2d5pt(ScalarType::Float);
+  ExprPtr Rewritten = rewriteDivisionByConstant(
+      Original->update().clone(), Original.get());
+  StencilProgram Recip("j2d5pt-recip", 2, ScalarType::Float, "A",
+                       std::move(Rewritten));
+
+  Grid<float> A0({20, 18}, 1), A1({20, 18}, 1);
+  fillGridDeterministic(A0, 21);
+  copyGrid(A0, A1);
+  Grid<float> B0 = A0, B1 = A0;
+  referenceRun<float>(*Original, {&A0, &A1}, 6);
+  referenceRun<float>(Recip, {&B0, &B1}, 6);
+  for (std::size_t I = 0; I < A0.raw().size(); ++I)
+    EXPECT_NEAR(A0.raw()[I], B0.raw()[I], 1e-5f);
+}

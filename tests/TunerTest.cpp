@@ -1,0 +1,145 @@
+//===- TunerTest.cpp - Section 6.3 tuning flow --------------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuning/Tuner.h"
+
+#include "model/RegisterModel.h"
+#include "stencils/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+TEST(Tuner, EnumerationMatchesSection63Counts) {
+  Tuner T(GpuSpec::teslaV100());
+  auto P2 = makeStarStencil(2, 1, ScalarType::Float);
+  // 16 bT x 3 bS x 3 hS = 144 configurations for 2D.
+  EXPECT_EQ(T.enumerateConfigs(*P2).size(), 144u);
+  auto P3 = makeStarStencil(3, 1, ScalarType::Float);
+  // 8 bT x 4 shapes x 2 hS = 64 configurations for 3D.
+  EXPECT_EQ(T.enumerateConfigs(*P3).size(), 64u);
+}
+
+TEST(Tuner, RankingIsSortedAndFeasible) {
+  Tuner T(GpuSpec::teslaV100());
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  auto Ranked = T.rankByModel(*P, Problem, 5);
+  ASSERT_EQ(Ranked.size(), 5u);
+  for (std::size_t I = 1; I < Ranked.size(); ++I)
+    EXPECT_GE(Ranked[I - 1].Model.Gflops, Ranked[I].Model.Gflops);
+  for (const RankedConfig &R : Ranked) {
+    EXPECT_TRUE(R.Model.Feasible);
+    EXPECT_TRUE(R.Config.isFeasible(P->radius()));
+  }
+}
+
+TEST(Tuner, HighDegreePreferredForFirstOrder2d) {
+  // Fig. 8: first-order 2D stencils peak at high temporal degrees (8-15).
+  Tuner T(GpuSpec::teslaV100());
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  TuneOutcome Outcome = T.tune(*P, ProblemSize::paperDefault(2));
+  ASSERT_TRUE(Outcome.Feasible);
+  EXPECT_GE(Outcome.Best.BT, 6) << Outcome.Best.toString();
+}
+
+TEST(Tuner, LowDegreePreferredForHighOrder3dBox) {
+  // Table 5: box3d3r/box3d4r peak at bT = 1 (register pressure and halo
+  // ratio kill temporal scaling).
+  Tuner T(GpuSpec::teslaV100());
+  auto P = makeBoxStencil(3, 4, ScalarType::Float);
+  TuneOutcome Outcome = T.tune(*P, ProblemSize::paperDefault(3));
+  ASSERT_TRUE(Outcome.Feasible);
+  EXPECT_LE(Outcome.Best.BT, 2) << Outcome.Best.toString();
+}
+
+TEST(Tuner, TunedBeatsSconfForFirstOrder) {
+  Tuner T(GpuSpec::teslaV100());
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  TuneOutcome Tuned = T.tune(*P, Problem);
+  ASSERT_TRUE(Tuned.Feasible);
+  BlockConfig Sconf = Tuner::sconf(*P);
+  MeasuredResult SconfResult =
+      simulateMeasured(*P, T.spec(), Sconf, Problem);
+  ASSERT_TRUE(SconfResult.Feasible);
+  EXPECT_GT(Tuned.BestMeasured.MeasuredGflops, SconfResult.MeasuredGflops);
+}
+
+TEST(Tuner, SconfShapes) {
+  auto P2 = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig S2 = Tuner::sconf(*P2);
+  EXPECT_EQ(S2.BT, 4);
+  EXPECT_EQ(S2.BS, (std::vector<int>{32}));
+  EXPECT_EQ(S2.HS, 128);
+  auto P3 = makeStarStencil(3, 1, ScalarType::Float);
+  BlockConfig S3 = Tuner::sconf(*P3);
+  EXPECT_EQ(S3.BS.size(), 2u);
+  EXPECT_EQ(S3.HS, 0) << "streaming division disabled for 3D Sconf";
+}
+
+TEST(Tuner, ModelAccuracyWithinPaperBands) {
+  // Section 7.2: measured/model accuracy averages ~67% on V100 and ~49% on
+  // P100 for shared-memory-bound stencils.
+  for (auto [Spec, Low, High] :
+       {std::tuple{GpuSpec::teslaV100(), 0.5, 0.95},
+        std::tuple{GpuSpec::teslaP100(), 0.3, 0.75}}) {
+    Tuner T(Spec);
+    auto P = makeStarStencil(2, 1, ScalarType::Float);
+    TuneOutcome Outcome = T.tune(*P, ProblemSize::paperDefault(2));
+    ASSERT_TRUE(Outcome.Feasible);
+    double Accuracy = Outcome.BestMeasured.modelAccuracy();
+    EXPECT_GE(Accuracy, Low) << Spec.Name;
+    EXPECT_LE(Accuracy, High) << Spec.Name;
+  }
+}
+
+TEST(Tuner, DoubleDivisionPenaltyShowsUp) {
+  // j2d5pt double achieves far less than its model prediction (Fig. 6
+  // discussion), unlike the division-free star2d1r.
+  Tuner T(GpuSpec::teslaV100());
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  auto Jacobi = makeJacobi2d5pt(ScalarType::Double);
+  auto Star = makeStarStencil(2, 1, ScalarType::Double);
+  TuneOutcome JacobiOutcome = T.tune(*Jacobi, Problem);
+  TuneOutcome StarOutcome = T.tune(*Star, Problem);
+  ASSERT_TRUE(JacobiOutcome.Feasible && StarOutcome.Feasible);
+  EXPECT_LT(JacobiOutcome.BestMeasured.modelAccuracy(),
+            StarOutcome.BestMeasured.modelAccuracy());
+}
+
+TEST(Tuner, RegisterCapChosenFromMenu) {
+  Tuner T(GpuSpec::teslaV100());
+  auto P = makeStarStencil(2, 2, ScalarType::Float);
+  TuneOutcome Outcome = T.tune(*P, ProblemSize::paperDefault(2));
+  ASSERT_TRUE(Outcome.Feasible);
+  bool InMenu = Outcome.Best.RegisterCap == 0 ||
+                Outcome.Best.RegisterCap == 32 ||
+                Outcome.Best.RegisterCap == 64 ||
+                Outcome.Best.RegisterCap == 96;
+  EXPECT_TRUE(InMenu);
+  // The chosen cap never forces spilling.
+  if (Outcome.Best.RegisterCap > 0) {
+    EXPECT_GE(Outcome.Best.RegisterCap,
+              an5dRegistersPerThread(*P, Outcome.Best.BT));
+  }
+}
+
+TEST(Tuner, AllBenchmarksTuneFeasibly) {
+  Tuner T(GpuSpec::teslaV100());
+  for (const std::string &Name : benchmarkStencilNames()) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    ProblemSize Problem = ProblemSize::paperDefault(P->numDims());
+    TuneOutcome Outcome = T.tune(*P, Problem);
+    EXPECT_TRUE(Outcome.Feasible) << Name;
+    if (Outcome.Feasible) {
+      EXPECT_GT(Outcome.BestMeasured.MeasuredGflops, 0) << Name;
+      EXPECT_LT(Outcome.BestMeasured.MeasuredGflops,
+                T.spec().PeakGflopsFloat)
+          << Name << ": cannot beat peak";
+    }
+  }
+}

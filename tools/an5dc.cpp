@@ -1,0 +1,430 @@
+//===- an5dc.cpp - The AN5D source-to-source stencil compiler -----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line front door of the framework, mirroring what the paper's
+/// AN5D tool does: read an unoptimized double-buffered C stencil, detect
+/// the pattern, pick (or accept) a blocking configuration, and emit CUDA
+/// host + kernel code. Additional switches expose the performance model,
+/// the tuner and the portable self-checking C++ backend.
+///
+/// Usage:
+///   an5dc [options] input.c
+///   an5dc --list-benchmarks
+///   an5dc --benchmark j2d5pt --tune --emit-cuda out/
+///
+/// Options:
+///   --name NAME          stencil name (default: input file stem)
+///   --benchmark NAME     use a built-in Table 3 benchmark instead of a file
+///   --type float|double  element type override
+///   --device v100|p100   target GPU for tuning/model (default v100)
+///   --bt N --bs N[,N] --hs N --regs N    manual configuration
+///   --tune               pick the configuration with the Section 6.3 flow
+///   --print-stencil      show the detected stencil and classification
+///   --print-model        show the roofline breakdown for the configuration
+///   --emit-cuda DIR      write <kernel>.cu and <kernel>_host.cpp to DIR
+///   --emit-check DIR     write the self-checking portable C++ program
+///   --verify             run the blocked emulator vs the reference
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppCodegen.h"
+#include "codegen/CudaCodegen.h"
+#include "codegen/LoopTilingCodegen.h"
+#include "frontend/StencilExtractor.h"
+#include "report/ScheduleReport.h"
+#include "sim/BlockedExecutor.h"
+#include "sim/Grid.h"
+#include "sim/MeasuredSimulator.h"
+#include "sim/ReferenceExecutor.h"
+#include "stencils/Benchmarks.h"
+#include "transforms/ExprSimplify.h"
+#include "tuning/Tuner.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+using namespace an5d;
+
+namespace {
+
+struct CliOptions {
+  std::string InputPath;
+  std::string Name;
+  std::string Benchmark;
+  std::optional<ScalarType> Type;
+  bool UseP100 = false;
+  int BT = 0;
+  std::vector<int> BS;
+  int HS = -1;
+  int Regs = 0;
+  bool Tune = false;
+  bool PrintStencil = false;
+  bool PrintModel = false;
+  bool Report = false;
+  bool Simplify = false;
+  bool DivToMul = false;
+  bool Verify = false;
+  CodegenOptions Codegen;
+  std::string EmitCudaDir;
+  std::string EmitCheckDir;
+  std::string EmitLoopTilingDir;
+  bool ListBenchmarks = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: an5dc [options] input.c\n"
+      "  --benchmark NAME | --list-benchmarks\n"
+      "  --name NAME --type float|double --device v100|p100\n"
+      "  --bt N --bs N[,N] --hs N --regs N | --tune\n"
+      "  --print-stencil --print-model --report --verify\n"
+      "  --simplify --div-to-mul\n"
+      "  --no-assoc-opt --no-dafree-opt --vectorized-smem --unroll-inner\n"
+      "  --emit-cuda DIR --emit-check DIR --emit-loop-tiling DIR\n");
+}
+
+std::vector<int> parseIntList(const std::string &Text) {
+  std::vector<int> Out;
+  std::stringstream Stream(Text);
+  std::string Item;
+  while (std::getline(Stream, Item, ','))
+    Out.push_back(std::atoi(Item.c_str()));
+  return Out;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "an5dc: missing value for %s\n", Arg.c_str());
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else if (Arg == "--list-benchmarks") {
+      Options.ListBenchmarks = true;
+    } else if (Arg == "--benchmark") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Benchmark = V;
+    } else if (Arg == "--name") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Name = V;
+    } else if (Arg == "--type") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "float") == 0)
+        Options.Type = ScalarType::Float;
+      else if (std::strcmp(V, "double") == 0)
+        Options.Type = ScalarType::Double;
+      else {
+        std::fprintf(stderr, "an5dc: unknown type '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--device") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.UseP100 = std::strcmp(V, "p100") == 0;
+    } else if (Arg == "--bt") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.BT = std::atoi(V);
+    } else if (Arg == "--bs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.BS = parseIntList(V);
+    } else if (Arg == "--hs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.HS = std::atoi(V);
+    } else if (Arg == "--regs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Regs = std::atoi(V);
+    } else if (Arg == "--tune") {
+      Options.Tune = true;
+    } else if (Arg == "--print-stencil") {
+      Options.PrintStencil = true;
+    } else if (Arg == "--print-model") {
+      Options.PrintModel = true;
+    } else if (Arg == "--report") {
+      Options.Report = true;
+    } else if (Arg == "--simplify") {
+      Options.Simplify = true;
+    } else if (Arg == "--div-to-mul") {
+      Options.DivToMul = true;
+    } else if (Arg == "--verify") {
+      Options.Verify = true;
+    } else if (Arg == "--no-assoc-opt") {
+      // Section 4.3.3: the associative-stencil optimization can be
+      // disabled with a compile-time switch.
+      Options.Codegen.EnableAssociativeOpt = false;
+    } else if (Arg == "--no-dafree-opt") {
+      Options.Codegen.EnableDiagonalAccessFreeOpt = false;
+    } else if (Arg == "--vectorized-smem") {
+      // Re-enable NVCC's vectorized shared-memory access (the paper
+      // disables it by default to cut register pressure).
+      Options.Codegen.DisableVectorizedSmemAccess = false;
+    } else if (Arg == "--unroll-inner") {
+      Options.Codegen.UnrollInnerLoop = true;
+    } else if (Arg == "--emit-cuda") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.EmitCudaDir = V;
+    } else if (Arg == "--emit-check") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.EmitCheckDir = V;
+    } else if (Arg == "--emit-loop-tiling") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.EmitLoopTilingDir = V;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "an5dc: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Options.InputPath = Arg;
+    }
+  }
+  return true;
+}
+
+/// Verifies the blocked schedule against the reference on a small grid.
+template <typename T>
+bool verifyBlocked(const StencilProgram &Program, const BlockConfig &Config) {
+  std::vector<long long> Extents =
+      Program.numDims() == 2 ? std::vector<long long>{41, 37}
+                             : std::vector<long long>{15, 13, 12};
+  long long Steps = 9;
+  Grid<T> Ref0(Extents, Program.radius()), Ref1(Extents, Program.radius());
+  fillGridDeterministic(Ref0, 77);
+  copyGrid(Ref0, Ref1);
+  Grid<T> Blk0 = Ref0, Blk1 = Ref0;
+  referenceRun<T>(Program, {&Ref0, &Ref1}, Steps);
+  blockedRun<T>(Program, Config, {&Blk0, &Blk1}, Steps);
+  const Grid<T> &Want = Steps % 2 == 0 ? Ref0 : Ref1;
+  const Grid<T> &Got = Steps % 2 == 0 ? Blk0 : Blk1;
+  return Want.raw() == Got.raw();
+}
+
+/// Shrinks a tuned configuration to something the CPU emulator can verify
+/// quickly while preserving the temporal degree when possible.
+BlockConfig verificationConfig(const StencilProgram &Program,
+                               const BlockConfig &Tuned) {
+  BlockConfig Small = Tuned;
+  int Rad = Program.radius();
+  while (Small.BT > 1 && 2 * Small.BT * Rad + 8 > 40)
+    --Small.BT; // keep blocks emulator-sized
+  for (int &B : Small.BS)
+    B = 2 * Small.BT * Rad + 8;
+  Small.HS = 10;
+  return Small;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Options;
+  if (!parseArgs(Argc, Argv, Options)) {
+    printUsage();
+    return 2;
+  }
+
+  if (Options.ListBenchmarks) {
+    for (const std::string &Name : benchmarkStencilNames())
+      std::printf("%s\n", Name.c_str());
+    return 0;
+  }
+
+  // Obtain the stencil: built-in benchmark or parsed C input.
+  std::unique_ptr<StencilProgram> Program;
+  if (!Options.Benchmark.empty()) {
+    Program = makeBenchmarkStencil(
+        Options.Benchmark, Options.Type.value_or(ScalarType::Float));
+    if (!Program) {
+      std::fprintf(stderr, "an5dc: unknown benchmark '%s'\n",
+                   Options.Benchmark.c_str());
+      return 2;
+    }
+  } else {
+    if (Options.InputPath.empty()) {
+      std::fprintf(stderr, "an5dc: no input file\n");
+      printUsage();
+      return 2;
+    }
+    std::ifstream In(Options.InputPath);
+    if (!In) {
+      std::fprintf(stderr, "an5dc: cannot open '%s'\n",
+                   Options.InputPath.c_str());
+      return 2;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    std::string Name = Options.Name.empty()
+                           ? std::filesystem::path(Options.InputPath)
+                                 .stem()
+                                 .string()
+                           : Options.Name;
+    DiagnosticEngine Diags;
+    StencilExtractor Extractor(Diags);
+    auto Result =
+        Extractor.extractFromSource(Buffer.str(), Name, Options.Type);
+    if (!Result) {
+      std::fprintf(stderr, "%s", Diags.toString().c_str());
+      return 1;
+    }
+    Program = std::move(Result->Program);
+  }
+
+  // Opt-in normalization passes (these change floating-point rounding;
+  // the default pipeline stays bit-exact with the input program).
+  if (Options.Simplify || Options.DivToMul) {
+    ExprPtr Update = Program->update().clone();
+    if (Options.Simplify) {
+      SimplifyStats Stats;
+      Update = simplifyExpr(std::move(Update), Program.get(), &Stats);
+      std::printf("simplify: folded %d constants, removed %d identities\n",
+                  Stats.ConstantsFolded, Stats.IdentitiesRemoved);
+    }
+    if (Options.DivToMul) {
+      int Rewritten = 0;
+      Update = rewriteDivisionByConstant(std::move(Update), Program.get(),
+                                         &Rewritten);
+      std::printf("div-to-mul: rewrote %d division(s) by a constant "
+                  "(Section 7.1 work-around)\n",
+                  Rewritten);
+    }
+    Program = std::make_unique<StencilProgram>(
+        Program->name(), Program->numDims(), Program->elemType(),
+        Program->arrayName(), std::move(Update), Program->coefficients());
+  }
+
+  if (Options.PrintStencil)
+    std::printf("%s\n  class: %s, FLOP/cell: %lld, effALU: %.3f\n",
+                Program->toString().c_str(),
+                optimizationClassName(Program->optimizationClass()),
+                Program->flopsPerCell().total(),
+                Program->instructionMix().aluEfficiency());
+
+  GpuSpec Spec =
+      Options.UseP100 ? GpuSpec::teslaP100() : GpuSpec::teslaV100();
+  ProblemSize Problem = ProblemSize::paperDefault(Program->numDims());
+
+  // Configuration: manual, tuned, or a sensible default.
+  BlockConfig Config;
+  if (Options.Tune) {
+    Tuner T(Spec);
+    TuneOutcome Outcome = T.tune(*Program, Problem);
+    if (!Outcome.Feasible) {
+      std::fprintf(stderr, "an5dc: tuning found no feasible config\n");
+      return 1;
+    }
+    Config = Outcome.Best;
+    std::printf("tuned: %s  (simulated %.0f GFLOP/s on %s)\n",
+                Config.toString().c_str(),
+                Outcome.BestMeasured.MeasuredGflops, Spec.Name.c_str());
+  } else {
+    Config.BT = Options.BT > 0 ? Options.BT : 4;
+    if (!Options.BS.empty())
+      Config.BS = Options.BS;
+    else
+      Config.BS = Program->numDims() == 2 ? std::vector<int>{256}
+                                          : std::vector<int>{32, 32};
+    Config.HS = Options.HS >= 0 ? Options.HS
+                                : (Program->numDims() == 2 ? 256 : 128);
+    Config.RegisterCap = Options.Regs;
+    if (!Config.isFeasible(Program->radius(), Spec.MaxThreadsPerBlock)) {
+      std::fprintf(stderr,
+                   "an5dc: configuration %s is infeasible for radius %d\n",
+                   Config.toString().c_str(), Program->radius());
+      return 1;
+    }
+  }
+
+  if (Options.Report)
+    std::printf("%s", renderScheduleReport(*Program, Spec, Config, Problem)
+                          .c_str());
+
+  if (Options.PrintModel) {
+    ModelBreakdown Model = evaluateModel(*Program, Spec, Config, Problem);
+    std::printf("model (%s, %s): %s\n", Spec.Name.c_str(),
+                Problem.toString().c_str(), Model.toString().c_str());
+    MeasuredResult Measured =
+        simulateMeasured(*Program, Spec, Config, Problem);
+    if (Measured.Feasible)
+      std::printf("simulated measurement: %.0f GFLOP/s (accuracy %.0f%%)\n",
+                  Measured.MeasuredGflops,
+                  100 * Measured.modelAccuracy());
+  }
+
+  if (!Options.EmitCudaDir.empty()) {
+    std::filesystem::create_directories(Options.EmitCudaDir);
+    GeneratedCuda Cuda = generateCuda(*Program, Config, Options.Codegen);
+    std::string Base = Options.EmitCudaDir + "/" + Cuda.KernelName;
+    std::ofstream(Base + ".cu") << Cuda.KernelSource;
+    std::ofstream(Base + "_host.cpp") << Cuda.HostSource;
+    std::printf("wrote %s.cu and %s_host.cpp\n", Base.c_str(), Base.c_str());
+  }
+
+  if (!Options.EmitLoopTilingDir.empty()) {
+    std::filesystem::create_directories(Options.EmitLoopTilingDir);
+    GeneratedLoopTiling Baseline = generateLoopTilingCuda(*Program);
+    std::string Path = Options.EmitLoopTilingDir + "/" +
+                       Baseline.KernelName + ".cu";
+    std::ofstream(Path) << Baseline.Source;
+    std::printf("wrote %s (baseline, no temporal blocking)\n",
+                Path.c_str());
+  }
+
+  if (!Options.EmitCheckDir.empty()) {
+    std::filesystem::create_directories(Options.EmitCheckDir);
+    BlockConfig Small = verificationConfig(*Program, Config);
+    ProblemSize CheckSize;
+    CheckSize.Extents = Program->numDims() == 2
+                            ? std::vector<long long>{40, 37}
+                            : std::vector<long long>{14, 12, 11};
+    CheckSize.TimeSteps = 11;
+    std::string Path = Options.EmitCheckDir + "/" +
+                       Program->name() + "_check.cpp";
+    std::ofstream(Path) << generateCppCheckProgram(*Program, Small,
+                                                   CheckSize);
+    std::printf("wrote %s\n", Path.c_str());
+  }
+
+  if (Options.Verify) {
+    BlockConfig Small = verificationConfig(*Program, Config);
+    bool Ok = Program->elemType() == ScalarType::Float
+                  ? verifyBlocked<float>(*Program, Small)
+                  : verifyBlocked<double>(*Program, Small);
+    std::printf("verify (%s): %s\n", Small.toString().c_str(),
+                Ok ? "blocked == reference (bitwise)" : "MISMATCH");
+    if (!Ok)
+      return 1;
+  }
+  return 0;
+}
