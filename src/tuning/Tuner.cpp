@@ -44,7 +44,7 @@ Tuner::enumerateConfigs(const StencilProgram &Program) const {
   for (int BT = 1; BT <= 16; ++BT) {
     BlockConfig C;
     C.BT = BT;
-    C.BS = {};
+    C.BS.clear();
     C.HS = 0;
     Configs.push_back(std::move(C));
   }

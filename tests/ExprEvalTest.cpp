@@ -1,0 +1,142 @@
+//===- ExprEvalTest.cpp - Unit tests for typed expression evaluation ---------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ExprEval.h"
+#include "ir/StencilExpr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+using namespace an5d;
+
+namespace {
+
+/// Evaluates \p E with no grid reads and no coefficients; any lookup fails
+/// the test.
+template <typename T> T evalClosed(const StencilExpr &E) {
+  return evalExpr<T>(
+      E,
+      [](const GridReadExpr &) -> T {
+        ADD_FAILURE() << "unexpected grid read";
+        return T(0);
+      },
+      [](const std::string &) -> T {
+        ADD_FAILURE() << "unexpected coefficient lookup";
+        return T(0);
+      });
+}
+
+} // namespace
+
+TEST(IsKnownMathCall, AcceptsEveryEvaluatorBuiltin) {
+  EXPECT_TRUE(isKnownMathCall("sqrt"));
+  EXPECT_TRUE(isKnownMathCall("sqrtf"));
+  EXPECT_TRUE(isKnownMathCall("fabs"));
+  EXPECT_TRUE(isKnownMathCall("fabsf"));
+  EXPECT_TRUE(isKnownMathCall("exp"));
+  EXPECT_TRUE(isKnownMathCall("expf"));
+}
+
+TEST(IsKnownMathCall, RejectsUnknownCallees) {
+  EXPECT_FALSE(isKnownMathCall("sin"));
+  EXPECT_FALSE(isKnownMathCall("fmin"));
+  EXPECT_FALSE(isKnownMathCall("fmax"));
+  EXPECT_FALSE(isKnownMathCall("pow"));
+  EXPECT_FALSE(isKnownMathCall(""));
+  EXPECT_FALSE(isKnownMathCall("SQRT"));
+  EXPECT_FALSE(isKnownMathCall("sqrtl"));
+}
+
+TEST(ApplyMathCall, MatchesLibm) {
+  EXPECT_DOUBLE_EQ(applyMathCall<double>("sqrt", 2.0), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(applyMathCall<double>("fabs", -3.5), 3.5);
+  EXPECT_DOUBLE_EQ(applyMathCall<double>("exp", 1.0), std::exp(1.0));
+  EXPECT_FLOAT_EQ(applyMathCall<float>("sqrtf", 9.0f), 3.0f);
+  EXPECT_FLOAT_EQ(applyMathCall<float>("fabsf", -0.25f), 0.25f);
+  EXPECT_FLOAT_EQ(applyMathCall<float>("expf", 0.0f), 1.0f);
+}
+
+TEST(EvalExpr, NumberTruncatesToElementType) {
+  ExprPtr E = makeNumber(0.1);
+  EXPECT_DOUBLE_EQ(evalClosed<double>(*E), 0.1);
+  // float evaluation must round the double literal to float precision.
+  EXPECT_EQ(evalClosed<float>(*E), 0.1f);
+}
+
+TEST(EvalExpr, CoefficientGoesThroughLookup) {
+  ExprPtr E = makeAdd(makeCoefficient("c1"), makeCoefficient("c2"));
+  std::map<std::string, double> Coefs = {{"c1", 1.5}, {"c2", 2.5}};
+  double Got = evalExpr<double>(
+      *E, [](const GridReadExpr &) { return 0.0; },
+      [&](const std::string &Name) { return Coefs.at(Name); });
+  EXPECT_DOUBLE_EQ(Got, 4.0);
+}
+
+TEST(EvalExpr, GridReadReceivesTheNode) {
+  ExprPtr E = makeGridRead("A", {-1, 2});
+  double Got = evalExpr<double>(
+      *E,
+      [](const GridReadExpr &Read) {
+        EXPECT_EQ(Read.array(), "A");
+        EXPECT_EQ(Read.offsets(), (std::vector<int>{-1, 2}));
+        return 7.0;
+      },
+      [](const std::string &) { return 0.0; });
+  EXPECT_DOUBLE_EQ(Got, 7.0);
+}
+
+TEST(EvalExpr, UnaryNegation) {
+  ExprPtr E = makeNeg(makeNumber(4.0));
+  EXPECT_DOUBLE_EQ(evalClosed<double>(*E), -4.0);
+  ExprPtr Nested = makeNeg(makeNeg(makeNumber(4.0)));
+  EXPECT_DOUBLE_EQ(evalClosed<double>(*Nested), 4.0);
+}
+
+TEST(EvalExpr, AllBinaryOperators) {
+  EXPECT_DOUBLE_EQ(evalClosed<double>(*makeAdd(makeNumber(3), makeNumber(4))),
+                   7.0);
+  EXPECT_DOUBLE_EQ(evalClosed<double>(*makeSub(makeNumber(3), makeNumber(4))),
+                   -1.0);
+  EXPECT_DOUBLE_EQ(evalClosed<double>(*makeMul(makeNumber(3), makeNumber(4))),
+                   12.0);
+  EXPECT_DOUBLE_EQ(evalClosed<double>(*makeDiv(makeNumber(3), makeNumber(4))),
+                   0.75);
+}
+
+TEST(EvalExpr, DivisionInFloatDiffersFromDouble) {
+  // 1/3 rounds differently in float and double; evalExpr must use the
+  // requested element type for the arithmetic, not promote to double.
+  ExprPtr E = makeDiv(makeNumber(1.0), makeNumber(3.0));
+  EXPECT_EQ(evalClosed<float>(*E), 1.0f / 3.0f);
+  EXPECT_EQ(evalClosed<double>(*E), 1.0 / 3.0);
+  EXPECT_NE(static_cast<double>(evalClosed<float>(*E)),
+            evalClosed<double>(*E));
+}
+
+TEST(EvalExpr, CallAppliesMathBuiltin) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(makeNumber(16.0));
+  ExprPtr E = makeCall("sqrt", std::move(Args));
+  EXPECT_DOUBLE_EQ(evalClosed<double>(*E), 4.0);
+}
+
+TEST(EvalExpr, NestedStencilUpdate) {
+  // 0.25*A[-1] + 0.5*A[0] + 0.25*A[1] over synthetic grid values.
+  ExprPtr Sum = makeMul(makeNumber(0.25), makeGridRead("A", {-1}));
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeNumber(0.5), makeGridRead("A", {0})));
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeNumber(0.25), makeGridRead("A", {1})));
+  double Got = evalExpr<double>(
+      *Sum,
+      [](const GridReadExpr &Read) {
+        return 10.0 + Read.offsets()[0]; // A[-1]=9, A[0]=10, A[1]=11
+      },
+      [](const std::string &) { return 0.0; });
+  EXPECT_DOUBLE_EQ(Got, 0.25 * 9.0 + 0.5 * 10.0 + 0.25 * 11.0);
+}
