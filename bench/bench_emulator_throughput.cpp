@@ -5,9 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Google-benchmark timings of the functional components themselves (not a
-/// paper figure): the reference executor, the blocked N.5D emulator at
-/// several temporal degrees, the thread census and the full tuning flow.
-/// Useful for keeping the reproduction's own tools fast.
+/// paper figure): the reference executor and the blocked N.5D emulator —
+/// both through the default compiled-tape engine and the recursive
+/// tree-walk oracle — plus the thread census and the full tuning flow.
+/// The emulator is the correctness oracle and the tuner's inner loop, so
+/// its throughput bounds how many scenarios the whole reproduction can
+/// sweep; tools/bench_emulator.sh dumps these numbers to
+/// BENCH_emulator.json to track the trajectory PR over PR.
+///
+/// The *TapeVsTreeWalk cases time the tape in the benchmark loop and the
+/// tree walk once up front, reporting the ratio as the
+/// "tape_speedup_x" counter (≥5x expected on the J2d5pt cases).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,20 +28,111 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 using namespace an5d;
 
-static void BM_ReferenceJ2d5pt(benchmark::State &State) {
-  auto P = makeJacobi2d5pt(ScalarType::Float);
-  Grid<float> A({64, 64}, 1), B({64, 64}, 1);
+namespace {
+
+/// Cells per invocation for the given extents and steps.
+long long cellSteps(const std::vector<long long> &Extents, long long Steps) {
+  long long Cells = 1;
+  for (long long E : Extents)
+    Cells *= E;
+  return Cells * Steps;
+}
+
+void runReferenceBench(benchmark::State &State, const StencilProgram &P,
+                       std::vector<long long> Extents, long long Steps,
+                       EvalStrategy Strategy) {
+  Grid<float> A(Extents, P.radius()), B(Extents, P.radius());
   fillGridDeterministic(A, 1);
   copyGrid(A, B);
   for (auto _ : State) {
-    referenceRun<float>(*P, {&A, &B}, 2);
+    referenceRun<float>(P, {&A, &B}, Steps, Strategy);
     benchmark::DoNotOptimize(A.raw().data());
   }
-  State.SetItemsProcessed(State.iterations() * 2 * 64 * 64);
+  State.SetItemsProcessed(State.iterations() * cellSteps(Extents, Steps));
+}
+
+void runBlockedBench(benchmark::State &State, const StencilProgram &P,
+                     const BlockConfig &Config,
+                     std::vector<long long> Extents, long long Steps,
+                     EvalStrategy Strategy) {
+  Grid<float> A(Extents, P.radius()), B(Extents, P.radius());
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  BlockedExecOptions Options;
+  Options.Strategy = Strategy;
+  for (auto _ : State) {
+    blockedRun<float>(P, Config, {&A, &B}, Steps, Options);
+    benchmark::DoNotOptimize(A.raw().data());
+  }
+  State.SetItemsProcessed(State.iterations() * cellSteps(Extents, Steps));
+}
+
+/// Best-of-3 wall time of one tree-walk invocation, for the comparison
+/// counters.
+template <typename Fn> double timeTreeWalkNs(const Fn &Run) {
+  double Best = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    Run();
+    auto End = std::chrono::steady_clock::now();
+    double Ns = std::chrono::duration<double, std::nano>(End - Start).count();
+    Best = Rep == 0 ? Ns : std::min(Best, Ns);
+  }
+  return Best;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Reference executor
+//===----------------------------------------------------------------------===//
+
+static void BM_ReferenceJ2d5pt(benchmark::State &State) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  runReferenceBench(State, *P, {64, 64}, 2, EvalStrategy::CompiledTape);
 }
 BENCHMARK(BM_ReferenceJ2d5pt);
+
+static void BM_ReferenceJ2d5ptTreeWalk(benchmark::State &State) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  runReferenceBench(State, *P, {64, 64}, 2, EvalStrategy::TreeWalk);
+}
+BENCHMARK(BM_ReferenceJ2d5ptTreeWalk);
+
+static void BM_ReferenceStar2d4r(benchmark::State &State) {
+  // High-order (rad 4) star: 17 taps.
+  auto P = makeStarStencil(2, 4, ScalarType::Float);
+  runReferenceBench(State, *P, {64, 64}, 2, EvalStrategy::CompiledTape);
+}
+BENCHMARK(BM_ReferenceStar2d4r);
+
+static void BM_ReferenceBox2d2r(benchmark::State &State) {
+  // High-order (rad 2) box: 25 taps.
+  auto P = makeBoxStencil(2, 2, ScalarType::Float);
+  runReferenceBench(State, *P, {64, 64}, 2, EvalStrategy::CompiledTape);
+}
+BENCHMARK(BM_ReferenceBox2d2r);
+
+static void BM_ReferenceJ3d27pt(benchmark::State &State) {
+  auto P = makeJacobi3d27pt(ScalarType::Float);
+  runReferenceBench(State, *P, {24, 24, 24}, 2, EvalStrategy::CompiledTape);
+}
+BENCHMARK(BM_ReferenceJ3d27pt);
+
+static void BM_ReferenceBox3d2r(benchmark::State &State) {
+  // 3D high-order box: 125 taps.
+  auto P = makeBoxStencil(3, 2, ScalarType::Float);
+  runReferenceBench(State, *P, {24, 24, 24}, 2, EvalStrategy::CompiledTape);
+}
+BENCHMARK(BM_ReferenceBox3d2r);
+
+//===----------------------------------------------------------------------===//
+// Blocked N.5D emulator
+//===----------------------------------------------------------------------===//
 
 static void BM_BlockedJ2d5pt(benchmark::State &State) {
   auto P = makeJacobi2d5pt(ScalarType::Float);
@@ -41,16 +140,33 @@ static void BM_BlockedJ2d5pt(benchmark::State &State) {
   Config.BT = static_cast<int>(State.range(0));
   Config.BS = {64};
   Config.HS = 0;
-  Grid<float> A({64, 64}, 1), B({64, 64}, 1);
-  fillGridDeterministic(A, 1);
-  copyGrid(A, B);
-  for (auto _ : State) {
-    blockedRun<float>(*P, Config, {&A, &B}, Config.BT);
-    benchmark::DoNotOptimize(A.raw().data());
-  }
-  State.SetItemsProcessed(State.iterations() * Config.BT * 64 * 64);
+  runBlockedBench(State, *P, Config, {64, 64}, Config.BT,
+                  EvalStrategy::CompiledTape);
 }
 BENCHMARK(BM_BlockedJ2d5pt)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_BlockedJ2d5ptTreeWalk(benchmark::State &State) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = static_cast<int>(State.range(0));
+  Config.BS = {64};
+  Config.HS = 0;
+  runBlockedBench(State, *P, Config, {64, 64}, Config.BT,
+                  EvalStrategy::TreeWalk);
+}
+BENCHMARK(BM_BlockedJ2d5ptTreeWalk)->Arg(1)->Arg(8);
+
+static void BM_BlockedStar2d2r(benchmark::State &State) {
+  // rad 2 at degree 2: 8 halo lanes per side of the 64-lane block.
+  auto P = makeStarStencil(2, 2, ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = 2;
+  Config.BS = {64};
+  Config.HS = 0;
+  runBlockedBench(State, *P, Config, {64, 64}, 2,
+                  EvalStrategy::CompiledTape);
+}
+BENCHMARK(BM_BlockedStar2d2r);
 
 static void BM_BlockedStar3d(benchmark::State &State) {
   auto P = makeStarStencil(3, 1, ScalarType::Float);
@@ -58,16 +174,84 @@ static void BM_BlockedStar3d(benchmark::State &State) {
   Config.BT = 2;
   Config.BS = {16, 16};
   Config.HS = 0;
-  Grid<float> A({24, 24, 24}, 1), B({24, 24, 24}, 1);
-  fillGridDeterministic(A, 1);
-  copyGrid(A, B);
-  for (auto _ : State) {
-    blockedRun<float>(*P, Config, {&A, &B}, 2);
-    benchmark::DoNotOptimize(A.raw().data());
-  }
-  State.SetItemsProcessed(State.iterations() * 2 * 24 * 24 * 24);
+  runBlockedBench(State, *P, Config, {24, 24, 24}, 2,
+                  EvalStrategy::CompiledTape);
 }
 BENCHMARK(BM_BlockedStar3d);
+
+static void BM_BlockedBox3d2r(benchmark::State &State) {
+  // 3D high-order box (125 taps), rad 2 at degree 1.
+  auto P = makeBoxStencil(3, 2, ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = 1;
+  Config.BS = {16, 16};
+  Config.HS = 0;
+  runBlockedBench(State, *P, Config, {24, 24, 24}, 2,
+                  EvalStrategy::CompiledTape);
+}
+BENCHMARK(BM_BlockedBox3d2r);
+
+//===----------------------------------------------------------------------===//
+// Tape vs tree-walk comparison counters
+//===----------------------------------------------------------------------===//
+
+static void BM_ReferenceJ2d5ptTapeVsTreeWalk(benchmark::State &State) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  Grid<float> A({64, 64}, 1), B({64, 64}, 1);
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  double TreeNs = timeTreeWalkNs([&] {
+    referenceRun<float>(*P, {&A, &B}, 2, EvalStrategy::TreeWalk);
+  });
+  double TapeNs = 0;
+  for (auto _ : State) {
+    auto Start = std::chrono::steady_clock::now();
+    referenceRun<float>(*P, {&A, &B}, 2, EvalStrategy::CompiledTape);
+    auto End = std::chrono::steady_clock::now();
+    TapeNs += std::chrono::duration<double, std::nano>(End - Start).count();
+    benchmark::DoNotOptimize(A.raw().data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * 64 * 64);
+  State.counters["treewalk_ns"] = TreeNs;
+  State.counters["tape_speedup_x"] =
+      TapeNs > 0 ? TreeNs * static_cast<double>(State.iterations()) / TapeNs
+                 : 0;
+}
+BENCHMARK(BM_ReferenceJ2d5ptTapeVsTreeWalk);
+
+static void BM_BlockedJ2d5ptTapeVsTreeWalk(benchmark::State &State) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = 4;
+  Config.BS = {64};
+  Config.HS = 0;
+  Grid<float> A({64, 64}, 1), B({64, 64}, 1);
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  BlockedExecOptions Tree;
+  Tree.Strategy = EvalStrategy::TreeWalk;
+  double TreeNs = timeTreeWalkNs([&] {
+    blockedRun<float>(*P, Config, {&A, &B}, Config.BT, Tree);
+  });
+  double TapeNs = 0;
+  for (auto _ : State) {
+    auto Start = std::chrono::steady_clock::now();
+    blockedRun<float>(*P, Config, {&A, &B}, Config.BT);
+    auto End = std::chrono::steady_clock::now();
+    TapeNs += std::chrono::duration<double, std::nano>(End - Start).count();
+    benchmark::DoNotOptimize(A.raw().data());
+  }
+  State.SetItemsProcessed(State.iterations() * Config.BT * 64 * 64);
+  State.counters["treewalk_ns"] = TreeNs;
+  State.counters["tape_speedup_x"] =
+      TapeNs > 0 ? TreeNs * static_cast<double>(State.iterations()) / TapeNs
+                 : 0;
+}
+BENCHMARK(BM_BlockedJ2d5ptTapeVsTreeWalk);
+
+//===----------------------------------------------------------------------===//
+// Census and tuner
+//===----------------------------------------------------------------------===//
 
 static void BM_ThreadCensus2d(benchmark::State &State) {
   auto P = makeStarStencil(2, 1, ScalarType::Float);

@@ -195,7 +195,8 @@ static ExprPtr lowerExpr(const Expr &E, NestContext &Ctx) {
     if (!isKnownMathCall(Call.callee())) {
       Diags.error(E.loc(),
                   "unknown function '" + Call.callee() +
-                      "'; only math builtins (sqrt, fabs, exp) are allowed");
+                      "'; only math builtins (sqrt, fabs, exp, log, sin, "
+                      "cos) are allowed");
       return nullptr;
     }
     if (Call.args().size() != 1) {

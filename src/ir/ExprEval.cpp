@@ -6,11 +6,56 @@
 
 #include "ir/ExprEval.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace an5d {
 
+std::optional<MathFn> mathFnForCallee(const std::string &Callee) {
+  if (Callee == "sqrt" || Callee == "sqrtf")
+    return MathFn::Sqrt;
+  if (Callee == "fabs" || Callee == "fabsf")
+    return MathFn::Fabs;
+  if (Callee == "exp" || Callee == "expf")
+    return MathFn::Exp;
+  if (Callee == "log" || Callee == "logf")
+    return MathFn::Log;
+  if (Callee == "sin" || Callee == "sinf")
+    return MathFn::Sin;
+  if (Callee == "cos" || Callee == "cosf")
+    return MathFn::Cos;
+  return std::nullopt;
+}
+
+const char *mathFnName(MathFn Fn) {
+  switch (Fn) {
+  case MathFn::Sqrt:
+    return "sqrt";
+  case MathFn::Fabs:
+    return "fabs";
+  case MathFn::Exp:
+    return "exp";
+  case MathFn::Log:
+    return "log";
+  case MathFn::Sin:
+    return "sin";
+  case MathFn::Cos:
+    return "cos";
+  }
+  return "<unknown>";
+}
+
 bool isKnownMathCall(const std::string &Callee) {
-  return Callee == "sqrt" || Callee == "sqrtf" || Callee == "fabs" ||
-         Callee == "fabsf" || Callee == "exp" || Callee == "expf";
+  return mathFnForCallee(Callee).has_value();
+}
+
+void reportUnknownMathCall(const std::string &Callee) {
+  std::fprintf(stderr,
+               "an5d fatal error: unknown math builtin '%s'; supported "
+               "builtins are sqrt, fabs, exp, log, sin, cos (and their "
+               "float 'f' spellings)\n",
+               Callee.c_str());
+  std::abort();
 }
 
 } // namespace an5d

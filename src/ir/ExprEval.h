@@ -5,11 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A typed recursive evaluator for StencilExpr trees. Both the naive
-/// reference executor and the blocked N.5D emulator evaluate cells through
-/// this single entry point, with arithmetic performed in the stencil's
-/// element type — so a correct blocked schedule reproduces the reference
-/// result bit for bit.
+/// A typed recursive evaluator for StencilExpr trees, plus the registry of
+/// math builtins shared by every component that interprets or emits calls
+/// (ExprEval, ExprPlan, the CUDA and C++ code generators, the frontend).
+///
+/// The recursive walk is the semantic oracle of the project: the compiled
+/// tape of ExprPlan.h and both executors are tested bit-for-bit against it.
+/// Hot loops should prefer the tape (see ExprPlan.h); this walk re-resolves
+/// names per node and recurses per cell, which is exactly the overhead the
+/// plan removes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,23 +23,59 @@
 #include "ir/StencilExpr.h"
 
 #include <cmath>
+#include <cstdint>
+#include <optional>
 
 namespace an5d {
+
+/// The math builtins understood by the evaluators and the code generators.
+/// Both the double spelling ("sqrt") and the float spelling ("sqrtf") of a
+/// builtin map to the same opcode; evaluation applies it in the element
+/// type, and the emitters re-spell it for the target scalar type.
+enum class MathFn : std::uint8_t { Sqrt, Fabs, Exp, Log, Sin, Cos };
+
+/// Maps \p Callee ("sqrt", "sqrtf", ...) to its opcode; std::nullopt for
+/// unknown callees.
+std::optional<MathFn> mathFnForCallee(const std::string &Callee);
+
+/// The canonical (double-precision) spelling of \p Fn.
+const char *mathFnName(MathFn Fn);
 
 /// Returns true if \p Callee is a math builtin the evaluator (and the code
 /// generator) understands.
 bool isKnownMathCall(const std::string &Callee);
 
-/// Applies the math builtin \p Callee to \p Arg.
-template <typename T> T applyMathCall(const std::string &Callee, T Arg) {
-  if (Callee == "sqrt" || Callee == "sqrtf")
+/// Prints a fatal diagnostic naming \p Callee and the supported builtin set,
+/// then aborts. Reaching this indicates IR that bypassed the frontend's
+/// isKnownMathCall gate.
+[[noreturn]] void reportUnknownMathCall(const std::string &Callee);
+
+/// Applies the math builtin \p Fn to \p Arg in type \p T.
+template <typename T> T applyMathFn(MathFn Fn, T Arg) {
+  switch (Fn) {
+  case MathFn::Sqrt:
     return static_cast<T>(std::sqrt(Arg));
-  if (Callee == "fabs" || Callee == "fabsf")
+  case MathFn::Fabs:
     return static_cast<T>(std::fabs(Arg));
-  if (Callee == "exp" || Callee == "expf")
+  case MathFn::Exp:
     return static_cast<T>(std::exp(Arg));
-  assert(false && "unknown math builtin");
+  case MathFn::Log:
+    return static_cast<T>(std::log(Arg));
+  case MathFn::Sin:
+    return static_cast<T>(std::sin(Arg));
+  case MathFn::Cos:
+    return static_cast<T>(std::cos(Arg));
+  }
+  assert(false && "unhandled math builtin opcode");
   return Arg;
+}
+
+/// Applies the math builtin named \p Callee to \p Arg; fatal diagnostic on
+/// unknown names.
+template <typename T> T applyMathCall(const std::string &Callee, T Arg) {
+  if (std::optional<MathFn> Fn = mathFnForCallee(Callee))
+    return applyMathFn<T>(*Fn, Arg);
+  reportUnknownMathCall(Callee);
 }
 
 /// Evaluates \p E with element type \p T.

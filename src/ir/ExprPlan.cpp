@@ -1,0 +1,140 @@
+//===- ExprPlan.cpp - Compiled flat-tape stencil evaluation ---------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ExprPlan.h"
+
+#include "ir/ExprAnalysis.h"
+
+#include <cstring>
+#include <limits>
+
+namespace an5d {
+
+namespace {
+
+/// Single-pass lowering state: emits postfix ops and interns constants and
+/// taps as it walks the tree.
+class PlanBuilder {
+public:
+  PlanBuilder(const std::map<std::string, double> &Coefficients,
+              std::vector<TapeOp> &Ops, std::vector<double> &Constants,
+              std::vector<std::vector<int>> &Taps)
+      : Coefficients(Coefficients), Ops(Ops), Constants(Constants),
+        Taps(Taps) {}
+
+  int maxDepth() const { return MaxDepth; }
+
+  void lower(const StencilExpr &E) {
+    switch (E.kind()) {
+    case StencilExpr::Kind::Number:
+      emitConst(cast<NumberExpr>(E).value());
+      return;
+    case StencilExpr::Kind::Coefficient: {
+      auto It = Coefficients.find(cast<CoefficientExpr>(E).name());
+      assert(It != Coefficients.end() && "unbound coefficient");
+      emitConst(It->second);
+      return;
+    }
+    case StencilExpr::Kind::GridRead:
+      emit({TapeOpKind::LoadTap, internTap(cast<GridReadExpr>(E).offsets())},
+           +1);
+      return;
+    case StencilExpr::Kind::Unary:
+      lower(cast<UnaryExpr>(E).operand());
+      emit({TapeOpKind::Neg, 0}, 0);
+      return;
+    case StencilExpr::Kind::Binary: {
+      const auto &B = cast<BinaryExpr>(E);
+      lower(B.lhs());
+      lower(B.rhs());
+      TapeOpKind Kind = TapeOpKind::Add;
+      switch (B.op()) {
+      case BinaryOpKind::Add:
+        Kind = TapeOpKind::Add;
+        break;
+      case BinaryOpKind::Sub:
+        Kind = TapeOpKind::Sub;
+        break;
+      case BinaryOpKind::Mul:
+        Kind = TapeOpKind::Mul;
+        break;
+      case BinaryOpKind::Div:
+        Kind = TapeOpKind::Div;
+        break;
+      }
+      emit({Kind, 0}, -1);
+      return;
+    }
+    case StencilExpr::Kind::Call: {
+      const auto &C = cast<CallExpr>(E);
+      assert(C.args().size() == 1 && "only unary math builtins are supported");
+      lower(*C.args()[0]);
+      std::optional<MathFn> Fn = mathFnForCallee(C.callee());
+      if (!Fn)
+        reportUnknownMathCall(C.callee());
+      emit({TapeOpKind::MathCall, static_cast<std::uint16_t>(*Fn)}, 0);
+      return;
+    }
+    }
+    assert(false && "unhandled expression kind");
+  }
+
+private:
+  void emit(TapeOp Op, int DepthDelta) {
+    Ops.push_back(Op);
+    Depth += DepthDelta;
+    if (Depth > MaxDepth)
+      MaxDepth = Depth;
+  }
+
+  void emitConst(double Value) {
+    emit({TapeOpKind::PushConst, internConst(Value)}, +1);
+  }
+
+  std::uint16_t internConst(double Value) {
+    // Dedup by bit pattern, not operator== — the latter would conflate
+    // +0.0 and -0.0, whose difference is observable (x + -0.0 vs
+    // x + +0.0 at x = -0.0) and would break the bit-for-bit contract.
+    for (std::size_t I = 0; I < Constants.size(); ++I)
+      if (std::memcmp(&Constants[I], &Value, sizeof(double)) == 0)
+        return static_cast<std::uint16_t>(I);
+    assert(Constants.size() < std::numeric_limits<std::uint16_t>::max() &&
+           "constant pool overflow");
+    Constants.push_back(Value);
+    return static_cast<std::uint16_t>(Constants.size() - 1);
+  }
+
+  std::uint16_t internTap(const std::vector<int> &Offsets) {
+    for (std::size_t I = 0; I < Taps.size(); ++I)
+      if (Taps[I] == Offsets)
+        return static_cast<std::uint16_t>(I);
+    assert(Taps.size() < std::numeric_limits<std::uint16_t>::max() &&
+           "tap table overflow");
+    Taps.push_back(Offsets);
+    return static_cast<std::uint16_t>(Taps.size() - 1);
+  }
+
+  const std::map<std::string, double> &Coefficients;
+  std::vector<TapeOp> &Ops;
+  std::vector<double> &Constants;
+  std::vector<std::vector<int>> &Taps;
+  int Depth = 0;
+  int MaxDepth = 0;
+};
+
+} // namespace
+
+ExprPlan ExprPlan::compile(const StencilExpr &Update,
+                           const std::map<std::string, double> &Coefficients) {
+  ExprPlan Plan;
+  PlanBuilder Builder(Coefficients, Plan.Ops, Plan.Constants, Plan.Taps);
+  Builder.lower(Update);
+  Plan.MaxStackDepth = Builder.maxDepth();
+  Plan.HasConstantDivision = containsConstantDivision(Update);
+  return Plan;
+}
+
+} // namespace an5d

@@ -175,7 +175,8 @@ private:
   ExprPtr RHS;
 };
 
-/// A call to a math builtin (sqrt, sqrtf, fabs, fabsf, fmin, fmax, exp).
+/// A call to a unary math builtin (sqrt, fabs, exp, log, sin, cos and
+/// their float 'f' spellings — the MathFn set of ir/ExprEval.h).
 class CallExpr final : public StencilExpr {
 public:
   CallExpr(std::string Callee, std::vector<ExprPtr> Args)

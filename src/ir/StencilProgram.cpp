@@ -7,6 +7,7 @@
 #include "ir/StencilProgram.h"
 
 #include "ir/ExprAnalysis.h"
+#include "ir/ExprPlan.h"
 
 namespace an5d {
 
@@ -61,7 +62,11 @@ StencilProgram::StencilProgram(std::string Name, int NumDims,
   assert((NumDims == 1 || NumDims == 2 || NumDims == 3) &&
          "only 1D/2D/3D stencils are supported");
   analyze();
+  Plan = std::make_unique<ExprPlan>(
+      ExprPlan::compile(*this->Update, this->Coefficients));
 }
+
+StencilProgram::~StencilProgram() = default;
 
 void StencilProgram::analyze() {
   Taps = collectTaps(*Update);

@@ -24,6 +24,8 @@
 
 namespace an5d {
 
+class ExprPlan;
+
 /// Element type of the stencil grid.
 enum class ScalarType { Float, Double };
 
@@ -100,6 +102,8 @@ public:
                  std::string ArrayName, ExprPtr Update,
                  std::map<std::string, double> Coefficients = {});
 
+  ~StencilProgram();
+
   const std::string &name() const { return Name; }
   int numDims() const { return NumDims; }
   ScalarType elemType() const { return ElemType; }
@@ -155,6 +159,12 @@ public:
     return Coefficients;
   }
 
+  /// The compiled flat-tape form of the update expression (ExprPlan.h),
+  /// lowered once at construction. Executors and the measured simulator
+  /// consume this instead of re-walking the tree per cell / per
+  /// configuration.
+  const ExprPlan &plan() const { return *Plan; }
+
   /// Renders the update statement as C-like text (for docs and debugging).
   std::string toString() const;
 
@@ -174,6 +184,7 @@ private:
   std::vector<std::vector<int>> Taps;
   FlopCount Flops;
   InstructionMix Mix;
+  std::unique_ptr<ExprPlan> Plan;
 
   void analyze();
 };

@@ -23,9 +23,16 @@
 ///  * host-side temporal block scheduling with the parity adjustment of
 ///    Section 4.3.1.
 ///
-/// Because every cell evaluates through the same typed ExprEval as the
-/// reference executor, a correct schedule reproduces the naive result bit
-/// for bit — this is the correctness oracle for the whole framework.
+/// Cell evaluation runs through the compiled flat tape of ir/ExprPlan.h by
+/// default: each tap collapses to one flat ring offset
+/// (slot(plane + tap_stream_offset) * laneCount + tap_lane_offset),
+/// re-linearized once per sub-plane and shared by every lane, so the
+/// innermost lane loops do no recursion, name resolution or allocation.
+/// The recursive evalExpr walk remains selectable
+/// (BlockedExecOptions::Strategy = EvalStrategy::TreeWalk) as the
+/// bit-for-bit oracle; both engines perform identical arithmetic, so a
+/// correct schedule reproduces the naive reference result bit for bit
+/// under either — this is the correctness oracle for the whole framework.
 ///
 /// The PoisonHalos option writes quiet NaNs instead of the halo-overwrite
 /// values; since halo values must never feed a valid computation, results
@@ -37,6 +44,7 @@
 #define AN5D_SIM_BLOCKEDEXECUTOR_H
 
 #include "ir/ExprEval.h"
+#include "ir/ExprPlan.h"
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
 #include "sim/Grid.h"
@@ -65,6 +73,9 @@ struct BlockedExecOptions {
   /// the halo-overwrite values. Valid outputs must stay NaN-free.
   bool PoisonHalos = false;
 
+  /// Which evaluation engine cells run through.
+  EvalStrategy Strategy = EvalStrategy::CompiledTape;
+
   /// When set, the emulator accumulates operation counts here.
   BlockedExecStats *Stats = nullptr;
 };
@@ -76,16 +87,38 @@ public:
                   BlockedExecOptions Options = {})
       : Program(Program), Config(Config), Options(Options),
         Radius(Program.radius()),
-        RingDepth(2 * Program.radius() + 1) {
+        RingDepth(2 * Program.radius() + 1),
+        Tape(Program.plan()) {
     assert(Config.isFeasible(Radius) && "infeasible block configuration");
     assert(static_cast<int>(Config.BS.size()) == Program.numDims() - 1 &&
            "one block size per non-streaming dimension required");
+
+    // Lane strides depend only on the configured block sizes, so each
+    // tap's lane-offset component linearizes once here; only the
+    // stream-dimension ring slot varies at run time (per sub-plane).
+    int NumBlockedDims = static_cast<int>(Config.BS.size());
+    LaneStride.assign(static_cast<std::size_t>(NumBlockedDims), 1);
+    {
+      long long Stride = 1;
+      for (int D = NumBlockedDims - 1; D >= 0; --D) {
+        LaneStride[static_cast<std::size_t>(D)] = Stride;
+        Stride *= Config.BS[static_cast<std::size_t>(D)];
+      }
+    }
+    const std::vector<std::vector<int>> &Taps = Program.plan().taps();
+    TapLane.assign(Taps.size(), 0);
+    for (std::size_t K = 0; K < Taps.size(); ++K)
+      for (int D = 0; D < NumBlockedDims; ++D)
+        TapLane[K] += static_cast<long long>(
+                          Taps[K][static_cast<std::size_t>(D) + 1]) *
+                      LaneStride[static_cast<std::size_t>(D)];
+    TapOffsets.assign(Taps.size(), 0);
   }
 
   /// Advances \p TimeSteps steps. \p Buffers[0] holds the input at t=0; on
   /// return the result is in Buffers[TimeSteps % 2], exactly as the
   /// original double-buffered loop would leave it.
-  void run(std::array<Grid<T> *, 2> Buffers, long long TimeSteps) const {
+  void run(std::array<Grid<T> *, 2> Buffers, long long TimeSteps) {
     int InputIndex = 0;
     for (int Degree : scheduleTimeBlocks(TimeSteps, Config.BT)) {
       runInvocation(*Buffers[InputIndex], *Buffers[1 - InputIndex], Degree);
@@ -95,7 +128,7 @@ public:
 
   /// Runs exactly one kernel call of \p Degree combined steps (bypasses
   /// the host-side scheduler); used by the census cross-check tests.
-  void runKernelOnce(const Grid<T> &In, Grid<T> &Out, int Degree) const {
+  void runKernelOnce(const Grid<T> &In, Grid<T> &Out, int Degree) {
     runInvocation(In, Out, Degree);
   }
 
@@ -105,6 +138,14 @@ private:
   BlockedExecOptions Options;
   int Radius;
   int RingDepth;
+  CompiledTape<T> Tape;
+  std::vector<long long> LaneStride;
+  /// Per-tap lane-offset component (constant per configuration).
+  std::vector<long long> TapLane;
+  /// Per-tap flat ring offsets, re-linearized per sub-plane.
+  std::vector<long long> TapOffsets;
+  /// Per-tier ring buffers, reused (re-zeroed) across blocks.
+  std::vector<std::vector<T>> Rings;
 
   static T poisonValue() {
     return std::numeric_limits<T>::quiet_NaN();
@@ -112,7 +153,7 @@ private:
 
   /// One kernel call: one temporal block of \p Degree steps over the whole
   /// grid, reading \p In and writing \p Out.
-  void runInvocation(const Grid<T> &In, Grid<T> &Out, int Degree) const {
+  void runInvocation(const Grid<T> &In, Grid<T> &Out, int Degree) {
     const std::vector<long long> &Extents = In.extents();
     long long StreamExtent = Extents[0];
     int NumBlockedDims = static_cast<int>(Config.BS.size());
@@ -131,6 +172,8 @@ private:
     long long ChunkLength =
         Config.HS > 0 ? static_cast<long long>(Config.HS) : StreamExtent;
     long long NumChunks = ceilDiv(StreamExtent, ChunkLength);
+
+    Rings.resize(static_cast<std::size_t>(Degree));
 
     // Iterate all (chunk, block-tuple) pairs; blocks are independent.
     std::vector<long long> BlockIndex(static_cast<std::size_t>(NumBlockedDims),
@@ -164,7 +207,265 @@ private:
   void runBlock(const Grid<T> &In, Grid<T> &Out, int Degree,
                 long long ChunkLo, long long ChunkHi,
                 const std::vector<long long> &Origins,
-                const std::vector<long long> &ComputeWidth) const {
+                const std::vector<long long> &ComputeWidth) {
+    if (Options.Strategy == EvalStrategy::CompiledTape)
+      runBlockTape(In, Out, Degree, ChunkLo, ChunkHi, Origins, ComputeWidth);
+    else
+      runBlockTree(In, Out, Degree, ChunkLo, ChunkHi, Origins, ComputeWidth);
+  }
+
+  /// A maximal run of span positions of one blocked dimension over which
+  /// the lane classification (exists / interior / tier-valid) is constant.
+  /// Decomposing each dimension into such segments once per block lets the
+  /// tape path run branch-free inner loops — no per-lane coordinate
+  /// decode, no per-lane predicates.
+  struct LaneSeg {
+    long long Lo, Hi;
+    bool Exists, Interior, Valid;
+  };
+
+  /// Classifies span positions [0, \p BS) of a blocked dimension whose
+  /// span starts at coordinate \p SpanLo, for a tier with halo reach
+  /// \p Reach. \p Extent is the grid's interior extent of that dimension;
+  /// [\p OriginLo, OriginLo + Width) its compute region.
+  std::vector<LaneSeg> classifySpan(long long BS, long long SpanLo,
+                                    long long Extent, long long OriginLo,
+                                    long long Width, long long Reach) const {
+    auto ToSpan = [&](long long X) {
+      return clampTo(X - SpanLo, 0LL, BS);
+    };
+    long long ExLo = ToSpan(-Radius), ExHi = ToSpan(Extent + Radius);
+    long long InLo = ToSpan(0), InHi = ToSpan(Extent);
+    long long VaLo = ToSpan(OriginLo - Reach);
+    long long VaHi = ToSpan(OriginLo + Width + Reach);
+    long long Cuts[8] = {0, BS, ExLo, ExHi, InLo, InHi, VaLo, VaHi};
+    std::sort(std::begin(Cuts), std::end(Cuts));
+    std::vector<LaneSeg> Segs;
+    for (int I = 0; I + 1 < 8; ++I) {
+      long long Lo = Cuts[I], Hi = Cuts[I + 1];
+      if (Lo >= Hi)
+        continue;
+      Segs.push_back({Lo, Hi, Lo >= ExLo && Lo < ExHi,
+                      Lo >= InLo && Lo < InHi, Lo >= VaLo && Lo < VaHi});
+    }
+    return Segs;
+  }
+
+  /// Segment-decomposed streaming of one thread-block (CompiledTape
+  /// strategy). Semantically identical to runBlockTree — the equivalence
+  /// suite checks bit-for-bit agreement and identical op census — but
+  /// all per-lane work beyond the tape evaluation itself is hoisted:
+  /// loads/carries become contiguous row copies and evaluations run over
+  /// precomputed lane ranges.
+  void runBlockTape(const Grid<T> &In, Grid<T> &Out, int Degree,
+                    long long ChunkLo, long long ChunkHi,
+                    const std::vector<long long> &Origins,
+                    const std::vector<long long> &ComputeWidth) {
+    const std::vector<long long> &Extents = In.extents();
+    long long StreamExtent = Extents[0];
+    int NumBlockedDims = static_cast<int>(Config.BS.size());
+    int Halo = In.halo();
+    const T *GridIn = In.data();
+    T *GridOut = Out.data();
+    const T Fill = Options.PoisonHalos ? poisonValue() : T(0);
+
+    long long LaneCount = 1;
+    for (int B : Config.BS)
+      LaneCount *= B;
+
+    // Normalize to exactly two loop dimensions (outer, inner). Missing
+    // blocked dimensions become synthetic size-1 dims whose span is the
+    // whole interior, so classifySpan marks them exists/interior/valid
+    // everywhere and the loop structure stays uniform. Grid strides are 0
+    // for synthetic dims (their only position is 0).
+    struct LoopDim {
+      long long BS = 1, SpanLo = 0, Extent = 1, Origin = 0, Width = 1;
+      long long LaneStrideD = 1, GridStrideD = 0;
+    };
+    LoopDim Outer, Inner;
+    auto BindDim = [&](LoopDim &LD, int BD) {
+      LD.BS = Config.BS[static_cast<std::size_t>(BD)];
+      LD.SpanLo = Origins[static_cast<std::size_t>(BD)] -
+                  static_cast<long long>(Degree) * Radius;
+      LD.Extent = Extents[static_cast<std::size_t>(BD) + 1];
+      LD.Origin = Origins[static_cast<std::size_t>(BD)];
+      LD.Width = ComputeWidth[static_cast<std::size_t>(BD)];
+      LD.LaneStrideD = LaneStride[static_cast<std::size_t>(BD)];
+      LD.GridStrideD = In.stride(BD + 1);
+    };
+    if (NumBlockedDims >= 1)
+      BindDim(NumBlockedDims == 1 ? Inner : Outer, 0);
+    if (NumBlockedDims == 2)
+      BindDim(Inner, 1);
+
+    // Per-tier span classification (tier 0 only consumes Exists).
+    std::vector<std::vector<LaneSeg>> OuterSegs(
+        static_cast<std::size_t>(Degree) + 1);
+    std::vector<std::vector<LaneSeg>> InnerSegs(
+        static_cast<std::size_t>(Degree) + 1);
+    for (int Tier = 0; Tier <= Degree; ++Tier) {
+      long long Reach = static_cast<long long>(Degree - Tier) * Radius;
+      OuterSegs[static_cast<std::size_t>(Tier)] =
+          classifySpan(Outer.BS, Outer.SpanLo, Outer.Extent, Outer.Origin,
+                       Outer.Width, Reach);
+      InnerSegs[static_cast<std::size_t>(Tier)] =
+          classifySpan(Inner.BS, Inner.SpanLo, Inner.Extent, Inner.Origin,
+                       Inner.Width, Reach);
+    }
+
+    // Final-tier store window: interior ∩ compute region, per dimension.
+    auto StoreRange = [](const LoopDim &LD) {
+      long long Lo = clampTo(std::max(0LL, LD.Origin) - LD.SpanLo, 0LL,
+                             LD.BS);
+      long long Hi = clampTo(std::min(LD.Extent, LD.Origin + LD.Width) -
+                                 LD.SpanLo,
+                             0LL, LD.BS);
+      return std::pair<long long, long long>(Lo, std::max(Lo, Hi));
+    };
+    auto [StoreLoOut, StoreHiOut] = StoreRange(Outer);
+    auto [StoreLoIn, StoreHiIn] = StoreRange(Inner);
+
+    // Flat-index base of span position (0, 0) in the grid's padded
+    // layout, per plane: PlaneBase(P) = (P + Halo) * stride(0) + SpanBase.
+    long long SpanBase = (Outer.SpanLo + Halo) * Outer.GridStrideD +
+                         (Inner.SpanLo + Halo) * Inner.GridStrideD;
+    long long StreamStride = In.stride(0);
+
+    for (auto &Ring : Rings)
+      Ring.assign(static_cast<std::size_t>(RingDepth) *
+                      static_cast<std::size_t>(LaneCount),
+                  T(0));
+    auto RingSlot = [&](long long Plane) {
+      long long M = Plane % RingDepth;
+      return static_cast<std::size_t>(M < 0 ? M + RingDepth : M);
+    };
+    const std::vector<std::vector<int>> &Taps = Tape.taps();
+    auto LinearizeTaps = [&](long long Plane) {
+      for (std::size_t K = 0; K < Taps.size(); ++K)
+        TapOffsets[K] =
+            static_cast<long long>(RingSlot(Plane + Taps[K][0])) * LaneCount +
+            TapLane[K];
+    };
+
+    long long Tier0Lo =
+        std::max(ChunkLo - static_cast<long long>(Degree) * Radius,
+                 -static_cast<long long>(Radius));
+    long long Tier0Hi =
+        std::min(ChunkHi - 1 + static_cast<long long>(Degree) * Radius,
+                 StreamExtent - 1 + Radius);
+
+    // Streaming schedule: at step s, tier T processes plane s - T*rad.
+    long long SBegin = ChunkLo - static_cast<long long>(Degree) * Radius;
+    long long SEnd = ChunkHi - 1 + static_cast<long long>(Degree) * Radius;
+    for (long long S = SBegin; S <= SEnd; ++S) {
+      // Tier 0: load plane S from global memory into the tier-0 ring.
+      if (S >= Tier0Lo && S <= Tier0Hi && Degree >= 1) {
+        T *DstRow = Rings[0].data() + RingSlot(S) * LaneCount;
+        long long PlaneBase = (S + Halo) * StreamStride + SpanBase;
+        for (const LaneSeg &O : OuterSegs[0])
+          for (long long P1 = O.Lo; P1 < O.Hi; ++P1) {
+            T *Row = DstRow + P1 * Outer.LaneStrideD;
+            long long RowBase = PlaneBase + P1 * Outer.GridStrideD;
+            for (const LaneSeg &I : InnerSegs[0]) {
+              if (O.Exists && I.Exists) {
+                for (long long P2 = I.Lo; P2 < I.Hi; ++P2)
+                  Row[P2] = GridIn[RowBase + P2];
+                if (Options.Stats)
+                  Options.Stats->GmReadOps += I.Hi - I.Lo;
+              } else {
+                std::fill(Row + I.Lo, Row + I.Hi, Fill);
+              }
+            }
+          }
+      }
+
+      // Tiers 1..Degree.
+      for (int Tier = 1; Tier <= Degree; ++Tier) {
+        long long Plane = S - static_cast<long long>(Tier) * Radius;
+        long long Reach = static_cast<long long>(Degree - Tier) * Radius;
+        long long NeedLo = std::max(ChunkLo - Reach,
+                                    -static_cast<long long>(Radius));
+        long long NeedHi =
+            std::min(ChunkHi - 1 + Reach, StreamExtent - 1 + Radius);
+        if (Plane < NeedLo || Plane > NeedHi)
+          continue;
+
+        std::vector<T> &PrevRing =
+            Rings[static_cast<std::size_t>(Tier) - 1];
+        const T *PrevData = PrevRing.data();
+        bool IsInteriorPlane = Plane >= 0 && Plane < StreamExtent;
+        LinearizeTaps(Plane);
+        long long PlaneBase = (Plane + Halo) * StreamStride + SpanBase;
+
+        if (Tier < Degree) {
+          std::vector<T> &DstRing = Rings[static_cast<std::size_t>(Tier)];
+          T *DstRow = DstRing.data() + RingSlot(Plane) * LaneCount;
+          const T *CarryRow = PrevData + RingSlot(Plane) * LaneCount;
+          for (const LaneSeg &O : OuterSegs[static_cast<std::size_t>(Tier)])
+            for (long long P1 = O.Lo; P1 < O.Hi; ++P1) {
+              long long RowOff = P1 * Outer.LaneStrideD;
+              long long RowBase = PlaneBase + P1 * Outer.GridStrideD;
+              for (const LaneSeg &I :
+                   InnerSegs[static_cast<std::size_t>(Tier)]) {
+                long long Len = I.Hi - I.Lo;
+                if (!IsInteriorPlane || !(O.Interior && I.Interior)) {
+                  // Boundary sub-planes / boundary lanes stay pinned to
+                  // the input's boundary conditions; lanes past the
+                  // padded grid are out-of-bound threads. (These refreshes
+                  // are not GmReadOps: the census charges boundary values
+                  // to the tier-0 load, matching the spare-register trick
+                  // of Section 4.1.)
+                  if (O.Exists && I.Exists) {
+                    for (long long P2 = I.Lo; P2 < I.Hi; ++P2)
+                      DstRow[RowOff + P2] = GridIn[RowBase + P2];
+                  } else {
+                    std::fill(DstRow + RowOff + I.Lo, DstRow + RowOff + I.Hi,
+                              Fill);
+                  }
+                } else if (O.Valid && I.Valid) {
+                  for (long long P2 = I.Lo; P2 < I.Hi; ++P2)
+                    DstRow[RowOff + P2] =
+                        Tape.eval(PrevData + RowOff + P2, TapOffsets.data());
+                  if (Options.Stats)
+                    Options.Stats->ComputeOps += Len;
+                } else if (Options.PoisonHalos) {
+                  std::fill(DstRow + RowOff + I.Lo, DstRow + RowOff + I.Hi,
+                            poisonValue());
+                } else {
+                  // Halo overwrite (Section 4.1): carry the previous
+                  // tier's value forward.
+                  for (long long P2 = I.Lo; P2 < I.Hi; ++P2)
+                    DstRow[RowOff + P2] = CarryRow[RowOff + P2];
+                }
+              }
+            }
+        } else {
+          // Final tier: store the compute region of the chunk's own
+          // interior planes straight to global memory.
+          if (!IsInteriorPlane || Plane < ChunkLo || Plane >= ChunkHi)
+            continue;
+          for (long long P1 = StoreLoOut; P1 < StoreHiOut; ++P1) {
+            long long RowOff = P1 * Outer.LaneStrideD;
+            long long RowBase = PlaneBase + P1 * Outer.GridStrideD;
+            for (long long P2 = StoreLoIn; P2 < StoreHiIn; ++P2)
+              GridOut[RowBase + P2] =
+                  Tape.eval(PrevData + RowOff + P2, TapOffsets.data());
+            if (Options.Stats) {
+              Options.Stats->ComputeOps += StoreHiIn - StoreLoIn;
+              Options.Stats->GmWriteOps += StoreHiIn - StoreLoIn;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Per-lane streaming of one thread-block through the recursive
+  /// evalExpr oracle (EvalStrategy::TreeWalk).
+  void runBlockTree(const Grid<T> &In, Grid<T> &Out, int Degree,
+                    long long ChunkLo, long long ChunkHi,
+                    const std::vector<long long> &Origins,
+                    const std::vector<long long> &ComputeWidth) {
     const std::vector<long long> &Extents = In.extents();
     long long StreamExtent = Extents[0];
     int NumBlockedDims = static_cast<int>(Config.BS.size());
@@ -174,23 +475,14 @@ private:
     long long LaneCount = 1;
     for (int B : Config.BS)
       LaneCount *= B;
-    std::vector<long long> LaneStride(static_cast<std::size_t>(
-        NumBlockedDims));
-    {
-      long long Stride = 1;
-      for (int D = NumBlockedDims - 1; D >= 0; --D) {
-        LaneStride[static_cast<std::size_t>(D)] = Stride;
-        Stride *= Config.BS[static_cast<std::size_t>(D)];
-      }
-    }
     std::vector<long long> SpanLo(static_cast<std::size_t>(NumBlockedDims));
     for (int D = 0; D < NumBlockedDims; ++D)
       SpanLo[static_cast<std::size_t>(D)] =
           Origins[static_cast<std::size_t>(D)] -
           static_cast<long long>(Degree) * Radius;
 
-    // Register-window rings for tiers 0..Degree-1.
-    std::vector<std::vector<T>> Rings(static_cast<std::size_t>(Degree));
+    // Register-window rings for tiers 0..Degree-1, zeroed per block (the
+    // vectors keep their capacity across blocks and invocations).
     for (auto &Ring : Rings)
       Ring.assign(static_cast<std::size_t>(RingDepth) *
                       static_cast<std::size_t>(LaneCount),
@@ -254,12 +546,11 @@ private:
       return In.at(GridCoords);
     };
 
-    // The per-cell evaluation shared by all tiers: reads come from the
-    // previous tier's ring, shifted by the tap offsets.
-    std::vector<long long> NeighborCoords(
-        static_cast<std::size_t>(NumBlockedDims));
-    auto EvalCell = [&](std::vector<T> &PrevRing, long long Plane,
-                        const std::vector<long long> &C) -> T {
+    // The oracle per-cell evaluation (EvalStrategy::TreeWalk): reads come
+    // from the previous tier's ring, shifted by the tap offsets. The tape
+    // path reads the very same ring elements through TapOffsets.
+    auto EvalCellTree = [&](std::vector<T> &PrevRing, long long Plane,
+                            const std::vector<long long> &C) -> T {
       auto Read = [&](const GridReadExpr &R) -> T {
         long long NeighborPlane = Plane + R.offsets()[0];
         long long Lane = 0;
@@ -269,7 +560,6 @@ private:
           Lane += (X - SpanLo[static_cast<std::size_t>(D)]) *
                   LaneStride[static_cast<std::size_t>(D)];
         }
-        (void)NeighborCoords;
         return RingCell(PrevRing, NeighborPlane, Lane);
       };
       auto Coef = [&](const std::string &Name) -> T {
@@ -334,7 +624,7 @@ private:
                           ? ReadInput(Plane, Coords)
                           : (Options.PoisonHalos ? poisonValue() : T(0));
             } else if (InTierValidRegion(Coords, Tier)) {
-              Value = EvalCell(PrevRing, Plane, Coords);
+              Value = EvalCellTree(PrevRing, Plane, Coords);
               if (Options.Stats)
                 ++Options.Stats->ComputeOps;
             } else {
@@ -367,7 +657,7 @@ private:
             }
             if (!InComputeRegion)
               continue;
-            T Value = EvalCell(PrevRing, Plane, Coords);
+            T Value = EvalCellTree(PrevRing, Plane, Coords);
             if (Options.Stats) {
               ++Options.Stats->ComputeOps;
               ++Options.Stats->GmWriteOps;

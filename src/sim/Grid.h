@@ -49,6 +49,13 @@ public:
   int halo() const { return Halo; }
   const std::vector<long long> &extents() const { return Extents; }
 
+  /// Row-major stride (in elements, over the padded layout) of dim \p D.
+  /// The innermost dimension has stride 1; a stencil tap's flat offset is
+  /// sum over D of offset[D] * stride(D).
+  long long stride(int D) const {
+    return Strides[static_cast<std::size_t>(D)];
+  }
+
   /// Total cells including the halo ring.
   std::size_t size() const { return Data.size(); }
 
@@ -94,6 +101,20 @@ public:
     assert(numDims() == 3 && "at3 requires a 3D grid");
     return Data[flatten3(I, J, K)];
   }
+
+  /// Flat index of interior coordinate \p Coords — the anchor for
+  /// unchecked row walks: data()[flattenBase(Coords) + j] advances along
+  /// the innermost dimension, and adding a tap's pre-linearized offset
+  /// (see stride()) lands on that neighbor. Bounds are asserted once here
+  /// instead of per access in the hot loop.
+  std::size_t flattenBase(const std::vector<long long> &Coords) const {
+    return flatten(Coords);
+  }
+
+  /// Raw element pointers (row-major over the padded extents) for the
+  /// compiled-tape executors' unchecked row loops.
+  T *data() { return Data.data(); }
+  const T *data() const { return Data.data(); }
 
   /// Raw storage (row-major over padded extents) for whole-grid compares.
   const std::vector<T> &raw() const { return Data; }

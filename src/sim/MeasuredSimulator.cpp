@@ -6,7 +6,7 @@
 
 #include "sim/MeasuredSimulator.h"
 
-#include "ir/ExprAnalysis.h"
+#include "ir/ExprPlan.h"
 #include "model/RegisterModel.h"
 
 #include <algorithm>
@@ -62,9 +62,12 @@ MeasuredResult simulateMeasured(const StencilProgram &Program,
   double TimeSmem = Out.Model.TimeSmem / Spec.SmemKernelEfficiency *
                     (1.0 + SyncOverheadPerTier * Config.BT);
 
+  // The tuner evaluates this for every candidate configuration, so the
+  // division predicate comes from the program's compiled plan instead of
+  // re-walking the expression tree per call.
   double TimeCompute = Out.Model.TimeCompute / AchievableComputeFraction;
   if (Program.elemType() == ScalarType::Double &&
-      containsConstantDivision(Program.update()))
+      Program.plan().hasConstantDivision())
     TimeCompute *= DoubleDivisionPenalty;
 
   double Slowest =

@@ -34,31 +34,53 @@ template <typename T> T evalClosed(const StencilExpr &E) {
 } // namespace
 
 TEST(IsKnownMathCall, AcceptsEveryEvaluatorBuiltin) {
-  EXPECT_TRUE(isKnownMathCall("sqrt"));
-  EXPECT_TRUE(isKnownMathCall("sqrtf"));
-  EXPECT_TRUE(isKnownMathCall("fabs"));
-  EXPECT_TRUE(isKnownMathCall("fabsf"));
-  EXPECT_TRUE(isKnownMathCall("exp"));
-  EXPECT_TRUE(isKnownMathCall("expf"));
+  for (const char *Name : {"sqrt", "fabs", "exp", "log", "sin", "cos"}) {
+    EXPECT_TRUE(isKnownMathCall(Name)) << Name;
+    EXPECT_TRUE(isKnownMathCall(std::string(Name) + "f")) << Name << "f";
+  }
 }
 
 TEST(IsKnownMathCall, RejectsUnknownCallees) {
-  EXPECT_FALSE(isKnownMathCall("sin"));
   EXPECT_FALSE(isKnownMathCall("fmin"));
   EXPECT_FALSE(isKnownMathCall("fmax"));
   EXPECT_FALSE(isKnownMathCall("pow"));
+  EXPECT_FALSE(isKnownMathCall("tan"));
   EXPECT_FALSE(isKnownMathCall(""));
   EXPECT_FALSE(isKnownMathCall("SQRT"));
   EXPECT_FALSE(isKnownMathCall("sqrtl"));
+}
+
+TEST(MathFnRegistry, CalleeAndNameRoundTrip) {
+  for (MathFn Fn : {MathFn::Sqrt, MathFn::Fabs, MathFn::Exp, MathFn::Log,
+                    MathFn::Sin, MathFn::Cos}) {
+    std::optional<MathFn> Back = mathFnForCallee(mathFnName(Fn));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, Fn);
+    // The float spelling resolves to the same opcode.
+    Back = mathFnForCallee(std::string(mathFnName(Fn)) + "f");
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, Fn);
+  }
 }
 
 TEST(ApplyMathCall, MatchesLibm) {
   EXPECT_DOUBLE_EQ(applyMathCall<double>("sqrt", 2.0), std::sqrt(2.0));
   EXPECT_DOUBLE_EQ(applyMathCall<double>("fabs", -3.5), 3.5);
   EXPECT_DOUBLE_EQ(applyMathCall<double>("exp", 1.0), std::exp(1.0));
+  EXPECT_DOUBLE_EQ(applyMathCall<double>("log", 2.0), std::log(2.0));
+  EXPECT_DOUBLE_EQ(applyMathCall<double>("sin", 0.5), std::sin(0.5));
+  EXPECT_DOUBLE_EQ(applyMathCall<double>("cos", 0.5), std::cos(0.5));
   EXPECT_FLOAT_EQ(applyMathCall<float>("sqrtf", 9.0f), 3.0f);
   EXPECT_FLOAT_EQ(applyMathCall<float>("fabsf", -0.25f), 0.25f);
   EXPECT_FLOAT_EQ(applyMathCall<float>("expf", 0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(applyMathCall<float>("logf", 1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(applyMathCall<float>("sinf", 0.5f), std::sin(0.5f));
+  EXPECT_FLOAT_EQ(applyMathCall<float>("cosf", 0.5f), std::cos(0.5f));
+}
+
+TEST(ApplyMathCallDeathTest, UnknownBuiltinReportsFatalDiagnostic) {
+  EXPECT_DEATH(applyMathCall<double>("pow", 2.0),
+               "unknown math builtin 'pow'");
 }
 
 TEST(EvalExpr, NumberTruncatesToElementType) {

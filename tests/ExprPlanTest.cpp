@@ -1,0 +1,384 @@
+//===- ExprPlanTest.cpp - Compiled-tape vs tree-walk equivalence ------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The contract of ir/ExprPlan.h: the compiled tape reproduces the
+/// recursive evalExpr walk BIT FOR BIT — over randomized expression trees,
+/// over every Table 3 benchmark stencil in both scalar types, through both
+/// executors, and under poisoned-halo runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/ExprEval.h"
+#include "ir/ExprPlan.h"
+#include "sim/BlockedExecutor.h"
+#include "sim/Grid.h"
+#include "sim/ReferenceExecutor.h"
+#include "stencils/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+using namespace an5d;
+
+namespace {
+
+/// Bitwise equality (NaN-safe, unlike operator==).
+template <typename T> bool bitEqual(T A, T B) {
+  return std::memcmp(&A, &B, sizeof(T)) == 0;
+}
+
+template <typename T>
+std::size_t countBitMismatches(const Grid<T> &A, const Grid<T> &B) {
+  std::size_t Mismatches = 0;
+  for (std::size_t I = 0; I < A.raw().size(); ++I)
+    if (!bitEqual(A.raw()[I], B.raw()[I]))
+      ++Mismatches;
+  return Mismatches;
+}
+
+/// Small interior extents per dimensionality — deliberately non-round and
+/// non-equal so stride bugs can't cancel out.
+std::vector<long long> testExtents(int NumDims) {
+  if (NumDims == 1)
+    return {23};
+  if (NumDims == 2)
+    return {17, 13};
+  return {9, 8, 7};
+}
+
+/// A blocked configuration feasible for every benchmark order (radius<=4)
+/// at degree 2: BS covers 2*BT*rad halo lanes plus a compute region.
+BlockConfig testConfig(const StencilProgram &Program, int HS = 0) {
+  BlockConfig Config;
+  Config.BT = 2;
+  Config.BS.assign(static_cast<std::size_t>(Program.numDims()) - 1, 24);
+  Config.HS = HS;
+  return Config;
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized expression equivalence
+//===----------------------------------------------------------------------===//
+
+/// Generates a random expression tree over a fixed 2D tap vocabulary.
+class RandomExprGen {
+public:
+  RandomExprGen(std::mt19937 &Rng, std::map<std::string, double> &Coefficients)
+      : Rng(Rng), Coefficients(Coefficients) {}
+
+  ExprPtr gen(int Depth) {
+    std::uniform_int_distribution<int> Pick(0, Depth <= 0 ? 2 : 9);
+    switch (Pick(Rng)) {
+    case 0:
+      return makeNumber(value());
+    case 1: {
+      std::string Name = "c" + std::to_string(Coefficients.size());
+      Coefficients[Name] = value();
+      return makeCoefficient(Name);
+    }
+    case 2: {
+      std::uniform_int_distribution<int> Off(-2, 2);
+      return makeGridRead("A", {Off(Rng), Off(Rng)});
+    }
+    case 3:
+      return makeNeg(gen(Depth - 1));
+    case 4: {
+      // sqrt/log draw from positive leaves, but subtraction can still feed
+      // them negative inputs — equivalence must then hold on the NaNs too.
+      static const char *Callees[] = {"sqrt", "fabs", "exp",  "log",
+                                      "sin",  "cos",  "sqrtf", "logf"};
+      std::uniform_int_distribution<int> C(0, 7);
+      std::vector<ExprPtr> Args;
+      Args.push_back(gen(Depth - 1));
+      return makeCall(Callees[C(Rng)], std::move(Args));
+    }
+    default: {
+      std::uniform_int_distribution<int> Op(0, 3);
+      return makeBinary(static_cast<BinaryOpKind>(Op(Rng)), gen(Depth - 1),
+                        gen(Depth - 1));
+    }
+    }
+  }
+
+private:
+  double value() {
+    std::uniform_real_distribution<double> Dist(0.25, 2.0);
+    return Dist(Rng);
+  }
+
+  std::mt19937 &Rng;
+  std::map<std::string, double> &Coefficients;
+};
+
+template <typename T>
+void checkRandomExprEquivalence(std::uint32_t Seed, int Trees) {
+  std::mt19937 Rng(Seed);
+  for (int Tree = 0; Tree < Trees; ++Tree) {
+    std::map<std::string, double> Coefficients;
+    RandomExprGen Gen(Rng, Coefficients);
+    ExprPtr E = Gen.gen(5);
+
+    ExprPlan Plan = ExprPlan::compile(*E, Coefficients);
+    CompiledTape<T> Tape(Plan);
+    ASSERT_GT(Plan.maxStackDepth(), 0);
+
+    // Random values per distinct tap; the tree walk resolves offsets to
+    // the same values through a map lookup.
+    std::uniform_real_distribution<double> Dist(0.25, 2.0);
+    std::vector<T> TapValues(static_cast<std::size_t>(Plan.numTaps()));
+    std::vector<long long> TapIndices(TapValues.size());
+    for (std::size_t K = 0; K < TapValues.size(); ++K) {
+      TapValues[K] = static_cast<T>(Dist(Rng));
+      TapIndices[K] = static_cast<long long>(K);
+    }
+    auto Read = [&](const GridReadExpr &R) -> T {
+      const std::vector<std::vector<int>> &Taps = Plan.taps();
+      for (std::size_t K = 0; K < Taps.size(); ++K)
+        if (Taps[K] == R.offsets())
+          return TapValues[K];
+      ADD_FAILURE() << "grid read missing from the plan's tap table";
+      return T(0);
+    };
+    auto Coef = [&](const std::string &Name) -> T {
+      return static_cast<T>(Coefficients.at(Name));
+    };
+
+    T Want = evalExpr<T>(*E, Read, Coef);
+    T Got = Tape.eval(TapValues.data(), TapIndices.data());
+    EXPECT_TRUE(bitEqual(Want, Got))
+        << "tree " << Tree << ": tree-walk " << Want << " vs tape " << Got
+        << " for " << E->toString();
+  }
+}
+
+} // namespace
+
+TEST(ExprPlan, RandomizedEquivalenceFloat) {
+  checkRandomExprEquivalence<float>(20260730, 300);
+}
+
+TEST(ExprPlan, RandomizedEquivalenceDouble) {
+  checkRandomExprEquivalence<double>(987654321, 300);
+}
+
+//===----------------------------------------------------------------------===//
+// Plan structure
+//===----------------------------------------------------------------------===//
+
+TEST(ExprPlan, J2d5ptPlanShape) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  const ExprPlan &Plan = P->plan();
+  EXPECT_EQ(Plan.numTaps(), 5);
+  EXPECT_TRUE(Plan.hasConstantDivision());
+  EXPECT_GE(Plan.maxStackDepth(), 2);
+  // 5 coefficients + the /118 divisor, all distinct.
+  EXPECT_EQ(Plan.constants().size(), 6u);
+  // Postfix length: 5 loads + 5 consts + 5 muls + 4 adds + 1 const + 1 div.
+  EXPECT_EQ(Plan.ops().size(), 21u);
+}
+
+TEST(ExprPlan, DeduplicatesRepeatedTaps) {
+  // gradient2d reads some taps more than once; the tap table holds each
+  // distinct offset exactly once (same dedup rule as StencilProgram).
+  auto P = makeGradient2d(ScalarType::Double);
+  EXPECT_EQ(static_cast<std::size_t>(P->plan().numTaps()), P->taps().size());
+}
+
+TEST(ExprPlan, StarPlanHasNoDivision) {
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  EXPECT_FALSE(P->plan().hasConstantDivision());
+}
+
+TEST(CompiledTape, FoldsConstantSubtreesInElementType) {
+  // (2 + 3) * A[0,0] + sqrt(16): the constant subexpressions fold away at
+  // specialization, in the element type.
+  std::vector<ExprPtr> Args;
+  Args.push_back(makeNumber(16.0));
+  ExprPtr E = makeAdd(
+      makeMul(makeAdd(makeNumber(2.0), makeNumber(3.0)),
+              makeGridRead("A", {0, 0})),
+      makeCall("sqrt", std::move(Args)));
+  ExprPlan Plan = ExprPlan::compile(*E, {});
+  CompiledTape<float> Tape(Plan);
+  // Folded and fused tape: MulConstTap(5, A[0,0]), AddConst(4).
+  EXPECT_EQ(Tape.numOps(), 2);
+  float Center = 1.5f;
+  long long Index = 0;
+  EXPECT_EQ(Tape.eval(&Center, &Index), 5.0f * 1.5f + 4.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// Executor equivalence over every benchmark stencil
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename T>
+void checkReferenceEquivalence(const StencilProgram &Program,
+                               long long TimeSteps) {
+  std::vector<long long> Extents = testExtents(Program.numDims());
+  int Halo = Program.radius();
+  Grid<T> Tree0(Extents, Halo), Tree1(Extents, Halo);
+  fillGridDeterministic(Tree0, 42);
+  copyGrid(Tree0, Tree1);
+  Grid<T> Tape0 = Tree0, Tape1 = Tree0;
+
+  referenceRun<T>(Program, {&Tree0, &Tree1}, TimeSteps,
+                  EvalStrategy::TreeWalk);
+  referenceRun<T>(Program, {&Tape0, &Tape1}, TimeSteps,
+                  EvalStrategy::CompiledTape);
+
+  EXPECT_EQ(countBitMismatches(Tree0, Tape0), 0u) << Program.name();
+  EXPECT_EQ(countBitMismatches(Tree1, Tape1), 0u) << Program.name();
+}
+
+template <typename T>
+void checkBlockedEquivalence(const StencilProgram &Program,
+                             long long TimeSteps) {
+  std::vector<long long> Extents = testExtents(Program.numDims());
+  BlockConfig Config = testConfig(Program);
+  int Halo = Program.radius();
+  Grid<T> Tree0(Extents, Halo), Tree1(Extents, Halo);
+  fillGridDeterministic(Tree0, 7);
+  copyGrid(Tree0, Tree1);
+  Grid<T> Tape0 = Tree0, Tape1 = Tree0;
+  Grid<T> Ref0 = Tree0, Ref1 = Tree0;
+
+  BlockedExecOptions TreeOptions;
+  TreeOptions.Strategy = EvalStrategy::TreeWalk;
+  blockedRun<T>(Program, Config, {&Tree0, &Tree1}, TimeSteps, TreeOptions);
+  blockedRun<T>(Program, Config, {&Tape0, &Tape1}, TimeSteps);
+  referenceRun<T>(Program, {&Ref0, &Ref1}, TimeSteps);
+
+  EXPECT_EQ(countBitMismatches(Tree0, Tape0), 0u) << Program.name();
+  EXPECT_EQ(countBitMismatches(Tree1, Tape1), 0u) << Program.name();
+  const Grid<T> &Want = TimeSteps % 2 == 0 ? Ref0 : Ref1;
+  const Grid<T> &Got = TimeSteps % 2 == 0 ? Tape0 : Tape1;
+  EXPECT_EQ(countBitMismatches(Want, Got), 0u)
+      << Program.name() << " vs reference";
+}
+
+template <typename T>
+void checkPoisonedEquivalence(const StencilProgram &Program,
+                              long long TimeSteps) {
+  std::vector<long long> Extents = testExtents(Program.numDims());
+  BlockConfig Config = testConfig(Program);
+  int Halo = Program.radius();
+  Grid<T> Ref0(Extents, Halo), Ref1(Extents, Halo);
+  fillGridDeterministic(Ref0, 99);
+  copyGrid(Ref0, Ref1);
+  Grid<T> Poi0 = Ref0, Poi1 = Ref0;
+
+  referenceRun<T>(Program, {&Ref0, &Ref1}, TimeSteps);
+  BlockedExecOptions Poison;
+  Poison.PoisonHalos = true;
+  blockedRun<T>(Program, Config, {&Poi0, &Poi1}, TimeSteps, Poison);
+
+  const Grid<T> &Got = TimeSteps % 2 == 0 ? Poi0 : Poi1;
+  EXPECT_FALSE(interiorHasNaN(Got)) << Program.name();
+  // Interior cells only: the poison run deliberately trashes halo cells.
+  const Grid<T> &Want = TimeSteps % 2 == 0 ? Ref0 : Ref1;
+  std::vector<long long> Coords(static_cast<std::size_t>(Want.numDims()), 0);
+  while (true) {
+    EXPECT_TRUE(bitEqual(Want.at(Coords), Got.at(Coords))) << Program.name();
+    int D = Want.numDims() - 1;
+    while (D >= 0) {
+      if (++Coords[static_cast<std::size_t>(D)] <
+          Extents[static_cast<std::size_t>(D)])
+        break;
+      Coords[static_cast<std::size_t>(D)] = 0;
+      --D;
+    }
+    if (D < 0)
+      break;
+  }
+}
+
+} // namespace
+
+TEST(ExprPlanSuite, ReferenceTapeMatchesTreeWalkEverywhere) {
+  for (const std::string &Name : benchmarkStencilNames())
+    for (ScalarType Type : {ScalarType::Float, ScalarType::Double}) {
+      auto P = makeBenchmarkStencil(Name, Type);
+      ASSERT_TRUE(P) << Name;
+      if (Type == ScalarType::Float)
+        checkReferenceEquivalence<float>(*P, 3);
+      else
+        checkReferenceEquivalence<double>(*P, 3);
+    }
+}
+
+TEST(ExprPlanSuite, BlockedTapeMatchesTreeWalkEverywhere) {
+  for (const std::string &Name : benchmarkStencilNames())
+    for (ScalarType Type : {ScalarType::Float, ScalarType::Double}) {
+      auto P = makeBenchmarkStencil(Name, Type);
+      ASSERT_TRUE(P) << Name;
+      if (Type == ScalarType::Float)
+        checkBlockedEquivalence<float>(*P, 3);
+      else
+        checkBlockedEquivalence<double>(*P, 3);
+    }
+}
+
+TEST(ExprPlanSuite, PoisonedHaloTapeMatchesReferenceEverywhere) {
+  for (const std::string &Name : benchmarkStencilNames())
+    for (ScalarType Type : {ScalarType::Float, ScalarType::Double}) {
+      auto P = makeBenchmarkStencil(Name, Type);
+      ASSERT_TRUE(P) << Name;
+      if (Type == ScalarType::Float)
+        checkPoisonedEquivalence<float>(*P, 4);
+      else
+        checkPoisonedEquivalence<double>(*P, 4);
+    }
+}
+
+TEST(ExprPlanSuite, ChunkedStreamingStaysEquivalent) {
+  // Section 4.2.3 chunking (HS > 0) exercises a different ring schedule;
+  // the tape must stay bit-identical there too.
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  std::vector<long long> Extents = testExtents(2);
+  BlockConfig Config = testConfig(*P, /*HS=*/8);
+  Grid<float> Tree0(Extents, 1), Tree1(Extents, 1);
+  fillGridDeterministic(Tree0, 5);
+  copyGrid(Tree0, Tree1);
+  Grid<float> Tape0 = Tree0, Tape1 = Tree0;
+
+  BlockedExecOptions TreeOptions;
+  TreeOptions.Strategy = EvalStrategy::TreeWalk;
+  blockedRun<float>(*P, Config, {&Tree0, &Tree1}, 5, TreeOptions);
+  blockedRun<float>(*P, Config, {&Tape0, &Tape1}, 5);
+
+  EXPECT_EQ(countBitMismatches(Tree0, Tape0), 0u);
+  EXPECT_EQ(countBitMismatches(Tree1, Tape1), 0u);
+}
+
+TEST(ExprPlanSuite, StatsIdenticalAcrossStrategies) {
+  // The operation census is schedule-determined, not engine-determined.
+  auto P = makeStarStencil(2, 2, ScalarType::Float);
+  std::vector<long long> Extents = testExtents(2);
+  BlockConfig Config = testConfig(*P);
+
+  auto RunWith = [&](EvalStrategy Strategy) {
+    Grid<float> A(Extents, P->radius()), B(Extents, P->radius());
+    fillGridDeterministic(A, 3);
+    copyGrid(A, B);
+    BlockedExecStats Stats;
+    BlockedExecOptions Options;
+    Options.Strategy = Strategy;
+    Options.Stats = &Stats;
+    blockedRun<float>(*P, Config, {&A, &B}, 4, Options);
+    return Stats;
+  };
+
+  BlockedExecStats Tape = RunWith(EvalStrategy::CompiledTape);
+  BlockedExecStats Tree = RunWith(EvalStrategy::TreeWalk);
+  EXPECT_EQ(Tape.GmReadOps, Tree.GmReadOps);
+  EXPECT_EQ(Tape.GmWriteOps, Tree.GmWriteOps);
+  EXPECT_EQ(Tape.ComputeOps, Tree.ComputeOps);
+  EXPECT_GT(Tape.ComputeOps, 0);
+}

@@ -190,6 +190,19 @@ TEST(Extractor, RejectsUnknownCall) {
                "unknown function");
 }
 
+TEST(Extractor, AcceptsExtendedMathBuiltins) {
+  // log/sin/cos joined the builtin set alongside sqrt/fabs/exp; they must
+  // flow through extraction like any other math call.
+  auto Result = extractOk(
+      "for (t = 0; t < I_T; t++)\n"
+      "  for (i = 1; i <= I_S2; i++)\n"
+      "    for (j = 1; j <= I_S1; j++)\n"
+      "      A[(t+1)%2][i][j] = 0.5f * A[t%2][i][j] +\n"
+      "        0.1f * logf(1.5f + sinf(A[t%2][i-1][j]) * "
+      "cosf(A[t%2][i+1][j]));\n");
+  EXPECT_TRUE(Result->Program->usesMathCall());
+}
+
 TEST(Extractor, RejectsPermutedStoreSubscripts) {
   extractFails("for (t = 0; t < I_T; t++)\n"
                "  for (i = 1; i <= I_S2; i++)\n"

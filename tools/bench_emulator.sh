@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+#===- tools/bench_emulator.sh - Dump emulator throughput to JSON ----------===#
+#
+# Part of the AN5D reproduction project, under the MIT license.
+#
+# Runs bench_emulator_throughput (Google Benchmark) and dumps the results
+# to BENCH_emulator.json so the emulator's performance trajectory can be
+# tracked PR over PR. Build the benches first:
+#
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+#
+# Usage:
+#   tools/bench_emulator.sh [build-dir] [output.json] [extra benchmark args]
+#
+# Examples:
+#   tools/bench_emulator.sh
+#   tools/bench_emulator.sh build BENCH_emulator.json --benchmark_filter=Blocked
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_emulator.json}"
+shift $(( $# > 2 ? 2 : $# ))
+
+BIN="$BUILD_DIR/bench/bench_emulator_throughput"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable." >&2
+  echo "Build it with: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+  echo "(Google Benchmark development headers are required at configure time.)" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
+echo "wrote $OUT"
