@@ -1,0 +1,143 @@
+//===- bench_tuner_throughput.cpp - Measured-sweep scaling --------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Google-benchmark timings of the tuner's measured-sweep stage
+/// (tuning/ParallelSweep.h) at 1/2/4/8 worker threads, over the Table 3 2D
+/// benchmarks plus the 1D streaming path. Each sweep covers the stencil's
+/// whole feasible grid x the four register caps x three problem sizes —
+/// the workload every later scenario sweep (more GPUs, more problem sizes,
+/// more benchmarks) runs on — so these numbers bound how much of the
+/// search space one tuning session can afford.
+///
+/// The serial stage is timed once up front (best of 3) and every parallel
+/// case reports the live ratio as the "sweep_speedup_x" counter; the
+/// candidate count rides along as "candidates". tools/bench_emulator.sh
+/// dumps the results to BENCH_tuner.json to track the trajectory PR over
+/// PR. The sweep result itself is bit-identical for every thread count
+/// (tests/ParallelSweepTest.cpp enforces this); only wall-clock changes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stencils/Benchmarks.h"
+#include "tuning/ParallelSweep.h"
+#include "tuning/Tuner.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+
+using namespace an5d;
+
+namespace {
+
+/// Problem sizes swept per stencil: the paper's evaluation size plus two
+/// smaller squares (quarter and sixteenth area).
+std::vector<ProblemSize> sweepProblems(int NumDims) {
+  std::vector<ProblemSize> Problems;
+  Problems.push_back(ProblemSize::paperDefault(NumDims));
+  for (int Shrink : {2, 4}) {
+    ProblemSize Smaller = ProblemSize::paperDefault(NumDims);
+    for (long long &E : Smaller.Extents)
+      E /= Shrink;
+    Problems.push_back(std::move(Smaller));
+  }
+  return Problems;
+}
+
+/// Best-of-3 wall time of one serial sweep, for the speedup counter.
+double timeSerialSweepNs(const StencilProgram &Program, const GpuSpec &Spec,
+                         const std::vector<SweepCandidate> &Candidates,
+                         const std::vector<ProblemSize> &Problems) {
+  double Best = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    auto Results =
+        parallelMeasuredSweep(Program, Spec, Candidates, Problems, 1);
+    benchmark::DoNotOptimize(Results.data());
+    double Ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+    if (Rep == 0 || Ns < Best)
+      Best = Ns;
+  }
+  return Best;
+}
+
+void runSweepBench(benchmark::State &State, const std::string &Name) {
+  int Threads = static_cast<int>(State.range(0));
+  auto Program = makeBenchmarkStencil(Name, ScalarType::Float);
+  GpuSpec Spec = GpuSpec::teslaV100();
+  Tuner T(Spec);
+  std::vector<ProblemSize> Problems = sweepProblems(Program->numDims());
+  // The full measured workload: every feasible grid point (not just the
+  // top-K) x register caps x problem sizes.
+  std::vector<SweepCandidate> Candidates =
+      T.enumerateSweepCandidates(*Program, Problems.size());
+
+  // The serial baseline is identical for every thread-count case of one
+  // stencil; time it once and share it across the Args (benchmark cases
+  // run sequentially, so the cache needs no locking).
+  static std::map<std::string, double> SerialNsByName;
+  auto Cached = SerialNsByName.find(Name);
+  if (Cached == SerialNsByName.end())
+    Cached = SerialNsByName
+                 .emplace(Name, timeSerialSweepNs(*Program, Spec, Candidates,
+                                                  Problems))
+                 .first;
+  double SerialNs = Cached->second;
+
+  double SweepNs = 0;
+  for (auto _ : State) {
+    auto Start = std::chrono::steady_clock::now();
+    auto Results =
+        parallelMeasuredSweep(*Program, Spec, Candidates, Problems, Threads);
+    auto End = std::chrono::steady_clock::now();
+    SweepNs += std::chrono::duration<double, std::nano>(End - Start).count();
+    benchmark::DoNotOptimize(Results.data());
+  }
+
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<long long>(Candidates.size()));
+  State.counters["candidates"] =
+      benchmark::Counter(static_cast<double>(Candidates.size()));
+  State.counters["threads"] =
+      benchmark::Counter(static_cast<double>(Threads));
+  State.counters["serial_ms"] = benchmark::Counter(SerialNs / 1e6);
+  State.counters["sweep_speedup_x"] =
+      SweepNs > 0
+          ? SerialNs * static_cast<double>(State.iterations()) / SweepNs
+          : 0;
+}
+
+void registerBenches() {
+  // Table 3's 2D rows (a star, a box, the Fig. 4 Jacobi and the
+  // non-associative gradient) plus the fixed 1D streaming path.
+  static const char *Names[] = {"star2d1r", "box2d2r", "j2d5pt",
+                                "gradient2d", "star1d1r"};
+  for (const char *Name : Names) {
+    auto *Bench = benchmark::RegisterBenchmark(
+        ("BM_MeasuredSweep/" + std::string(Name)).c_str(),
+        [Name](benchmark::State &State) { runSweepBench(State, Name); });
+    Bench->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerBenches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

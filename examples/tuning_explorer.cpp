@@ -5,20 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Interactive-style explorer: pick a Table 3 benchmark (argv[1], default
-/// star2d1r), a device (argv[2]: v100|p100) and a precision (argv[3]:
-/// float|double); the tool prints the model-ranked top five configurations
-/// with full roofline breakdowns and the simulated "Tuned" measurement —
-/// the per-stencil slice of Table 5.
+/// Interactive-style explorer: pick a benchmark (argv[1], default
+/// star2d1r; Table 3 names plus the 1D extras), a device (argv[2]:
+/// v100|p100), a precision (argv[3]: float|double) and a measured-sweep
+/// thread count (argv[4], default 0 = auto); the tool prints the
+/// model-ranked top five configurations with full roofline breakdowns and
+/// the simulated "Tuned" measurement — the per-stencil slice of Table 5.
+/// The sweep result is bit-identical for every thread count.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "sim/MeasuredSimulator.h"
 #include "stencils/Benchmarks.h"
 #include "support/StringUtils.h"
+#include "tuning/ParallelSweep.h"
 #include "tuning/Tuner.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace an5d;
@@ -27,6 +31,8 @@ int main(int argc, char **argv) {
   std::string Name = argc > 1 ? argv[1] : "star2d1r";
   bool UseP100 = argc > 2 && std::strcmp(argv[2], "p100") == 0;
   bool UseDouble = argc > 3 && std::strcmp(argv[3], "double") == 0;
+  TuneOptions Tuning;
+  Tuning.Threads = argc > 4 ? std::atoi(argv[4]) : 0;
 
   auto Program = makeBenchmarkStencil(
       Name, UseDouble ? ScalarType::Double : ScalarType::Float);
@@ -34,6 +40,8 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "unknown benchmark '%s'; known names:\n",
                  Name.c_str());
     for (const std::string &N : benchmarkStencilNames())
+      std::fprintf(stderr, "  %s\n", N.c_str());
+    for (const std::string &N : extraStencilNames())
       std::fprintf(stderr, "  %s\n", N.c_str());
     return 1;
   }
@@ -68,11 +76,15 @@ int main(int argc, char **argv) {
                         R.Model.CensusPerInvocation.ComputeOps));
   }
 
-  TuneOutcome Outcome = T.tune(*Program, Problem);
+  TuneOutcome Outcome = T.tune(*Program, Problem, Tuning);
   if (!Outcome.Feasible) {
     std::printf("\nno feasible configuration found\n");
     return 1;
   }
+  std::printf("\nmeasured sweep: top-%zu x %zu register caps on %d "
+              "thread(s)\n",
+              Tuning.TopK, Tuning.RegisterCaps.size(),
+              resolveSweepThreads(Tuning.Threads));
   std::printf("\ntuned pick: %s\n  model %.0f GFLOP/s -> simulated "
               "measurement %.0f GFLOP/s (accuracy %.0f%%)\n",
               Outcome.Best.toString().c_str(),

@@ -92,7 +92,7 @@ public:
   /// Builds and analyzes a stencil.
   ///
   /// \param Name benchmark-style identifier (e.g. "j2d5pt").
-  /// \param NumDims number of spatial dimensions (2 or 3).
+  /// \param NumDims number of spatial dimensions (1, 2 or 3).
   /// \param ElemType element type of the grid.
   /// \param ArrayName name of the double-buffered array in the source.
   /// \param Update the right-hand side of the update statement. Grid reads

@@ -55,8 +55,11 @@ long long BlockConfig::computeWidth(int BlockedDim, int Radius) const {
 }
 
 bool BlockConfig::isFeasible(int Radius, int MaxThreadsPerBlock) const {
-  if (BT < 1 || BS.empty())
+  if (BT < 1)
     return false;
+  // An empty BS is the 1D pure-streaming configuration: no blocked
+  // dimensions, one lane per block, parallelism from the hS division of
+  // the streaming dimension. Every per-dimension check below is vacuous.
   if (numThreads() > MaxThreadsPerBlock)
     return false;
   for (std::size_t D = 0; D < BS.size(); ++D)
@@ -67,6 +70,8 @@ bool BlockConfig::isFeasible(int Radius, int MaxThreadsPerBlock) const {
 
 std::string BlockConfig::toString() const {
   std::string Out = "bT=" + std::to_string(BT) + " bS=";
+  if (BS.empty())
+    Out += '-'; // 1D pure streaming: no blocked dimensions.
   for (std::size_t I = 0; I < BS.size(); ++I) {
     if (I != 0)
       Out += 'x';

@@ -47,7 +47,9 @@ struct BlockConfig {
   int BT = 1;
 
   /// Spatial block sizes of the blocked dimensions (spatial dims 1..N-1);
-  /// one entry for 2D stencils, two entries for 3D.
+  /// one entry for 2D stencils, two entries for 3D, and empty for 1D
+  /// stencils (pure streaming: dimension 0 streams, one lane per block,
+  /// parallelism from the hS division of Section 4.2.3).
   std::vector<int> BS;
 
   /// Stream-chunk length hSN; 0 disables the division of the streaming
@@ -65,7 +67,10 @@ struct BlockConfig {
   long long computeWidth(int BlockedDim, int Radius) const;
 
   /// True if every blocked dimension retains a positive compute region and
-  /// the thread count respects \p MaxThreadsPerBlock.
+  /// the thread count respects \p MaxThreadsPerBlock. This cannot check
+  /// that BS has one entry per non-streaming dimension (the config does
+  /// not know the stencil's dimensionality); evaluateModel enforces that
+  /// arity contract for the model/tuner stack.
   bool isFeasible(int Radius, int MaxThreadsPerBlock = 1024) const;
 
   std::string toString() const;

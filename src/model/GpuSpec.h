@@ -47,6 +47,7 @@ struct GpuSpec {
   // Architectural limits common to Pascal/Volta.
   int MaxThreadsPerSm = 2048;
   int MaxThreadsPerBlock = 1024;
+  int MaxBlocksPerSm = 32; ///< Resident thread-block limit per SM.
   int MaxRegistersPerThread = 255;
   int RegistersPerSm = 65536;
   int SharedMemPerSmBytes = 0; ///< 64 KiB (P100) or 96 KiB (V100).

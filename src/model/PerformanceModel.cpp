@@ -62,16 +62,13 @@ static int concurrentBlocksPerSm(const StencilProgram &Program,
   long long ByRegs = Spec.RegistersPerSm /
                      std::max<long long>(1, Threads * RegsPerThread);
 
-  long long Blocks = std::min({ByThreads, BySmem, ByRegs});
+  long long Blocks = std::min({ByThreads, BySmem, ByRegs,
+                               static_cast<long long>(Spec.MaxBlocksPerSm)});
   return static_cast<int>(std::max<long long>(0, Blocks));
 }
 
-/// SM utilization efficiency via wave quantization: with W waves of
-/// concurrent blocks, the tail wave idles (W_floor / W_ceil); when the
-/// whole launch fits in less than one wave, utilization is the filled
-/// fraction.
-static double smUtilizationEfficiency(long long NumThreadBlocks,
-                                      int BlocksPerSm, int SmCount) {
+double smUtilizationEfficiency(long long NumThreadBlocks, int BlocksPerSm,
+                               int SmCount) {
   if (BlocksPerSm <= 0 || NumThreadBlocks <= 0)
     return 0.0;
   double BlocksPerWave =
@@ -79,17 +76,26 @@ static double smUtilizationEfficiency(long long NumThreadBlocks,
   double Waves = static_cast<double>(NumThreadBlocks) / BlocksPerWave;
   if (Waves <= 1.0)
     return Waves;
-  double Floor = std::floor(Waves);
-  double Ceil = std::ceil(Waves);
-  if (Floor == Ceil)
-    return 1.0;
-  return Floor / Ceil;
+  // Waves / Ceil(Waves): the launch occupies Ceil(Waves) whole waves of
+  // which only the Waves fraction does work. 1.9 waves scores ~0.95 (the
+  // tail wave is nearly full), 2.1 scores 0.7 — efficiency rises
+  // continuously toward 1.0 within each wave and only drops at the exact
+  // moment an extra partial wave starts, so predicted time is a monotone
+  // step function of the block count (the former Floor/Ceil form scored
+  // every partial wave the same and flipped rankings at wave boundaries).
+  return Waves / std::ceil(Waves);
 }
 
 ModelBreakdown evaluateModel(const StencilProgram &Program,
                              const GpuSpec &Spec, const BlockConfig &Config,
                              const ProblemSize &Problem) {
   ModelBreakdown Out;
+  // BlockConfig::isFeasible cannot see the stencil's dimensionality, so
+  // the arity contract (one blocked dimension per non-streaming spatial
+  // dimension; none for 1D) is enforced here for the whole model /
+  // measured-simulator / tuner stack.
+  if (static_cast<int>(Config.BS.size()) != Program.numDims() - 1)
+    return Out;
   if (!Config.isFeasible(Program.radius(), Spec.MaxThreadsPerBlock))
     return Out;
   if (exceedsRegisterLimits(Program, Config, Spec))

@@ -67,6 +67,14 @@ struct ModelBreakdown {
   std::string toString() const;
 };
 
+/// SM utilization efficiency via wave quantization (Section 5): the launch
+/// of \p NumThreadBlocks runs in Ceil(W) waves of BlocksPerSm * SmCount
+/// concurrent blocks, of which only the W = NumThreadBlocks / blocks-per-
+/// wave fraction performs work — so the efficiency is W / Ceil(W), or W
+/// itself when the whole launch fits in less than one wave.
+double smUtilizationEfficiency(long long NumThreadBlocks, int BlocksPerSm,
+                               int SmCount);
+
 /// Evaluates the Section 5 model. Infeasible configurations (no compute
 /// region, too many threads, register-limit violations) yield
 /// Feasible == false.

@@ -169,6 +169,17 @@ std::unique_ptr<StencilProgram> makeJacobi3d27pt(ScalarType Type) {
                                           std::move(Coefficients));
 }
 
+std::unique_ptr<StencilProgram> makeJacobi1d3pt(ScalarType Type) {
+  // PolyBench jacobi-1d shape: (A[i-1] + 2*A[i] + A[i+1]) / 4.
+  ExprPtr Sum = makeGridRead("A", {-1});
+  Sum = makeAdd(std::move(Sum),
+                makeMul(makeNumber(2.0), makeGridRead("A", {0})));
+  Sum = makeAdd(std::move(Sum), makeGridRead("A", {1}));
+  ExprPtr Update = makeDiv(std::move(Sum), makeNumber(4.0));
+  return std::make_unique<StencilProgram>("j1d3pt", 1, Type, "A",
+                                          std::move(Update));
+}
+
 std::vector<std::string> benchmarkStencilNames() {
   return {"star2d1r", "star2d2r", "star2d3r", "star2d4r",
           "box2d1r",  "box2d2r",  "box2d3r",  "box2d4r",
@@ -176,6 +187,12 @@ std::vector<std::string> benchmarkStencilNames() {
           "star3d1r", "star3d2r", "star3d3r", "star3d4r",
           "box3d1r",  "box3d2r",  "box3d3r",  "box3d4r",
           "j3d27pt"};
+}
+
+std::vector<std::string> extraStencilNames() {
+  return {"star1d1r", "star1d2r", "star1d3r", "star1d4r",
+          "box1d1r",  "box1d2r",  "box1d3r",  "box1d4r",
+          "j1d3pt"};
 }
 
 std::unique_ptr<StencilProgram> makeBenchmarkStencil(const std::string &Name,
@@ -191,6 +208,10 @@ std::unique_ptr<StencilProgram> makeBenchmarkStencil(const std::string &Name,
     return 0;
   };
 
+  if (int R = ParseOrderSuffix("star1d"))
+    return makeStarStencil(1, R, Type);
+  if (int R = ParseOrderSuffix("box1d"))
+    return makeBoxStencil(1, R, Type);
   if (int R = ParseOrderSuffix("star2d"))
     return makeStarStencil(2, R, Type);
   if (int R = ParseOrderSuffix("box2d"))
@@ -209,6 +230,8 @@ std::unique_ptr<StencilProgram> makeBenchmarkStencil(const std::string &Name,
     return makeGradient2d(Type);
   if (Name == "j3d27pt")
     return makeJacobi3d27pt(Type);
+  if (Name == "j1d3pt")
+    return makeJacobi1d3pt(Type);
   return nullptr;
 }
 

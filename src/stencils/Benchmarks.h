@@ -49,11 +49,20 @@ std::unique_ptr<StencilProgram> makeGradient2d(ScalarType Type);
 /// The 3D 27-point box Jacobi kernel.
 std::unique_ptr<StencilProgram> makeJacobi3d27pt(ScalarType Type);
 
+/// The 1D 3-point Jacobi kernel (PolyBench jacobi-1d shaped):
+/// (A[i-1] + 2*A[i] + A[i+1]) / 4.
+std::unique_ptr<StencilProgram> makeJacobi1d3pt(ScalarType Type);
+
 /// All Table 3 benchmark names in the paper's order.
 std::vector<std::string> benchmarkStencilNames();
 
-/// Builds the benchmark named \p Name (one of benchmarkStencilNames()).
-/// Returns nullptr for unknown names.
+/// 1D stencils beyond Table 3 (the paper evaluates 2D/3D only): the
+/// synthetic star{1}d{R}r / box{1}d{R}r orders 1-4 — identical in 1D —
+/// plus j1d3pt. These exercise the pure-streaming execution path.
+std::vector<std::string> extraStencilNames();
+
+/// Builds the benchmark named \p Name (one of benchmarkStencilNames() or
+/// extraStencilNames()). Returns nullptr for unknown names.
 std::unique_ptr<StencilProgram> makeBenchmarkStencil(const std::string &Name,
                                                      ScalarType Type);
 

@@ -1,0 +1,65 @@
+//===- ParallelSweep.cpp - Parallel measured-performance sweep --------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuning/ParallelSweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+namespace an5d {
+
+int resolveSweepThreads(int Requested) {
+  if (Requested >= 1)
+    return Requested;
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  return static_cast<int>(std::min(Hardware, 8u));
+}
+
+std::vector<MeasuredResult>
+parallelMeasuredSweep(const StencilProgram &Program, const GpuSpec &Spec,
+                      const std::vector<SweepCandidate> &Candidates,
+                      const std::vector<ProblemSize> &Problems, int Threads) {
+  std::vector<MeasuredResult> Results(Candidates.size());
+  if (Candidates.empty())
+    return Results;
+
+  std::atomic<std::size_t> NextItem{0};
+  auto Worker = [&]() {
+    for (std::size_t Item;
+         (Item = NextItem.fetch_add(1, std::memory_order_relaxed)) <
+         Candidates.size();) {
+      const SweepCandidate &Candidate = Candidates[Item];
+      assert(Candidate.ProblemIndex < Problems.size() &&
+             "candidate addresses a problem size outside the sweep");
+      Results[Item] = simulateMeasured(Program, Spec, Candidate.Config,
+                                       Problems[Candidate.ProblemIndex]);
+    }
+  };
+
+  int NumWorkers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolveSweepThreads(Threads)),
+      Candidates.size()));
+  if (NumWorkers <= 1) {
+    Worker();
+    return Results;
+  }
+
+  // The calling thread is worker zero; NumWorkers - 1 helpers join it.
+  std::vector<std::thread> Helpers;
+  Helpers.reserve(static_cast<std::size_t>(NumWorkers) - 1);
+  for (int I = 1; I < NumWorkers; ++I)
+    Helpers.emplace_back(Worker);
+  Worker();
+  for (std::thread &Helper : Helpers)
+    Helper.join();
+  return Results;
+}
+
+} // namespace an5d

@@ -1,0 +1,60 @@
+//===- ParallelSweep.h - Parallel measured-performance sweep ----*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measured-sweep stage of the Section 6.3 tuning flow as a parallel
+/// subsystem: a flat list of (configuration, problem-size) candidates is
+/// dispatched across a small pool of std::thread workers that pull items
+/// off an atomic work index and run simulateMeasured for each.
+///
+/// simulateMeasured (and the whole model stack underneath it) is a pure
+/// function of its arguments, and every candidate writes only its own
+/// pre-allocated result slot, so the sweep output is bit-identical for any
+/// worker count — the thread count is purely a wall-clock knob. All
+/// ordering-sensitive reductions (argmax over candidates) happen serially
+/// in the caller over the deterministic result array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_TUNING_PARALLELSWEEP_H
+#define AN5D_TUNING_PARALLELSWEEP_H
+
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "model/GpuSpec.h"
+#include "sim/MeasuredSimulator.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace an5d {
+
+/// One work item of a measured sweep: a fully specified configuration
+/// (register cap included) paired with an index into the sweep's
+/// problem-size list.
+struct SweepCandidate {
+  BlockConfig Config;
+  std::size_t ProblemIndex = 0;
+};
+
+/// Resolves a requested worker count: values >= 1 pass through; 0 (the
+/// "auto" default of TuneOptions) maps to the hardware concurrency,
+/// clamped to [1, 8] — the sweep items are microseconds-sized, so a small
+/// pool saturates long before the core count on big machines.
+int resolveSweepThreads(int Requested);
+
+/// Runs simulateMeasured for every candidate, fanning the items out over
+/// \p Threads workers (see resolveSweepThreads for 0). Results are indexed
+/// exactly like \p Candidates; each candidate's ProblemIndex must address
+/// \p Problems. The result is bit-identical for every thread count.
+std::vector<MeasuredResult>
+parallelMeasuredSweep(const StencilProgram &Program, const GpuSpec &Spec,
+                      const std::vector<SweepCandidate> &Candidates,
+                      const std::vector<ProblemSize> &Problems, int Threads);
+
+} // namespace an5d
+
+#endif // AN5D_TUNING_PARALLELSWEEP_H

@@ -7,8 +7,10 @@
 #include "tuning/Tuner.h"
 
 #include "model/RegisterModel.h"
+#include "tuning/ParallelSweep.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace an5d {
 
@@ -17,7 +19,7 @@ Tuner::enumerateConfigs(const StencilProgram &Program) const {
   std::vector<BlockConfig> Configs;
   if (Program.numDims() == 2) {
     for (int BT = 1; BT <= 16; ++BT)
-      for (int BS : {128, 256, 512})
+      for (int BS : {64, 128, 256, 512})
         for (int HS : {256, 512, 1024}) {
           BlockConfig C;
           C.BT = BT;
@@ -40,15 +42,36 @@ Tuner::enumerateConfigs(const StencilProgram &Program) const {
         }
     return Configs;
   }
-  // 1D stencils: a reduced grid in the same spirit.
-  for (int BT = 1; BT <= 16; ++BT) {
-    BlockConfig C;
-    C.BT = BT;
-    C.BS.clear();
-    C.HS = 0;
-    Configs.push_back(std::move(C));
-  }
+  // 1D stencils stream their single dimension (no blocked dimensions, one
+  // lane per block): all thread-block parallelism comes from the hSN
+  // division of Section 4.2.3, so the grid crosses bT with the chunk
+  // length, streaming off (hS=0, a single chunk) included for reference —
+  // the model ranks it last because one block idles every other SM.
+  for (int BT = 1; BT <= 16; ++BT)
+    for (int HS : {0, 128, 256, 512, 1024}) {
+      BlockConfig C;
+      C.BT = BT;
+      C.BS.clear();
+      C.HS = HS;
+      Configs.push_back(std::move(C));
+    }
   return Configs;
+}
+
+double quantizedModelScore(double Gflops) {
+  // Float's 2^-24 relative quantum is ~10 orders of magnitude above the
+  // double-rounding noise the model can accumulate, so scores that differ
+  // only in compiler/FP-flag-dependent low bits collapse to the same key
+  // and fall through to the field tie-break. Comparing quantized keys
+  // exactly keeps the sort comparator a strict weak ordering (an
+  // epsilon-relative "tied" predicate would not be transitive).
+  return static_cast<double>(static_cast<float>(Gflops));
+}
+
+bool Tuner::passesStaticPruning(const StencilProgram &Program,
+                                const BlockConfig &Config) const {
+  return Config.isFeasible(Program.radius(), Spec.MaxThreadsPerBlock) &&
+         !exceedsRegisterLimits(Program, Config, Spec);
 }
 
 std::vector<RankedConfig> Tuner::rankByModel(const StencilProgram &Program,
@@ -56,9 +79,7 @@ std::vector<RankedConfig> Tuner::rankByModel(const StencilProgram &Program,
                                              std::size_t TopK) const {
   std::vector<RankedConfig> Ranked;
   for (const BlockConfig &Config : enumerateConfigs(Program)) {
-    if (!Config.isFeasible(Program.radius(), Spec.MaxThreadsPerBlock))
-      continue;
-    if (exceedsRegisterLimits(Program, Config, Spec))
+    if (!passesStaticPruning(Program, Config))
       continue;
     ModelBreakdown Model = evaluateModel(Program, Spec, Config, Problem);
     if (!Model.Feasible)
@@ -67,50 +88,108 @@ std::vector<RankedConfig> Tuner::rankByModel(const StencilProgram &Program,
   }
   std::sort(Ranked.begin(), Ranked.end(),
             [](const RankedConfig &A, const RankedConfig &B) {
-              if (A.Model.Gflops != B.Model.Gflops)
-                return A.Model.Gflops > B.Model.Gflops;
-              // Deterministic tie-break: smaller bT, then smaller block.
+              double QA = quantizedModelScore(A.Model.Gflops);
+              double QB = quantizedModelScore(B.Model.Gflops);
+              if (QA != QB)
+                return QA > QB;
+              // Deterministic tie-break: smaller bT, then smaller block,
+              // then the remaining fields — a total order over distinct
+              // configurations, so equal scores cannot reorder between
+              // compilers or std::sort implementations.
               if (A.Config.BT != B.Config.BT)
                 return A.Config.BT < B.Config.BT;
-              return A.Config.numThreads() < B.Config.numThreads();
+              if (A.Config.numThreads() != B.Config.numThreads())
+                return A.Config.numThreads() < B.Config.numThreads();
+              if (A.Config.BS != B.Config.BS)
+                return A.Config.BS < B.Config.BS;
+              return A.Config.HS < B.Config.HS;
             });
   if (Ranked.size() > TopK)
     Ranked.resize(TopK);
   return Ranked;
 }
 
-TuneOutcome Tuner::tune(const StencilProgram &Program,
-                        const ProblemSize &Problem) const {
-  TuneOutcome Outcome;
-  Outcome.TopByModel = rankByModel(Program, Problem, /*TopK=*/5);
-  if (Outcome.TopByModel.empty())
-    return Outcome;
+std::vector<SweepCandidate> Tuner::enumerateSweepCandidates(
+    const StencilProgram &Program, std::size_t NumProblems,
+    const std::vector<int> &RegisterCaps) const {
+  // Enumeration and static pruning are problem-independent: walk the grid
+  // once, then cross the survivors with the problem indices and caps.
+  std::vector<BlockConfig> Pruned;
+  for (const BlockConfig &Config : enumerateConfigs(Program))
+    if (passesStaticPruning(Program, Config))
+      Pruned.push_back(Config);
 
-  for (const RankedConfig &Candidate : Outcome.TopByModel) {
-    // Section 6.3: besides the uncapped build, try register limits of 32,
-    // 64 and 96 per thread and keep whichever measures fastest.
-    for (int Cap : {0, 32, 64, 96}) {
-      BlockConfig Config = Candidate.Config;
-      Config.RegisterCap = Cap;
-      MeasuredResult Measured =
-          simulateMeasured(Program, Spec, Config, Problem);
-      if (!Measured.Feasible)
-        continue;
-      if (!Outcome.Feasible ||
-          Measured.MeasuredGflops > Outcome.BestMeasured.MeasuredGflops) {
-        Outcome.Feasible = true;
-        Outcome.Best = Config;
-        Outcome.BestMeasured = Measured;
+  std::vector<SweepCandidate> Candidates;
+  Candidates.reserve(NumProblems * Pruned.size() * RegisterCaps.size());
+  for (std::size_t P = 0; P < NumProblems; ++P)
+    for (const BlockConfig &Config : Pruned)
+      for (int Cap : RegisterCaps) {
+        SweepCandidate Item;
+        Item.Config = Config;
+        Item.Config.RegisterCap = Cap;
+        Item.ProblemIndex = P;
+        Candidates.push_back(std::move(Item));
       }
+  return Candidates;
+}
+
+TuneOutcome Tuner::tune(const StencilProgram &Program,
+                        const ProblemSize &Problem,
+                        const TuneOptions &Options) const {
+  return tuneAcrossProblems(Program, {Problem}, Options).front();
+}
+
+std::vector<TuneOutcome>
+Tuner::tuneAcrossProblems(const StencilProgram &Program,
+                          const std::vector<ProblemSize> &Problems,
+                          const TuneOptions &Options) const {
+  std::vector<TuneOutcome> Outcomes(Problems.size());
+
+  // Stage 1 (enumerate/prune): per-problem model ranking, then the full
+  // candidate list — top-K x register caps, cross-product with the
+  // problem sizes — for one shared sweep.
+  std::vector<SweepCandidate> Candidates;
+  for (std::size_t P = 0; P < Problems.size(); ++P) {
+    Outcomes[P].TopByModel = rankByModel(Program, Problems[P], Options.TopK);
+    for (const RankedConfig &Candidate : Outcomes[P].TopByModel)
+      for (int Cap : Options.RegisterCaps) {
+        SweepCandidate Item;
+        Item.Config = Candidate.Config;
+        Item.Config.RegisterCap = Cap;
+        Item.ProblemIndex = P;
+        Candidates.push_back(std::move(Item));
+      }
+  }
+
+  // Stage 2 (measured sweep): parallel across the pool; the reduction
+  // below walks the deterministic result array serially in candidate
+  // order, so the outcome is bit-identical for every thread count.
+  std::vector<MeasuredResult> Results = parallelMeasuredSweep(
+      Program, Spec, Candidates, Problems, Options.Threads);
+  for (std::size_t I = 0; I < Candidates.size(); ++I) {
+    const MeasuredResult &Measured = Results[I];
+    if (!Measured.Feasible)
+      continue;
+    TuneOutcome &Outcome = Outcomes[Candidates[I].ProblemIndex];
+    if (!Outcome.Feasible ||
+        Measured.MeasuredGflops > Outcome.BestMeasured.MeasuredGflops) {
+      Outcome.Feasible = true;
+      Outcome.Best = Candidates[I].Config;
+      Outcome.BestMeasured = Measured;
     }
   }
-  return Outcome;
+  return Outcomes;
 }
 
 BlockConfig Tuner::sconf(const StencilProgram &Program) {
   BlockConfig Config;
   Config.BT = 4;
-  if (Program.numDims() == 2) {
+  if (Program.numDims() == 1) {
+    // No STENCILGEN 1D baseline exists in the paper; the pure-streaming
+    // analogue keeps bT=4 and the 2D chunk length.
+    Config.BS.clear();
+    Config.HS = 128;
+  } else if (Program.numDims() == 2) {
     Config.BS = {32};
     Config.HS = 128;
   } else {

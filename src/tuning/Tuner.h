@@ -5,12 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The model-guided tuning flow of Section 6.3: enumerate the parameter
-/// sets (bT in [1,16] for 2D / [1,8] for 3D; bS in {128,256,512} for 2D /
-/// {16x16, 32x16, 32x32, 64x16} for 3D; hSN in {256,512,1024} / {128,256}),
-/// prune by the register-usage estimate, rank everything with the
-/// performance model, "run" the top five through the measured-performance
-/// simulator with register caps {none, 32, 64, 96}, and keep the fastest.
+/// The model-guided tuning flow of Section 6.3 in two stages:
+///
+///  1. Enumerate/prune: walk the parameter grid for the stencil's
+///     dimensionality (bT in [1,16] for 1D/2D, [1,8] for 3D; bS in
+///     {64,128,256,512} for 2D, {16x16, 32x16, 32x32, 64x16} for 3D, none
+///     for 1D pure streaming; hSN in {off,128,256,512,1024} for 1D,
+///     {256,512,1024} for 2D, {128,256} for 3D), drop register-infeasible
+///     points, and rank the rest with the Section 5 performance model.
+///
+///  2. Measured sweep: "run" the top-K candidates through the
+///     measured-performance simulator with each register cap
+///     ({none, 32, 64, 96}), dispatched across a small thread pool
+///     (tuning/ParallelSweep.h), and keep the fastest. The sweep is
+///     bit-identical for every thread count.
+///
+/// TuneOptions carries the knobs (top-K, register-cap menu, worker
+/// threads) and is threaded through an5dc --tune and
+/// examples/tuning_explorer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,10 +34,19 @@
 #include "model/GpuSpec.h"
 #include "model/PerformanceModel.h"
 #include "sim/MeasuredSimulator.h"
+#include "tuning/ParallelSweep.h"
 
+#include <cstddef>
 #include <vector>
 
 namespace an5d {
+
+/// The ranking key derived from a model score: the GFLOP/s value rounded
+/// to float precision (~7 significant digits), so scores that differ only
+/// by FP noise compare equal — exactly — and fall through to the field
+/// tie-break. Exposed so tests can assert the tie-break with the same
+/// predicate the sort uses.
+double quantizedModelScore(double Gflops);
 
 /// One model-ranked candidate.
 struct RankedConfig {
@@ -41,6 +62,24 @@ struct TuneOutcome {
   std::vector<RankedConfig> TopByModel;
 };
 
+/// Knobs of the Section 6.3 search.
+struct TuneOptions {
+  /// Model-ranked candidates that advance to the measured sweep. The
+  /// paper measures the top five serially; with the parallel sweep the
+  /// default widens to 16 so several block-shape families reach the
+  /// measured stage even when near-tied model scores make the head of the
+  /// ranking homogeneous (the model slightly favors wide blocks whose
+  /// measured occupancy disappoints).
+  std::size_t TopK = 16;
+
+  /// Register caps tried per candidate (0 = uncapped), Section 6.3.
+  std::vector<int> RegisterCaps = {0, 32, 64, 96};
+
+  /// Worker threads for the measured sweep; 0 picks one per hardware
+  /// thread (capped at 8). Any value yields bit-identical results.
+  int Threads = 0;
+};
+
 /// Model-guided configuration search for one device.
 class Tuner {
 public:
@@ -48,28 +87,56 @@ public:
 
   const GpuSpec &spec() const { return Spec; }
 
-  /// The raw Section 6.3 parameter grid for \p Program's dimensionality
-  /// (no pruning, RegisterCap unset).
+  /// The raw parameter grid for \p Program's dimensionality (no pruning,
+  /// RegisterCap unset).
   std::vector<BlockConfig> enumerateConfigs(const StencilProgram &Program)
       const;
 
-  /// Evaluates the model over the pruned grid and returns the best \p TopK
-  /// candidates in descending model performance.
+  /// Stage 1: evaluates the model over the pruned grid and returns the
+  /// best \p TopK candidates in descending model performance. Scores
+  /// compare through quantizedModelScore with a total order over the
+  /// configuration fields as tie-break, so the ranking is deterministic
+  /// across compilers and FP flags.
   std::vector<RankedConfig> rankByModel(const StencilProgram &Program,
                                         const ProblemSize &Problem,
                                         std::size_t TopK) const;
 
-  /// Full tuning flow: rank, simulate the top five with each register cap,
-  /// return the fastest measured configuration.
-  TuneOutcome tune(const StencilProgram &Program,
-                   const ProblemSize &Problem) const;
+  /// The full measured workload over the raw grid (no model ranking):
+  /// every feasible, register-legal configuration x \p RegisterCaps,
+  /// replicated for problem indices [0, NumProblems). The throughput
+  /// bench and the sweep tests dispatch this to exercise the pool beyond
+  /// the tuner's own top-K stage.
+  std::vector<SweepCandidate> enumerateSweepCandidates(
+      const StencilProgram &Program, std::size_t NumProblems,
+      const std::vector<int> &RegisterCaps = {0, 32, 64, 96}) const;
+
+  /// Full tuning flow: rank, sweep the top-K with each register cap
+  /// across Options.Threads workers, return the fastest measured
+  /// configuration. Bit-identical for every thread count.
+  TuneOutcome tune(const StencilProgram &Program, const ProblemSize &Problem,
+                   const TuneOptions &Options = TuneOptions()) const;
+
+  /// Tunes one stencil for several problem sizes at once: the per-problem
+  /// candidates (top-K x register caps, cross-product with the problem
+  /// list) form a single measured sweep over the shared thread pool, then
+  /// each problem reduces serially to its own outcome.
+  std::vector<TuneOutcome>
+  tuneAcrossProblems(const StencilProgram &Program,
+                     const std::vector<ProblemSize> &Problems,
+                     const TuneOptions &Options = TuneOptions()) const;
 
   /// The Sconf configuration of Section 6.3 (STENCILGEN's kernel
-  /// parameters): bT=4, hSN=128, bS=32 for 2D / 32x4 for 3D, with the
-  /// streaming division disabled for 3D stencils.
+  /// parameters): bT=4, hSN=128, bS=32 for 2D / 32x32 for 3D, with the
+  /// streaming division disabled for 3D stencils. For 1D (which the paper
+  /// does not evaluate) this is the pure-streaming analogue bT=4, hSN=128.
   static BlockConfig sconf(const StencilProgram &Program);
 
 private:
+  /// The dimensionality-independent pruning both stages share: block
+  /// feasibility plus the register-limit estimate.
+  bool passesStaticPruning(const StencilProgram &Program,
+                           const BlockConfig &Config) const;
+
   GpuSpec Spec;
 };
 

@@ -58,7 +58,41 @@ BlockConfig config2d(int BT, int BS, int HS = 0) {
   return C;
 }
 
+BlockConfig config1d(int BT, int HS = 0) {
+  BlockConfig C;
+  C.BT = BT;
+  C.HS = HS; // BS stays empty: 1D pure streaming.
+  return C;
+}
+
 } // namespace
+
+TEST(BlockedExecutor, OneDimensionalStreamingMatchesReference) {
+  // The 1D path streams the single dimension with no blocked dimensions
+  // (one lane per block); chunked and unchunked runs must both reproduce
+  // the reference bit for bit.
+  auto P = makeStarStencil(1, 2, ScalarType::Float);
+  EXPECT_EQ(compareBlockedToReference<float>(*P, config1d(3, 16), {97}, 9),
+            0u);
+  EXPECT_EQ(compareBlockedToReference<float>(*P, config1d(3), {97}, 9), 0u)
+      << "streaming off (single chunk)";
+}
+
+TEST(BlockedExecutor, OneDimensionalHighDegreeAndDouble) {
+  auto P = makeJacobi1d3pt(ScalarType::Double);
+  // Degree above the chunk length: redundant planes dominate each chunk.
+  EXPECT_EQ(compareBlockedToReference<double>(*P, config1d(10, 8), {61}, 13),
+            0u);
+}
+
+TEST(BlockedExecutor, OneDimensionalPoisonedHalosStayClean) {
+  auto P = makeBoxStencil(1, 1, ScalarType::Float);
+  BlockedExecOptions Options;
+  Options.PoisonHalos = true;
+  EXPECT_EQ(compareBlockedToReference<float>(*P, config1d(4, 12), {53}, 8,
+                                             Options),
+            0u);
+}
 
 TEST(BlockedExecutor, J2d5ptMatchesReferenceBitwise) {
   auto P = makeJacobi2d5pt(ScalarType::Float);

@@ -8,6 +8,7 @@
 #include "model/PerformanceModel.h"
 #include "model/RegisterModel.h"
 #include "model/SharedMemoryModel.h"
+#include "sim/MeasuredSimulator.h"
 #include "stencils/Benchmarks.h"
 
 #include <gtest/gtest.h>
@@ -191,6 +192,33 @@ TEST(PerformanceModel, InfeasibleConfigsRejected) {
       evaluateModel(*Star, V100, NoComputeRegion, Problem).Feasible);
 }
 
+TEST(PerformanceModel, DimensionalityMismatchedConfigsRejected) {
+  // isFeasible accepts an empty BS (the 1D streaming config) and cannot
+  // see the stencil's dimensionality; the model must reject configs whose
+  // blocked-dimension count does not match the program.
+  GpuSpec V100 = GpuSpec::teslaV100();
+  auto Star2 = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize P2 = ProblemSize::paperDefault(2);
+  BlockConfig Empty; // BS empty: valid for 1D only.
+  Empty.BT = 4;
+  Empty.HS = 256;
+  EXPECT_FALSE(evaluateModel(*Star2, V100, Empty, P2).Feasible);
+  EXPECT_FALSE(simulateMeasured(*Star2, V100, Empty, P2).Feasible);
+
+  BlockConfig ThreeD;
+  ThreeD.BT = 4;
+  ThreeD.BS = {32, 32};
+  EXPECT_FALSE(evaluateModel(*Star2, V100, ThreeD, P2).Feasible);
+
+  auto Star1 = makeStarStencil(1, 1, ScalarType::Float);
+  ProblemSize P1 = ProblemSize::paperDefault(1);
+  BlockConfig Blocked1d;
+  Blocked1d.BT = 4;
+  Blocked1d.BS = {256};
+  EXPECT_FALSE(evaluateModel(*Star1, V100, Blocked1d, P1).Feasible);
+  EXPECT_TRUE(evaluateModel(*Star1, V100, Empty, P1).Feasible);
+}
+
 TEST(PerformanceModel, SaneOutputForPaperConfig) {
   GpuSpec V100 = GpuSpec::teslaV100();
   auto Star = makeStarStencil(2, 1, ScalarType::Float);
@@ -253,6 +281,66 @@ TEST(PerformanceModel, DoublePrecisionSlower) {
   ModelBreakdown MD = evaluateModel(*D, V100, Config, Problem);
   ASSERT_TRUE(MF.Feasible && MD.Feasible);
   EXPECT_GT(MF.Gflops, MD.Gflops);
+}
+
+TEST(PerformanceModel, SmUtilizationScoresTailWaveByFill) {
+  // One wave = 10 blocks here. The old Floor/Ceil form scored every
+  // partial second wave 0.5 — 1.9 waves (a nearly full tail) the same as
+  // 1.1 — and rankings flipped at wave boundaries.
+  EXPECT_NEAR(smUtilizationEfficiency(19, 1, 10), 0.95, 1e-12);
+  EXPECT_NEAR(smUtilizationEfficiency(11, 1, 10), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(smUtilizationEfficiency(20, 1, 10), 1.0);
+  EXPECT_NEAR(smUtilizationEfficiency(21, 1, 10), 0.7, 1e-12);
+  // Less than one wave: utilization is the filled fraction.
+  EXPECT_NEAR(smUtilizationEfficiency(5, 1, 10), 0.5, 1e-12);
+  // Degenerate inputs.
+  EXPECT_EQ(smUtilizationEfficiency(0, 1, 10), 0.0);
+  EXPECT_EQ(smUtilizationEfficiency(10, 0, 10), 0.0);
+}
+
+TEST(PerformanceModel, SmUtilizationMonotoneAndContinuous) {
+  // BlocksPerWave = 2 * 16 = 32. Within a wave the efficiency must rise
+  // continuously (steps of at most 1/BlocksPerWave) up to exactly 1.0 at
+  // full waves, and the effective time proxy Blocks/Eff — proportional to
+  // Ceil(Waves) — must never decrease as blocks are added: adding work
+  // can't make the predicted launch faster.
+  const int BlocksPerSm = 2, SmCount = 16;
+  const double BlocksPerWave = 32.0;
+  double PrevEff = 0.0, PrevTimeProxy = 0.0;
+  for (long long Blocks = 1; Blocks <= 10 * 32; ++Blocks) {
+    double Eff = smUtilizationEfficiency(Blocks, BlocksPerSm, SmCount);
+    ASSERT_GT(Eff, 0.0) << Blocks;
+    ASSERT_LE(Eff, 1.0) << Blocks;
+    bool NewWaveStarted = (Blocks - 1) % 32 == 0 && Blocks > 32;
+    if (!NewWaveStarted) {
+      EXPECT_GT(Eff, PrevEff) << Blocks << ": rising within a wave";
+      EXPECT_LE(Eff - PrevEff, 1.0 / BlocksPerWave + 1e-12)
+          << Blocks << ": no jumps within a wave";
+    }
+    if (Blocks % 32 == 0)
+      EXPECT_DOUBLE_EQ(Eff, 1.0) << Blocks << ": full waves saturate";
+    double TimeProxy = static_cast<double>(Blocks) / Eff;
+    EXPECT_GE(TimeProxy, PrevTimeProxy - 1e-9)
+        << Blocks << ": predicted time must not drop when work is added";
+    PrevEff = Eff;
+    PrevTimeProxy = TimeProxy;
+  }
+}
+
+TEST(PerformanceModel, ResidentBlockLimitRespected) {
+  // A 1D pure-streaming config has one-lane blocks; without the
+  // MaxBlocksPerSm cap the occupancy term would claim thousands of
+  // resident blocks per SM.
+  GpuSpec V100 = GpuSpec::teslaV100();
+  auto Star = makeStarStencil(1, 1, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(1);
+  BlockConfig Config;
+  Config.BT = 4;
+  Config.HS = 512;
+  ModelBreakdown Model = evaluateModel(*Star, V100, Config, Problem);
+  ASSERT_TRUE(Model.Feasible);
+  EXPECT_LE(Model.ConcurrentBlocksPerSm, V100.MaxBlocksPerSm);
+  EXPECT_GT(Model.ConcurrentBlocksPerSm, 0);
 }
 
 TEST(PerformanceModel, ToStringMentionsBottleneck) {

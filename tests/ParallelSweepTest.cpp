@@ -1,0 +1,109 @@
+//===- ParallelSweepTest.cpp - Parallel measured-sweep determinism ------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuning/ParallelSweep.h"
+
+#include "stencils/Benchmarks.h"
+#include "tuning/Tuner.h"
+
+#include <gtest/gtest.h>
+
+using namespace an5d;
+
+namespace {
+
+/// Every feasible grid point x register caps x the given problems — the
+/// full-grid workload shared with bench_tuner_throughput.
+std::vector<SweepCandidate> allCandidates(const StencilProgram &Program,
+                                          const GpuSpec &Spec,
+                                          std::size_t NumProblems) {
+  return Tuner(Spec).enumerateSweepCandidates(Program, NumProblems);
+}
+
+} // namespace
+
+TEST(ParallelSweep, EmptyCandidateListYieldsEmptyResults) {
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  std::vector<ProblemSize> Problems = {ProblemSize::paperDefault(2)};
+  EXPECT_TRUE(parallelMeasuredSweep(*P, GpuSpec::teslaV100(), {}, Problems, 4)
+                  .empty());
+}
+
+TEST(ParallelSweep, ThreadCountResolution) {
+  EXPECT_EQ(resolveSweepThreads(1), 1);
+  EXPECT_EQ(resolveSweepThreads(5), 5);
+  EXPECT_EQ(resolveSweepThreads(12), 12) << "explicit counts pass through";
+  int Auto = resolveSweepThreads(0);
+  EXPECT_GE(Auto, 1);
+  EXPECT_LE(Auto, 8) << "auto caps the pool at 8 workers";
+}
+
+TEST(ParallelSweep, ResultsBitIdenticalAcrossThreadCounts) {
+  GpuSpec Spec = GpuSpec::teslaV100();
+  for (const char *Name : {"star2d1r", "star1d1r", "j3d27pt"}) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    std::vector<ProblemSize> Problems = {
+        ProblemSize::paperDefault(P->numDims())};
+    ProblemSize Small = Problems[0];
+    for (long long &E : Small.Extents)
+      E /= 4;
+    Problems.push_back(Small);
+
+    std::vector<SweepCandidate> Candidates =
+        allCandidates(*P, Spec, Problems.size());
+    ASSERT_FALSE(Candidates.empty()) << Name;
+
+    std::vector<MeasuredResult> Serial =
+        parallelMeasuredSweep(*P, Spec, Candidates, Problems, 1);
+    for (int Threads : {2, 3, 8}) {
+      std::vector<MeasuredResult> Parallel =
+          parallelMeasuredSweep(*P, Spec, Candidates, Problems, Threads);
+      ASSERT_EQ(Parallel.size(), Serial.size()) << Name;
+      for (std::size_t I = 0; I < Serial.size(); ++I) {
+        EXPECT_EQ(Parallel[I].Feasible, Serial[I].Feasible)
+            << Name << " item " << I;
+        EXPECT_EQ(Parallel[I].MeasuredGflops, Serial[I].MeasuredGflops)
+            << Name << " item " << I << ": bitwise equality expected";
+        EXPECT_EQ(Parallel[I].MeasuredTimeSeconds,
+                  Serial[I].MeasuredTimeSeconds)
+            << Name << " item " << I;
+        EXPECT_EQ(Parallel[I].Model.Gflops, Serial[I].Model.Gflops)
+            << Name << " item " << I;
+      }
+    }
+  }
+}
+
+TEST(ParallelSweep, MoreThreadsThanCandidatesIsSafe) {
+  GpuSpec Spec = GpuSpec::teslaV100();
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  std::vector<ProblemSize> Problems = {ProblemSize::paperDefault(2)};
+  std::vector<SweepCandidate> Candidates =
+      allCandidates(*P, Spec, Problems.size());
+  Candidates.resize(3);
+  std::vector<MeasuredResult> Results =
+      parallelMeasuredSweep(*P, Spec, Candidates, Problems, 64);
+  ASSERT_EQ(Results.size(), 3u);
+  for (const MeasuredResult &R : Results)
+    EXPECT_TRUE(R.Feasible);
+}
+
+TEST(ParallelSweep, MatchesDirectSimulateMeasured) {
+  GpuSpec Spec = GpuSpec::teslaV100();
+  auto P = makeJacobi2d5pt(ScalarType::Double);
+  std::vector<ProblemSize> Problems = {ProblemSize::paperDefault(2)};
+  std::vector<SweepCandidate> Candidates =
+      allCandidates(*P, Spec, Problems.size());
+  ASSERT_FALSE(Candidates.empty());
+  std::vector<MeasuredResult> Results =
+      parallelMeasuredSweep(*P, Spec, Candidates, Problems, 4);
+  for (std::size_t I = 0; I < Candidates.size(); I += 17) {
+    MeasuredResult Direct = simulateMeasured(*P, Spec, Candidates[I].Config,
+                                             Problems[0]);
+    EXPECT_EQ(Results[I].Feasible, Direct.Feasible) << I;
+    EXPECT_EQ(Results[I].MeasuredGflops, Direct.MeasuredGflops) << I;
+  }
+}

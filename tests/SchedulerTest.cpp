@@ -52,6 +52,38 @@ TEST(Scheduler, TwoStepsLargeBt) {
   EXPECT_EQ(scheduleTimeBlocks(2, 8), (std::vector<int>{1, 1}));
 }
 
+TEST(Scheduler, ZeroStepsForEveryDegree) {
+  for (int BT : {1, 2, 5, 16})
+    EXPECT_TRUE(scheduleTimeBlocks(0, BT).empty()) << "bT=" << BT;
+}
+
+TEST(Scheduler, TimeStepsBelowDegreeOddStaysSingleCall) {
+  // IT=3 < bT=8: one call of degree 3; 1 mod 2 == 3 mod 2, no fix-up.
+  EXPECT_EQ(scheduleTimeBlocks(3, 8), (std::vector<int>{3}));
+  EXPECT_EQ(scheduleTimeBlocks(5, 16), (std::vector<int>{5}));
+}
+
+TEST(Scheduler, TimeStepsBelowDegreeEvenSplits) {
+  // IT=6 < bT=8: the single degree-6 call has the wrong parity and must
+  // split into two calls summing to 6.
+  EXPECT_EQ(scheduleTimeBlocks(6, 8), (std::vector<int>{3, 3}));
+  EXPECT_EQ(scheduleTimeBlocks(4, 16), (std::vector<int>{2, 2}));
+}
+
+TEST(Scheduler, ParityFixupDegradesToAllOnes) {
+  // IT=3, bT=2: [2, 1] has two calls against odd IT; the only degree >= 2
+  // splits, leaving every remaining degree at 1.
+  EXPECT_EQ(scheduleTimeBlocks(3, 2), (std::vector<int>{1, 1, 1}));
+  // IT=2, bT=2: same fix-up at the minimum size.
+  EXPECT_EQ(scheduleTimeBlocks(2, 2), (std::vector<int>{1, 1}));
+}
+
+TEST(Scheduler, FixupSplitsFirstEligibleBlockOnly) {
+  // IT=10, bT=4 -> [4, 4, 2] has 3 calls against even IT; the first block
+  // splits into 2+2 and the tail is untouched.
+  EXPECT_EQ(scheduleTimeBlocks(10, 4), (std::vector<int>{2, 2, 4, 2}));
+}
+
 /// Exhaustive invariant sweep over (IT, bT).
 class SchedulerSweep : public ::testing::TestWithParam<int> {};
 

@@ -11,16 +11,52 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 using namespace an5d;
 
 TEST(Tuner, EnumerationMatchesSection63Counts) {
   Tuner T(GpuSpec::teslaV100());
   auto P2 = makeStarStencil(2, 1, ScalarType::Float);
-  // 16 bT x 3 bS x 3 hS = 144 configurations for 2D.
-  EXPECT_EQ(T.enumerateConfigs(*P2).size(), 144u);
+  // 16 bT x 4 bS x 3 hS = 192 configurations for 2D.
+  EXPECT_EQ(T.enumerateConfigs(*P2).size(), 192u);
   auto P3 = makeStarStencil(3, 1, ScalarType::Float);
   // 8 bT x 4 shapes x 2 hS = 64 configurations for 3D.
   EXPECT_EQ(T.enumerateConfigs(*P3).size(), 64u);
+  auto P1 = makeStarStencil(1, 1, ScalarType::Float);
+  // 16 bT x 5 hS (off + four chunk lengths) = 80 configurations for 1D.
+  EXPECT_EQ(T.enumerateConfigs(*P1).size(), 80u);
+  for (const BlockConfig &C : T.enumerateConfigs(*P1))
+    EXPECT_TRUE(C.BS.empty()) << "1D streams: no blocked dimensions";
+}
+
+TEST(Tuner, OneDimensionalRankingIsNonEmpty) {
+  // The 1D grid used to emit configs BlockConfig::isFeasible rejected
+  // unconditionally, so every 1D tune came back infeasible.
+  Tuner T(GpuSpec::teslaV100());
+  ProblemSize Problem = ProblemSize::paperDefault(1);
+  for (const char *Name : {"star1d1r", "star1d4r", "box1d2r", "j1d3pt"}) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    ASSERT_NE(P, nullptr) << Name;
+    auto Ranked = T.rankByModel(*P, Problem, 5);
+    ASSERT_FALSE(Ranked.empty()) << Name;
+    for (const RankedConfig &R : Ranked) {
+      EXPECT_TRUE(R.Model.Feasible) << Name;
+      EXPECT_TRUE(R.Config.BS.empty()) << Name;
+    }
+  }
+}
+
+TEST(Tuner, OneDimensionalTunePrefersStreamingDivision) {
+  // hS=off launches a single thread block; any chunked config beats it on
+  // SM utilization, so the tuned pick must divide the streaming dimension.
+  Tuner T(GpuSpec::teslaV100());
+  auto P = makeJacobi1d3pt(ScalarType::Float);
+  TuneOutcome Outcome = T.tune(*P, ProblemSize::paperDefault(1));
+  ASSERT_TRUE(Outcome.Feasible);
+  EXPECT_GT(Outcome.Best.HS, 0) << Outcome.Best.toString();
+  EXPECT_GT(Outcome.BestMeasured.MeasuredGflops, 0);
 }
 
 TEST(Tuner, RankingIsSortedAndFeasible) {
@@ -130,7 +166,10 @@ TEST(Tuner, RegisterCapChosenFromMenu) {
 
 TEST(Tuner, AllBenchmarksTuneFeasibly) {
   Tuner T(GpuSpec::teslaV100());
-  for (const std::string &Name : benchmarkStencilNames()) {
+  std::vector<std::string> Names = benchmarkStencilNames();
+  for (const std::string &Extra : extraStencilNames())
+    Names.push_back(Extra);
+  for (const std::string &Name : Names) {
     auto P = makeBenchmarkStencil(Name, ScalarType::Float);
     ProblemSize Problem = ProblemSize::paperDefault(P->numDims());
     TuneOutcome Outcome = T.tune(*P, Problem);
@@ -142,4 +181,109 @@ TEST(Tuner, AllBenchmarksTuneFeasibly) {
           << Name << ": cannot beat peak";
     }
   }
+}
+
+TEST(Tuner, RankingIsDeterministicAcrossRepeats) {
+  // The model-score comparison is epsilon-relative and falls back to a
+  // total order over the configuration fields, so repeated rankings (and
+  // rankings across compilers/FP flags) must agree exactly.
+  Tuner T(GpuSpec::teslaV100());
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  auto First = T.rankByModel(*P, Problem, 50);
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Again = T.rankByModel(*P, Problem, 50);
+    ASSERT_EQ(Again.size(), First.size());
+    for (std::size_t I = 0; I < First.size(); ++I) {
+      EXPECT_EQ(Again[I].Config.BT, First[I].Config.BT) << I;
+      EXPECT_EQ(Again[I].Config.BS, First[I].Config.BS) << I;
+      EXPECT_EQ(Again[I].Config.HS, First[I].Config.HS) << I;
+    }
+  }
+  // Adjacent entries with equal quantized scores must follow the
+  // documented tie-break (the same predicate the sort uses).
+  for (std::size_t I = 1; I < First.size(); ++I) {
+    const RankedConfig &A = First[I - 1], &B = First[I];
+    if (quantizedModelScore(A.Model.Gflops) !=
+        quantizedModelScore(B.Model.Gflops))
+      continue; // genuinely different scores: order by score.
+    EXPECT_TRUE(A.Config.BT < B.Config.BT ||
+                (A.Config.BT == B.Config.BT &&
+                 (A.Config.numThreads() < B.Config.numThreads() ||
+                  (A.Config.numThreads() == B.Config.numThreads() &&
+                   (A.Config.BS < B.Config.BS ||
+                    (A.Config.BS == B.Config.BS &&
+                     A.Config.HS < B.Config.HS))))))
+        << "tie at rank " << I;
+  }
+}
+
+TEST(Tuner, SweepResultBitIdenticalAcrossThreadCounts) {
+  // The measured sweep fans out over a thread pool, but every candidate is
+  // a pure function writing its own slot: the tuned pick must be
+  // bit-identical for every worker count.
+  Tuner T(GpuSpec::teslaV100());
+  for (const char *Name : {"j2d5pt", "star1d1r", "star3d1r"}) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    ProblemSize Problem = ProblemSize::paperDefault(P->numDims());
+    TuneOptions Serial;
+    Serial.Threads = 1;
+    TuneOutcome Base = T.tune(*P, Problem, Serial);
+    ASSERT_TRUE(Base.Feasible) << Name;
+    for (int Threads : {2, 4, 8}) {
+      TuneOptions Parallel;
+      Parallel.Threads = Threads;
+      TuneOutcome Outcome = T.tune(*P, Problem, Parallel);
+      ASSERT_TRUE(Outcome.Feasible) << Name;
+      EXPECT_EQ(Outcome.Best.BT, Base.Best.BT) << Name;
+      EXPECT_EQ(Outcome.Best.BS, Base.Best.BS) << Name;
+      EXPECT_EQ(Outcome.Best.HS, Base.Best.HS) << Name;
+      EXPECT_EQ(Outcome.Best.RegisterCap, Base.Best.RegisterCap) << Name;
+      EXPECT_EQ(Outcome.BestMeasured.MeasuredGflops,
+                Base.BestMeasured.MeasuredGflops)
+          << Name << ": bitwise-identical measurement expected";
+      EXPECT_EQ(Outcome.BestMeasured.MeasuredTimeSeconds,
+                Base.BestMeasured.MeasuredTimeSeconds)
+          << Name;
+    }
+  }
+}
+
+TEST(Tuner, TuneAcrossProblemsMatchesPerProblemTunes) {
+  Tuner T(GpuSpec::teslaV100());
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  std::vector<ProblemSize> Problems;
+  Problems.push_back(ProblemSize::paperDefault(2));
+  ProblemSize Small;
+  Small.Extents = {4096, 4096};
+  Small.TimeSteps = 500;
+  Problems.push_back(Small);
+
+  TuneOptions Options;
+  Options.Threads = 3;
+  std::vector<TuneOutcome> Joint = T.tuneAcrossProblems(*P, Problems, Options);
+  ASSERT_EQ(Joint.size(), 2u);
+  for (std::size_t I = 0; I < Problems.size(); ++I) {
+    TuneOutcome Single = T.tune(*P, Problems[I], Options);
+    ASSERT_EQ(Joint[I].Feasible, Single.Feasible) << I;
+    EXPECT_EQ(Joint[I].Best.toString(), Single.Best.toString()) << I;
+    EXPECT_EQ(Joint[I].BestMeasured.MeasuredGflops,
+              Single.BestMeasured.MeasuredGflops)
+        << I;
+  }
+}
+
+TEST(Tuner, TuneOptionsTopKLimitsSweep) {
+  Tuner T(GpuSpec::teslaV100());
+  auto P = makeStarStencil(2, 1, ScalarType::Float);
+  ProblemSize Problem = ProblemSize::paperDefault(2);
+  TuneOptions Narrow;
+  Narrow.TopK = 1;
+  TuneOutcome Outcome = T.tune(*P, Problem, Narrow);
+  ASSERT_TRUE(Outcome.Feasible);
+  ASSERT_EQ(Outcome.TopByModel.size(), 1u);
+  // The winner must be the single ranked candidate (any register cap).
+  EXPECT_EQ(Outcome.Best.BT, Outcome.TopByModel[0].Config.BT);
+  EXPECT_EQ(Outcome.Best.BS, Outcome.TopByModel[0].Config.BS);
+  EXPECT_EQ(Outcome.Best.HS, Outcome.TopByModel[0].Config.HS);
 }

@@ -23,6 +23,8 @@
 ///   --device v100|p100   target GPU for tuning/model (default v100)
 ///   --bt N --bs N[,N] --hs N --regs N    manual configuration
 ///   --tune               pick the configuration with the Section 6.3 flow
+///   --tune-threads N     measured-sweep worker threads (0 = auto)
+///   --tune-topk N        model-ranked candidates to measure (default 16)
 ///   --print-stencil      show the detected stencil and classification
 ///   --print-model        show the roofline breakdown for the configuration
 ///   --emit-cuda DIR      write <kernel>.cu and <kernel>_host.cpp to DIR
@@ -66,6 +68,7 @@ struct CliOptions {
   int HS = -1;
   int Regs = 0;
   bool Tune = false;
+  TuneOptions Tuning;
   bool PrintStencil = false;
   bool PrintModel = false;
   bool Report = false;
@@ -86,6 +89,7 @@ void printUsage() {
       "  --benchmark NAME | --list-benchmarks\n"
       "  --name NAME --type float|double --device v100|p100\n"
       "  --bt N --bs N[,N] --hs N --regs N | --tune\n"
+      "  --tune-threads N --tune-topk N\n"
       "  --print-stencil --print-model --report --verify\n"
       "  --simplify --div-to-mul\n"
       "  --no-assoc-opt --no-dafree-opt --vectorized-smem --unroll-inner\n"
@@ -165,6 +169,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.Regs = std::atoi(V);
     } else if (Arg == "--tune") {
       Options.Tune = true;
+    } else if (Arg == "--tune-threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Tuning.Threads = std::atoi(V);
+    } else if (Arg == "--tune-topk") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      int K = std::atoi(V);
+      if (K < 1) {
+        std::fprintf(stderr, "an5dc: --tune-topk must be >= 1\n");
+        return false;
+      }
+      Options.Tuning.TopK = static_cast<std::size_t>(K);
     } else if (Arg == "--print-stencil") {
       Options.PrintStencil = true;
     } else if (Arg == "--print-model") {
@@ -218,8 +237,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
 template <typename T>
 bool verifyBlocked(const StencilProgram &Program, const BlockConfig &Config) {
   std::vector<long long> Extents =
-      Program.numDims() == 2 ? std::vector<long long>{41, 37}
-                             : std::vector<long long>{15, 13, 12};
+      Program.numDims() == 1   ? std::vector<long long>{97}
+      : Program.numDims() == 2 ? std::vector<long long>{41, 37}
+                               : std::vector<long long>{15, 13, 12};
   long long Steps = 9;
   Grid<T> Ref0(Extents, Program.radius()), Ref1(Extents, Program.radius());
   fillGridDeterministic(Ref0, 77);
@@ -257,6 +277,8 @@ int main(int Argc, char **Argv) {
 
   if (Options.ListBenchmarks) {
     for (const std::string &Name : benchmarkStencilNames())
+      std::printf("%s\n", Name.c_str());
+    for (const std::string &Name : extraStencilNames())
       std::printf("%s\n", Name.c_str());
     return 0;
   }
@@ -339,7 +361,7 @@ int main(int Argc, char **Argv) {
   BlockConfig Config;
   if (Options.Tune) {
     Tuner T(Spec);
-    TuneOutcome Outcome = T.tune(*Program, Problem);
+    TuneOutcome Outcome = T.tune(*Program, Problem, Options.Tuning);
     if (!Outcome.Feasible) {
       std::fprintf(stderr, "an5dc: tuning found no feasible config\n");
       return 1;
@@ -352,12 +374,20 @@ int main(int Argc, char **Argv) {
     Config.BT = Options.BT > 0 ? Options.BT : 4;
     if (!Options.BS.empty())
       Config.BS = Options.BS;
-    else
-      Config.BS = Program->numDims() == 2 ? std::vector<int>{256}
-                                          : std::vector<int>{32, 32};
+    else if (Program->numDims() == 2)
+      Config.BS = {256};
+    else if (Program->numDims() == 3)
+      Config.BS = {32, 32};
+    // 1D: BS stays empty (pure streaming; see model/BlockConfig.h).
     Config.HS = Options.HS >= 0 ? Options.HS
-                                : (Program->numDims() == 2 ? 256 : 128);
+                                : (Program->numDims() == 3 ? 128 : 256);
     Config.RegisterCap = Options.Regs;
+    if (static_cast<int>(Config.BS.size()) != Program->numDims() - 1) {
+      std::fprintf(stderr,
+                   "an5dc: --bs needs %d value(s) for a %dD stencil\n",
+                   Program->numDims() - 1, Program->numDims());
+      return 1;
+    }
     if (!Config.isFeasible(Program->radius(), Spec.MaxThreadsPerBlock)) {
       std::fprintf(stderr,
                    "an5dc: configuration %s is infeasible for radius %d\n",
@@ -380,6 +410,17 @@ int main(int Argc, char **Argv) {
       std::printf("simulated measurement: %.0f GFLOP/s (accuracy %.0f%%)\n",
                   Measured.MeasuredGflops,
                   100 * Measured.modelAccuracy());
+  }
+
+  if (Program->numDims() == 1 &&
+      (!Options.EmitCudaDir.empty() || !Options.EmitCheckDir.empty() ||
+       !Options.EmitLoopTilingDir.empty())) {
+    // The model/tuner/emulator stack handles 1D (pure streaming), but the
+    // code generators only know the 2D/3D kernel shapes so far.
+    std::fprintf(stderr,
+                 "an5dc: code generation for 1D stencils is not supported "
+                 "yet (model, tuner and --verify are)\n");
+    return 1;
   }
 
   if (!Options.EmitCudaDir.empty()) {

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-#===- tools/bench_emulator.sh - Dump emulator throughput to JSON ----------===#
+#===- tools/bench_emulator.sh - Dump emulator + tuner benches to JSON ------===#
 #
 # Part of the AN5D reproduction project, under the MIT license.
 #
-# Runs bench_emulator_throughput (Google Benchmark) and dumps the results
-# to BENCH_emulator.json so the emulator's performance trajectory can be
-# tracked PR over PR. Build the benches first:
+# Runs bench_emulator_throughput and bench_tuner_throughput (both Google
+# Benchmark) and dumps the results to BENCH_emulator.json and
+# BENCH_tuner.json so the emulator's and the measured sweep's performance
+# trajectories can be tracked PR over PR. Build the benches first:
 #
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 #
 # Usage:
 #   tools/bench_emulator.sh [build-dir] [output.json] [extra benchmark args]
+#
+# The tuner results land next to [output.json] as BENCH_tuner.json; the
+# extra benchmark args apply to both binaries.
 #
 # Examples:
 #   tools/bench_emulator.sh
@@ -24,6 +28,8 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_emulator.json}"
 shift $(( $# > 2 ? 2 : $# ))
 
+TUNER_OUT="$(dirname "$OUT")/BENCH_tuner.json"
+
 BIN="$BUILD_DIR/bench/bench_emulator_throughput"
 if [ ! -x "$BIN" ]; then
   echo "error: $BIN not found or not executable." >&2
@@ -34,3 +40,11 @@ fi
 
 "$BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
 echo "wrote $OUT"
+
+TUNER_BIN="$BUILD_DIR/bench/bench_tuner_throughput"
+if [ -x "$TUNER_BIN" ]; then
+  "$TUNER_BIN" --benchmark_out="$TUNER_OUT" --benchmark_out_format=json "$@"
+  echo "wrote $TUNER_OUT"
+else
+  echo "warning: $TUNER_BIN not found; skipping BENCH_tuner.json" >&2
+fi
