@@ -1,0 +1,202 @@
+//===- bench_native_runtime.cpp - Tape emulator vs native OpenMP kernels ------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Google-benchmark comparison of the two execution tiers that run the
+/// blocked N.5D schedule on this machine: the in-process compiled-tape
+/// emulator (sim/BlockedExecutor.h) and the JIT-compiled native OpenMP
+/// kernel (runtime/NativeExecutor.h). Both compute bit-identical results;
+/// the native kernel exists so "measured" tuning can time real hardware
+/// behavior, and this bench tracks how much faster it runs.
+///
+/// Native cases appear at 1 and 4 OpenMP threads (4 is clamped to the
+/// machine's pool when smaller); the BM_Native* cases report the live
+/// ratio against a best-of-3 tape-emulator run as "native_vs_tape_x". On
+/// the 3D benchmarks at >= 4 threads the native kernel is expected to beat
+/// the tape emulator comfortably (specialized constants, no interpreter
+/// dispatch, parallel blocks). Kernels compile once into a per-user cache
+/// (AN5D_KERNEL_CACHE overrides), so repeat runs skip compilation;
+/// tools/bench_emulator.sh dumps the results to BENCH_native.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/NativeExecutor.h"
+#include "sim/BlockedExecutor.h"
+#include "sim/Grid.h"
+#include "stencils/Benchmarks.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+using namespace an5d;
+
+namespace {
+
+long long cellSteps(const std::vector<long long> &Extents, long long Steps) {
+  long long Cells = 1;
+  for (long long E : Extents)
+    Cells *= E;
+  return Cells * Steps;
+}
+
+/// One benchmarked scenario: stencil, configuration, problem.
+struct Scenario {
+  std::unique_ptr<StencilProgram> Program;
+  BlockConfig Config;
+  std::vector<long long> Extents;
+  long long Steps;
+};
+
+Scenario makeScenario(const std::string &Name) {
+  Scenario S;
+  S.Program = makeBenchmarkStencil(Name, ScalarType::Float);
+  if (S.Program->numDims() == 2) {
+    S.Config.BT = 4;
+    S.Config.BS = {128};
+    S.Config.HS = 128;
+    S.Extents = {512, 512};
+    S.Steps = 8;
+  } else {
+    S.Config.BT = 2;
+    S.Config.BS = {32, 32};
+    S.Config.HS = 0;
+    S.Extents = {64, 64, 64};
+    S.Steps = 4;
+  }
+  return S;
+}
+
+/// Best-of-3 wall time of one tape-emulator run, for the ratio counter.
+double timeTapeNs(const Scenario &S) {
+  Grid<float> A(S.Extents, S.Program->radius()), B(A);
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  double Best = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    blockedRun<float>(*S.Program, S.Config, {&A, &B}, S.Steps);
+    auto End = std::chrono::steady_clock::now();
+    double Ns =
+        std::chrono::duration<double, std::nano>(End - Start).count();
+    Best = Rep == 0 ? Ns : std::min(Best, Ns);
+  }
+  return Best;
+}
+
+void runTapeBench(benchmark::State &State, const std::string &Name) {
+  Scenario S = makeScenario(Name);
+  Grid<float> A(S.Extents, S.Program->radius()), B(A);
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  for (auto _ : State) {
+    blockedRun<float>(*S.Program, S.Config, {&A, &B}, S.Steps);
+    benchmark::DoNotOptimize(A.raw().data());
+  }
+  State.SetItemsProcessed(State.iterations() * cellSteps(S.Extents, S.Steps));
+}
+
+void runNativeBench(benchmark::State &State, const std::string &Name,
+                    int Threads) {
+  Scenario S = makeScenario(Name);
+  NativeRuntimeOptions Options;
+  Options.Threads = Threads;
+  NativeExecutor Executor(*S.Program, S.Config, Options);
+  if (!Executor.ok()) {
+    State.SkipWithError(Executor.error().c_str());
+    return;
+  }
+  Grid<float> A(S.Extents, S.Program->radius()), B(A);
+  fillGridDeterministic(A, 1);
+  copyGrid(A, B);
+  for (auto _ : State) {
+    Executor.run<float>({&A, &B}, S.Steps);
+    benchmark::DoNotOptimize(A.raw().data());
+  }
+  State.SetItemsProcessed(State.iterations() * cellSteps(S.Extents, S.Steps));
+  State.counters["kernel_threads"] =
+      static_cast<double>(Executor.kernelMaxThreads());
+  // Live ratio against the tape emulator: benchmark reports per-iteration
+  // time only after the fact, so time one more native run by hand.
+  double TapeNs = timeTapeNs(S);
+  auto Start = std::chrono::steady_clock::now();
+  Executor.run<float>({&A, &B}, S.Steps);
+  double NativeNs = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+  State.counters["tape_ns_per_run"] = TapeNs;
+  if (NativeNs > 0)
+    State.counters["native_vs_tape_x"] = TapeNs / NativeNs;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// 2D
+//===----------------------------------------------------------------------===//
+
+static void BM_TapeBlocked_j2d5pt(benchmark::State &State) {
+  runTapeBench(State, "j2d5pt");
+}
+BENCHMARK(BM_TapeBlocked_j2d5pt)->Unit(benchmark::kMillisecond);
+
+static void BM_NativeOmp_j2d5pt(benchmark::State &State) {
+  runNativeBench(State, "j2d5pt", static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_NativeOmp_j2d5pt)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_TapeBlocked_star2d2r(benchmark::State &State) {
+  runTapeBench(State, "star2d2r");
+}
+BENCHMARK(BM_TapeBlocked_star2d2r)->Unit(benchmark::kMillisecond);
+
+static void BM_NativeOmp_star2d2r(benchmark::State &State) {
+  runNativeBench(State, "star2d2r", static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_NativeOmp_star2d2r)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// 3D (the acceptance cases: native must win at >= 4 threads)
+//===----------------------------------------------------------------------===//
+
+static void BM_TapeBlocked_star3d1r(benchmark::State &State) {
+  runTapeBench(State, "star3d1r");
+}
+BENCHMARK(BM_TapeBlocked_star3d1r)->Unit(benchmark::kMillisecond);
+
+static void BM_NativeOmp_star3d1r(benchmark::State &State) {
+  runNativeBench(State, "star3d1r", static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_NativeOmp_star3d1r)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_TapeBlocked_j3d27pt(benchmark::State &State) {
+  runTapeBench(State, "j3d27pt");
+}
+BENCHMARK(BM_TapeBlocked_j3d27pt)->Unit(benchmark::kMillisecond);
+
+static void BM_NativeOmp_j3d27pt(benchmark::State &State) {
+  runNativeBench(State, "j3d27pt", static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_NativeOmp_j3d27pt)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -5,15 +5,30 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Generates a standalone C++ translation of the blocked N.5D schedule for
-/// one stencil and configuration, plus a naive reference and a bitwise
-/// self-check. This is the executable stand-in for the CUDA backend on a
-/// GPU-less machine: the emitted program encodes the same tier pipeline,
-/// halo overwrite, boundary pinning, stream division and host-side
-/// temporal scheduling as the CUDA kernel, and `main` exits 0 printing
-/// "AN5D-CHECK OK" only if the blocked result matches the reference bit
-/// for bit. An integration test compiles and runs it with the host
-/// compiler.
+/// Generates portable C++ translations of the blocked N.5D schedule for one
+/// stencil and configuration, in two modes sharing one blocked-invocation
+/// body (tier pipeline, halo overwrite, boundary pinning, stream division,
+/// host-side temporal scheduling):
+///
+///  * **Self-check program** (generateCppCheckProgram): a standalone `main`
+///    with a naive reference and a bitwise self-check, baking the problem
+///    size into the program. `main` exits 0 printing "AN5D-CHECK OK" only
+///    if the blocked result matches the reference bit for bit. An
+///    integration test compiles and runs it with the host compiler.
+///
+///  * **Kernel library** (generateCppKernelLibrary): a shared-library
+///    translation unit exporting the `extern "C"` entry point
+///    `an5d_run(buf0, buf1, extents, timeSteps)` plus metadata query
+///    symbols (see runtime/NativeExecutor.h for the ABI contract). Grid
+///    extents and the step count are runtime arguments; the configuration
+///    and stencil are baked in. The (chunk x block) pair loop is an OpenMP
+///    worksharing loop when compiled with -fopenmp. This is what the
+///    native runtime (src/runtime/) compiles, caches and loads.
+///
+/// Both modes emit exactly the per-cell arithmetic of the in-process
+/// evaluators (same expression tree, float literals round-tripped through
+/// float precision in kernel mode), so a kernel compiled with
+/// -ffp-contract=off reproduces ReferenceExecutor bit for bit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +47,16 @@ namespace an5d {
 std::string generateCppCheckProgram(const StencilProgram &Program,
                                     const BlockConfig &Config,
                                     const ProblemSize &Problem);
+
+/// Generates the callable OpenMP kernel library for \p Config: the
+/// translation unit the native runtime compiles into a shared object.
+/// Extents and time-steps are parameters of the exported `an5d_run`.
+std::string generateCppKernelLibrary(const StencilProgram &Program,
+                                     const BlockConfig &Config);
+
+/// The current `an5d_*` ABI version emitted into kernel libraries and
+/// checked by the loader before calling into one.
+constexpr int CppKernelAbiVersion = 1;
 
 } // namespace an5d
 

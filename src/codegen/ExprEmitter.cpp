@@ -57,15 +57,24 @@ static std::string mathCallSpelling(const std::string &Callee,
   return Base;
 }
 
+/// Pre-rounds \p Value for emission: under ExactFloatLiterals a float
+/// literal is formatted from the value the evaluators actually use.
+static double literalValue(double Value, const ExprEmitOptions &Options) {
+  if (Options.ExactFloatLiterals && Options.Type == ScalarType::Float)
+    return static_cast<double>(static_cast<float>(Value));
+  return Value;
+}
+
 std::string emitExpr(const StencilExpr &E, const ExprEmitOptions &Options) {
   switch (E.kind()) {
   case StencilExpr::Kind::Number:
-    return emitLiteral(cast<NumberExpr>(E).value(), Options.Type);
+    return emitLiteral(literalValue(cast<NumberExpr>(E).value(), Options),
+                       Options.Type);
   case StencilExpr::Kind::Coefficient: {
     assert(Options.Program && "coefficient emission requires value bindings");
     double Value =
         Options.Program->coefficientValue(cast<CoefficientExpr>(E).name());
-    return emitLiteral(Value, Options.Type);
+    return emitLiteral(literalValue(Value, Options), Options.Type);
   }
   case StencilExpr::Kind::GridRead:
     assert(Options.ReadEmitter && "read emitter required");

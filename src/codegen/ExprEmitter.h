@@ -28,6 +28,14 @@ struct ExprEmitOptions {
   /// Element type; float emission appends 'f' suffixes and uses sqrtf.
   ScalarType Type = ScalarType::Float;
 
+  /// Round every float literal through float precision before formatting,
+  /// so the emitted decimal parses back to exactly the value an in-process
+  /// float evaluator uses (static_cast<float> of the stored double). The
+  /// native kernel library needs this for its bit-for-bit contract with
+  /// ReferenceExecutor; the self-contained backends (CUDA, check program)
+  /// compare only against themselves and keep the historical formatting.
+  bool ExactFloatLiterals = false;
+
   /// Maps a grid read to source text (e.g. "READ(-1, 0)" or
   /// "sm0[ty-1][tx]").
   std::function<std::string(const GridReadExpr &)> ReadEmitter;

@@ -1,0 +1,62 @@
+//===- DynamicKernel.cpp - RAII dlopen/dlsym kernel loader -------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/DynamicKernel.h"
+
+#if defined(_WIN32)
+// The native runtime is POSIX-only for now; loading is stubbed out so the
+// rest of the library still builds (NativeExecutor reports the error).
+#else
+#include <dlfcn.h>
+#endif
+
+namespace an5d {
+
+std::unique_ptr<DynamicKernel> DynamicKernel::load(
+    const std::string &LibraryPath, std::string *Error) {
+#if defined(_WIN32)
+  if (Error)
+    *Error = "dynamic kernel loading is not supported on this platform";
+  (void)LibraryPath;
+  return nullptr;
+#else
+  // RTLD_NODELETE keeps the kernel's code resident after dlclose: GOMP's
+  // pooled worker threads can reference a kernel's outlined parallel
+  // regions after the team disbands, so unmapping an OpenMP kernel at
+  // handle-close time crashes the process. Keeping the mapping (it is
+  // shared on re-open of the same artifact) trades a few pages for safety.
+  void *Handle =
+      ::dlopen(LibraryPath.c_str(), RTLD_NOW | RTLD_LOCAL | RTLD_NODELETE);
+  if (!Handle) {
+    if (Error) {
+      const char *Reason = ::dlerror();
+      *Error = "dlopen failed for " + LibraryPath +
+               (Reason ? std::string(": ") + Reason : std::string());
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<DynamicKernel>(
+      new DynamicKernel(LibraryPath, Handle));
+#endif
+}
+
+DynamicKernel::~DynamicKernel() {
+#if !defined(_WIN32)
+  if (Handle)
+    ::dlclose(Handle);
+#endif
+}
+
+void *DynamicKernel::symbol(const char *Name) const {
+#if defined(_WIN32)
+  (void)Name;
+  return nullptr;
+#else
+  return ::dlsym(Handle, Name);
+#endif
+}
+
+} // namespace an5d

@@ -1,0 +1,56 @@
+//===- DynamicKernel.h - RAII dlopen/dlsym kernel loader --------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal RAII wrapper around a dynamically loaded kernel shared object:
+/// dlopen on load(), dlclose in the destructor, typed symbol lookup in
+/// between. The native runtime keeps exactly one DynamicKernel alive per
+/// loaded kernel; copying is disabled so the library handle has a single
+/// owner and the unload point is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_RUNTIME_DYNAMICKERNEL_H
+#define AN5D_RUNTIME_DYNAMICKERNEL_H
+
+#include <memory>
+#include <string>
+
+namespace an5d {
+
+class DynamicKernel {
+public:
+  /// Loads \p LibraryPath (RTLD_NOW | RTLD_LOCAL). Returns nullptr and
+  /// fills \p Error on failure.
+  static std::unique_ptr<DynamicKernel> load(const std::string &LibraryPath,
+                                             std::string *Error);
+
+  ~DynamicKernel();
+  DynamicKernel(const DynamicKernel &) = delete;
+  DynamicKernel &operator=(const DynamicKernel &) = delete;
+
+  const std::string &path() const { return Path; }
+
+  /// Raw symbol address; nullptr if the library does not export \p Name.
+  void *symbol(const char *Name) const;
+
+  /// Typed symbol lookup: Fn is the plain function type
+  /// (e.g. int(void *, void *, const long long *, long long)).
+  template <typename Fn> Fn *fn(const char *Name) const {
+    return reinterpret_cast<Fn *>(symbol(Name));
+  }
+
+private:
+  DynamicKernel(std::string Path, void *Handle)
+      : Path(std::move(Path)), Handle(Handle) {}
+
+  std::string Path;
+  void *Handle;
+};
+
+} // namespace an5d
+
+#endif // AN5D_RUNTIME_DYNAMICKERNEL_H

@@ -1,0 +1,135 @@
+//===- KernelCache.cpp - Persistent compiled-kernel cache --------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/KernelCache.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace an5d {
+
+namespace fs = std::filesystem;
+
+std::string KernelCache::defaultDirectory() {
+  if (const char *Env = std::getenv("AN5D_KERNEL_CACHE"); Env && *Env)
+    return Env;
+  if (const char *Home = std::getenv("HOME"); Home && *Home)
+    return std::string(Home) + "/.cache/an5d/kernels";
+  std::error_code Ec;
+  fs::path Tmp = fs::temp_directory_path(Ec);
+  if (Ec)
+    Tmp = "/tmp";
+  return (Tmp / "an5d-kernel-cache").string();
+}
+
+KernelCache::KernelCache(std::string Directory)
+    : Dir(Directory.empty() ? defaultDirectory() : std::move(Directory)) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  // A failure surfaces naturally as a write/compile error in getOrBuild.
+}
+
+std::string KernelCache::hashKey(const std::string &Source,
+                                 const std::string &CompilerFingerprint) {
+  auto Fnv1a = [](std::uint64_t Hash, const std::string &Text) {
+    for (unsigned char C : Text) {
+      Hash ^= C;
+      Hash *= 1099511628211ULL;
+    }
+    return Hash;
+  };
+  std::uint64_t Hash = 14695981039346656037ULL;
+  Hash = Fnv1a(Hash, Source);
+  Hash = Fnv1a(Hash, "\x1f"); // keep (a+b, c) distinct from (a, b+c)
+  Hash = Fnv1a(Hash, CompilerFingerprint);
+
+  char Buffer[17];
+  std::snprintf(Buffer, sizeof(Buffer), "%016llx",
+                static_cast<unsigned long long>(Hash));
+  return Buffer;
+}
+
+KernelArtifact KernelCache::getOrBuild(
+    const std::string &Source, const NativeCompiler &Compiler,
+    const std::vector<std::string> &ExtraFlags, bool ForceRecompile) {
+  KernelArtifact Artifact;
+  Artifact.Key = hashKey(Source, Compiler.fingerprint(ExtraFlags));
+  fs::path Base = fs::path(Dir) / ("an5d_" + Artifact.Key);
+  Artifact.SourcePath = Base.string() + ".cpp";
+  Artifact.LibraryPath = Base.string() + ".so";
+
+  std::error_code Ec;
+  if (!ForceRecompile && fs::exists(Artifact.LibraryPath, Ec)) {
+    Artifact.Ok = true;
+    Artifact.CacheHit = true;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Hits;
+    return Artifact;
+  }
+
+  {
+    std::ofstream Out(Artifact.SourcePath);
+    Out << Source;
+    if (!Out) {
+      Artifact.Log = "cannot write " + Artifact.SourcePath;
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.Failures;
+      return Artifact;
+    }
+  }
+
+  // Compile to a per-build temporary, then rename into place: concurrent
+  // builders of the same key — sibling processes *or* sibling threads of
+  // the in-process compile pool — each produce a complete artifact and
+  // the rename is atomic, so no loader ever sees a half-written .so. The
+  // pid alone is not unique enough: same-process pool workers racing on
+  // one key would share it, so a process-wide counter disambiguates.
+  static std::atomic<unsigned> TempCounter{0};
+  std::string Suffix =
+      ".tmp." + std::to_string(TempCounter.fetch_add(1));
+#if !defined(_WIN32)
+  Suffix += "." + std::to_string(::getpid());
+#endif
+  std::string TempPath = Artifact.LibraryPath + Suffix;
+  CompileOutcome Outcome =
+      Compiler.compileSharedLibrary(Artifact.SourcePath, TempPath, ExtraFlags);
+  Artifact.Log = Outcome.Log;
+  Artifact.CompileSeconds = Outcome.Seconds;
+  if (!Outcome.Success) {
+    Artifact.Log = "compile failed: " + Outcome.Command + "\n" + Outcome.Log;
+    fs::remove(TempPath, Ec);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Failures;
+    return Artifact;
+  }
+  fs::rename(TempPath, Artifact.LibraryPath, Ec);
+  if (Ec) {
+    Artifact.Log = "cannot move " + TempPath + " into place: " + Ec.message();
+    fs::remove(TempPath, Ec);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Failures;
+    return Artifact;
+  }
+
+  Artifact.Ok = true;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.Misses;
+  return Artifact;
+}
+
+KernelCacheStats KernelCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+} // namespace an5d

@@ -1,0 +1,91 @@
+//===- KernelCache.h - Persistent compiled-kernel cache ---------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent on-disk cache of compiled kernel shared objects, keyed by
+/// an FNV-1a hash of (generated source, compiler fingerprint) — so a
+/// change to the stencil, the configuration, the code generator, the
+/// compiler binary or the flag set each lands on a fresh key, and repeat
+/// tunes of the same point are compile-free.
+///
+/// Layout under the cache directory:
+///   an5d_<key>.cpp   the generated translation unit (kept for debugging)
+///   an5d_<key>.so    the compiled kernel
+///
+/// The cache directory defaults to $AN5D_KERNEL_CACHE, then
+/// $HOME/.cache/an5d/kernels, then <tmp>/an5d-kernel-cache. getOrBuild is
+/// thread-safe (the measured sweep compiles candidates from a thread
+/// pool): compilation goes to a per-call temporary and is renamed into
+/// place atomically, so concurrent builders of the same key race benignly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_RUNTIME_KERNELCACHE_H
+#define AN5D_RUNTIME_KERNELCACHE_H
+
+#include "runtime/NativeCompiler.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// Hit/miss counters; a warm cache shows pure hits on a repeat tune.
+struct KernelCacheStats {
+  std::size_t Hits = 0;
+  std::size_t Misses = 0;
+  std::size_t Failures = 0;
+};
+
+/// One resolved cache entry.
+struct KernelArtifact {
+  bool Ok = false;
+  /// True if the shared object was already in the cache (no compile ran).
+  bool CacheHit = false;
+  std::string Key;
+  std::string SourcePath;
+  std::string LibraryPath;
+  /// Compiler log on failure (empty on a hit).
+  std::string Log;
+  double CompileSeconds = 0;
+};
+
+class KernelCache {
+public:
+  /// \p Directory overrides defaultDirectory() when non-empty; it is
+  /// created if missing.
+  explicit KernelCache(std::string Directory = "");
+
+  const std::string &directory() const { return Dir; }
+
+  /// $AN5D_KERNEL_CACHE > $HOME/.cache/an5d/kernels > <tmp>/an5d-kernel-cache.
+  static std::string defaultDirectory();
+
+  /// FNV-1a 64-bit over source and fingerprint, as 16 hex digits.
+  static std::string hashKey(const std::string &Source,
+                             const std::string &CompilerFingerprint);
+
+  /// Returns the cached shared object for (Source, Compiler, ExtraFlags),
+  /// compiling it on a miss. \p ForceRecompile rebuilds even on a hit
+  /// (counted as a miss).
+  KernelArtifact getOrBuild(const std::string &Source,
+                            const NativeCompiler &Compiler,
+                            const std::vector<std::string> &ExtraFlags = {},
+                            bool ForceRecompile = false);
+
+  KernelCacheStats stats() const;
+
+private:
+  std::string Dir;
+  mutable std::mutex Mutex;
+  KernelCacheStats Stats;
+};
+
+} // namespace an5d
+
+#endif // AN5D_RUNTIME_KERNELCACHE_H

@@ -1,0 +1,180 @@
+//===- NativeCompiler.cpp - Host C++ compiler driver -------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/NativeCompiler.h"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace an5d {
+
+namespace {
+
+/// Runs \p Command with stderr folded into stdout; returns (exit code,
+/// captured output). Exit code -1 means the shell could not be spawned.
+std::pair<int, std::string> runCommand(const std::string &Command) {
+  std::string Full = Command + " 2>&1";
+  FILE *Pipe = ::popen(Full.c_str(), "r");
+  if (!Pipe)
+    return {-1, "popen failed"};
+  std::string Output;
+  std::array<char, 4096> Buffer;
+  while (std::fgets(Buffer.data(), Buffer.size(), Pipe))
+    Output += Buffer.data();
+  int Status = ::pclose(Pipe);
+  return {Status == -1 ? -1 : WEXITSTATUS(Status), Output};
+}
+
+/// Single-quotes \p Path for the shell (cache and temp dirs may contain
+/// spaces).
+std::string shellQuote(const std::string &Path) {
+  std::string Out = "'";
+  for (char C : Path) {
+    if (C == '\'')
+      Out += "'\\''";
+    else
+      Out += C;
+  }
+  Out += "'";
+  return Out;
+}
+
+/// One-time probe results for a compiler command. Probing forks the
+/// compiler twice (--version, and an actual -fopenmp -shared build, since
+/// e.g. clang without libomp only fails at link time), so results are
+/// memoized per process: NativeExecutor constructs a NativeCompiler per
+/// kernel and must not pay the probe on every cache hit.
+struct CompilerProbe {
+  std::string Version;
+  bool OpenMp = false;
+};
+
+const CompilerProbe &probeCompiler(const std::string &Command) {
+  static std::mutex RegistryMutex;
+  static std::map<std::string, CompilerProbe> Registry;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  auto It = Registry.find(Command);
+  if (It != Registry.end())
+    return It->second;
+
+  CompilerProbe Probe;
+  auto [Code, Output] = runCommand(shellQuote(Command) + " --version");
+  if (Code == 0) {
+    std::size_t Eol = Output.find('\n');
+    Probe.Version = Eol == std::string::npos ? Output : Output.substr(0, Eol);
+  }
+
+  if (!Probe.Version.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code Ec;
+    fs::path Tmp = fs::temp_directory_path(Ec);
+    if (Ec)
+      Tmp = "/tmp";
+#if defined(_WIN32)
+    std::string Tag = "an5d_omp_probe";
+#else
+    std::string Tag = "an5d_omp_probe_" + std::to_string(::getpid());
+#endif
+    fs::path Source = Tmp / (Tag + ".cpp");
+    fs::path Library = Tmp / (Tag + ".so");
+    {
+      std::ofstream Out(Source);
+      Out << "extern \"C\" int an5d_omp_probe(void) {\n"
+             "  int n = 0;\n"
+             "#pragma omp parallel\n"
+             "  { n = 1; }\n"
+             "  return n;\n"
+             "}\n";
+    }
+    auto [ProbeCode, ProbeOutput] = runCommand(
+        shellQuote(Command) + " -shared -fPIC -fopenmp -o " +
+        shellQuote(Library.string()) + " " + shellQuote(Source.string()));
+    (void)ProbeOutput;
+    Probe.OpenMp = ProbeCode == 0;
+    fs::remove(Source, Ec);
+    fs::remove(Library, Ec);
+  }
+
+  return Registry.emplace(Command, std::move(Probe)).first->second;
+}
+
+} // namespace
+
+std::string NativeCompiler::detect() {
+  if (const char *Env = std::getenv("AN5D_CXX"); Env && *Env)
+    return Env;
+#ifdef AN5D_HOST_CXX
+  return AN5D_HOST_CXX;
+#else
+  return "c++";
+#endif
+}
+
+NativeCompiler::NativeCompiler(std::string Command)
+    : Command_(Command.empty() ? detect() : std::move(Command)) {
+  const CompilerProbe &Probe = probeCompiler(Command_);
+  Version = Probe.Version;
+  OpenMp = Probe.OpenMp;
+}
+
+std::vector<std::string> NativeCompiler::flags() const {
+  // -ffp-contract=off keeps the bit-for-bit contract with the in-process
+  // executors (no fused mul/add); see the file comment. -fopenmp appears
+  // only when the probe built an OpenMP shared library, and through
+  // fingerprint() it is part of the cache key — so a toolchain gaining or
+  // losing OpenMP support can never be served a stale artifact.
+  std::vector<std::string> Flags = {"-std=c++17", "-O2", "-shared",
+                                    "-fPIC", "-ffp-contract=off"};
+  if (OpenMp)
+    Flags.push_back("-fopenmp");
+  return Flags;
+}
+
+std::string
+NativeCompiler::fingerprint(const std::vector<std::string> &ExtraFlags) const {
+  std::string Out = Command_ + "\n" + Version + "\n";
+  for (const std::string &Flag : flags())
+    Out += Flag + " ";
+  for (const std::string &Flag : ExtraFlags)
+    Out += Flag + " ";
+  return Out;
+}
+
+CompileOutcome NativeCompiler::compileSharedLibrary(
+    const std::string &SourcePath, const std::string &OutputPath,
+    const std::vector<std::string> &ExtraFlags) const {
+  CompileOutcome Outcome;
+  auto Start = std::chrono::steady_clock::now();
+
+  std::string Cmd = shellQuote(Command_);
+  for (const std::string &Flag : flags())
+    Cmd += " " + Flag;
+  for (const std::string &Flag : ExtraFlags)
+    Cmd += " " + Flag;
+  Cmd += " -o " + shellQuote(OutputPath) + " " + shellQuote(SourcePath);
+
+  Outcome.Command = Cmd;
+  auto [Code, Output] = runCommand(Cmd);
+  Outcome.Log = Output;
+  Outcome.Success = Code == 0;
+  Outcome.Seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+  return Outcome;
+}
+
+} // namespace an5d

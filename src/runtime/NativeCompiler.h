@@ -1,0 +1,91 @@
+//===- NativeCompiler.h - Host C++ compiler driver --------------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shells out to the host C++ compiler to build a generated kernel
+/// translation unit into a shared library. The compiler is resolved once
+/// (AN5D_CXX environment variable, then the compiler CMake configured the
+/// project with, then plain `c++`) and probed — per process, per command —
+/// for its version string and for working -fopenmp support (a tiny shared
+/// library is actually built, so a clang without libomp fails the probe
+/// and kernels compile serially). The (command, version, effective flags)
+/// triple forms the fingerprint KernelCache hashes, so a toolchain change
+/// — including OpenMP support appearing or vanishing — lands on fresh
+/// cache keys instead of serving stale artifacts.
+///
+/// The flag set is deliberately small: -O2 -shared -fPIC plus
+/// -ffp-contract=off and (when supported) -fopenmp. The contraction flag
+/// is load-bearing — the kernels promise bit-for-bit agreement with the
+/// in-process executors, and a fused mul/add would break that (see the
+/// root CMakeLists rationale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_RUNTIME_NATIVECOMPILER_H
+#define AN5D_RUNTIME_NATIVECOMPILER_H
+
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// Result of one shared-library build.
+struct CompileOutcome {
+  bool Success = false;
+  /// The exact command line run.
+  std::string Command;
+  /// Captured compiler stdout+stderr.
+  std::string Log;
+  double Seconds = 0;
+};
+
+class NativeCompiler {
+public:
+  /// \p Command overrides compiler detection when non-empty. Probes
+  /// (version, OpenMP) run once per process per distinct command.
+  explicit NativeCompiler(std::string Command = "");
+
+  /// Resolution order: $AN5D_CXX, the configure-time compiler
+  /// (AN5D_HOST_CXX), `c++`.
+  static std::string detect();
+
+  const std::string &command() const { return Command_; }
+
+  /// First line of `<command> --version`; empty if the probe failed.
+  const std::string &version() const { return Version; }
+
+  /// True if the version probe succeeded (the compiler exists and runs).
+  bool available() const { return !Version.empty(); }
+
+  /// True if the probe built a -fopenmp shared library successfully;
+  /// kernels then compile with OpenMP worksharing enabled.
+  bool openMpSupported() const { return OpenMp; }
+
+  /// The flags every kernel build uses with this compiler, in order
+  /// (-fopenmp included iff supported). \p ExtraFlags of
+  /// compileSharedLibrary are appended after these, so callers can
+  /// override (e.g. a test passing -O1 for faster builds).
+  std::vector<std::string> flags() const;
+
+  /// Compiler identity + effective flag set; hashed into the kernel-cache
+  /// key.
+  std::string fingerprint(const std::vector<std::string> &ExtraFlags) const;
+
+  /// Builds \p SourcePath into the shared library \p OutputPath.
+  CompileOutcome
+  compileSharedLibrary(const std::string &SourcePath,
+                       const std::string &OutputPath,
+                       const std::vector<std::string> &ExtraFlags) const;
+
+private:
+  std::string Command_;
+  std::string Version;
+  bool OpenMp = false;
+};
+
+} // namespace an5d
+
+#endif // AN5D_RUNTIME_NATIVECOMPILER_H

@@ -1,0 +1,105 @@
+//===- NativeExecutor.cpp - Compiled-kernel stencil execution ----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/NativeExecutor.h"
+
+#include "codegen/CppCodegen.h"
+#include "runtime/NativeCompiler.h"
+
+namespace an5d {
+
+NativeExecutor::NativeExecutor(const StencilProgram &Program,
+                               const BlockConfig &Config,
+                               const NativeRuntimeOptions &Options,
+                               KernelCache *SharedCache)
+    : Threads(Options.Threads) {
+  if (Program.numDims() != 2 && Program.numDims() != 3) {
+    Error = "the native runtime supports 2D and 3D stencils (got " +
+            std::to_string(Program.numDims()) + "D)";
+    return;
+  }
+  if (!Config.isFeasible(Program.radius())) {
+    Error = "configuration " + Config.toString() +
+            " is infeasible for radius " + std::to_string(Program.radius());
+    return;
+  }
+
+  NativeCompiler Compiler(Options.Compiler);
+  if (!Compiler.available()) {
+    Error = "host compiler '" + Compiler.command() + "' is not available";
+    return;
+  }
+
+  KernelCache *Cache = SharedCache;
+  if (!Cache) {
+    OwnedCache = std::make_unique<KernelCache>(Options.CacheDir);
+    Cache = OwnedCache.get();
+  }
+
+  std::string Source = generateCppKernelLibrary(Program, Config);
+  Artifact = Cache->getOrBuild(Source, Compiler, Options.ExtraCompileFlags,
+                               Options.ForceRecompile);
+  if (!Artifact.Ok) {
+    Error = "kernel build failed:\n" + Artifact.Log;
+    return;
+  }
+
+  std::string LoadError;
+  Library = DynamicKernel::load(Artifact.LibraryPath, &LoadError);
+  if (!Library) {
+    Error = LoadError;
+    return;
+  }
+
+  auto *AbiVersion = Library->fn<IntFn>("an5d_abi_version");
+  auto *Dims = Library->fn<IntFn>("an5d_num_dims");
+  auto *Rad = Library->fn<IntFn>("an5d_radius");
+  auto *Elem = Library->fn<IntFn>("an5d_elem_size");
+  Run = Library->fn<RunFn>("an5d_run");
+  SetThreads = Library->fn<SetThreadsFn>("an5d_set_threads");
+  MaxThreads = Library->fn<IntFn>("an5d_max_threads");
+  if (!AbiVersion || !Dims || !Rad || !Elem || !Run || !SetThreads ||
+      !MaxThreads) {
+    Error = "kernel " + Artifact.LibraryPath +
+            " does not export the an5d_* ABI";
+    Library.reset();
+    return;
+  }
+  if (AbiVersion() != CppKernelAbiVersion) {
+    Error = "kernel ABI version " + std::to_string(AbiVersion()) +
+            " does not match the runtime's " +
+            std::to_string(CppKernelAbiVersion);
+    Library.reset();
+    return;
+  }
+
+  NumDims = Dims();
+  Radius = Rad();
+  ElemSize = Elem();
+  if (NumDims != Program.numDims() || Radius != Program.radius() ||
+      ElemSize != Program.wordSize()) {
+    Error = "kernel metadata does not match the stencil program "
+            "(cache collision or stale artifact " +
+            Artifact.LibraryPath + ")";
+    Library.reset();
+    return;
+  }
+}
+
+int NativeExecutor::kernelMaxThreads() const {
+  return MaxThreads ? MaxThreads() : 0;
+}
+
+int NativeExecutor::runRaw(void *Buf0, void *Buf1, const long long *Extents,
+                           int NumExtents, long long TimeSteps) const {
+  if (!Run || NumExtents != NumDims)
+    return -1;
+  if (Threads > 0)
+    SetThreads(Threads);
+  return Run(Buf0, Buf1, Extents, TimeSteps);
+}
+
+} // namespace an5d

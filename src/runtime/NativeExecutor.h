@@ -1,0 +1,163 @@
+//===- NativeExecutor.h - Compiled-kernel stencil execution -----*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a stencil through a JIT-compiled native kernel instead of the
+/// in-process emulators: generateCppKernelLibrary emits the blocked N.5D
+/// schedule as an OpenMP translation unit, NativeCompiler builds it into a
+/// shared object (through the persistent KernelCache), DynamicKernel loads
+/// it, and run() presents the same interface as referenceRun /
+/// BlockedExecutor::run — Buffers[0] holds the input at t=0, the result of
+/// step N lands in Buffers[N % 2], and the output matches the in-process
+/// executors bit for bit (the kernels are compiled with -ffp-contract=off
+/// and exact-float literals; the equivalence suite in
+/// tests/NativeRuntimeTest.cpp pins this on every built-in benchmark).
+///
+/// ## Kernel ABI (CppKernelAbiVersion = 1)
+///
+///   int an5d_abi_version(void);
+///   const char *an5d_stencil_name(void);  // e.g. "j2d5pt"
+///   const char *an5d_config(void);        // BlockConfig::toString()
+///   int an5d_num_dims(void);              // 2 or 3
+///   int an5d_radius(void);
+///   int an5d_elem_size(void);             // sizeof element in bytes
+///   int an5d_block_time(void);            // bT baked into the kernel
+///   int an5d_max_threads(void);           // OpenMP pool size (1 if serial)
+///   void an5d_set_threads(int n);         // n <= 0 keeps the default
+///   int an5d_run(void *buf0, void *buf1, const long long *extents,
+///                long long timeSteps);    // 0 on success
+///
+/// Both buffers are padded row-major grids with a halo of radius cells per
+/// side of every dimension in `extents` (streaming dimension first) —
+/// exactly Grid<T>'s layout, so run() passes Grid::data() straight through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_RUNTIME_NATIVEEXECUTOR_H
+#define AN5D_RUNTIME_NATIVEEXECUTOR_H
+
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "runtime/DynamicKernel.h"
+#include "runtime/KernelCache.h"
+#include "sim/Grid.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace an5d {
+
+/// Knobs of the compile/cache/load pipeline.
+struct NativeRuntimeOptions {
+  /// Kernel cache directory; empty picks KernelCache::defaultDirectory().
+  /// Ignored when a shared cache is passed to the constructor.
+  std::string CacheDir;
+
+  /// Host compiler command; empty picks NativeCompiler::detect().
+  std::string Compiler;
+
+  /// Extra compiler flags appended after the standard kernel flags (a
+  /// later -O level overrides the default -O2, which the tests use to
+  /// speed up their many small builds). Part of the cache key.
+  std::vector<std::string> ExtraCompileFlags;
+
+  /// OpenMP threads the kernel may use; 0 keeps the runtime default.
+  int Threads = 0;
+
+  /// Rebuild even if the cache already holds the kernel.
+  bool ForceRecompile = false;
+};
+
+/// A loaded native kernel for one (stencil, configuration) pair.
+///
+/// Construction compiles (or fetches) and loads the kernel; check ok()
+/// before running. The executor is usable from any thread: the kernel's
+/// grid extents live in per-library globals, so `an5d_run` serializes
+/// concurrent entries into the *same* loaded kernel behind an internal
+/// mutex (parallelism lives inside the invocation, so this costs
+/// nothing); distinct kernels run concurrently without contention.
+class NativeExecutor {
+public:
+  /// \p SharedCache lets many executors (a tuning sweep, a test suite)
+  /// share one cache and its statistics; when null a private cache over
+  /// Options.CacheDir is created.
+  NativeExecutor(const StencilProgram &Program, const BlockConfig &Config,
+                 const NativeRuntimeOptions &Options = {},
+                 KernelCache *SharedCache = nullptr);
+
+  /// False if generation, compilation, loading or the ABI check failed;
+  /// error() then explains why (including the compiler log).
+  bool ok() const { return Library != nullptr && Error.empty(); }
+  const std::string &error() const { return Error; }
+
+  /// True if the shared object came out of the cache without compiling.
+  bool cacheHit() const { return Artifact.CacheHit; }
+  double compileSeconds() const { return Artifact.CompileSeconds; }
+  const std::string &libraryPath() const { return Artifact.LibraryPath; }
+  const std::string &cacheKey() const { return Artifact.Key; }
+
+  /// The OpenMP thread-pool size the loaded kernel reports (1 if it was
+  /// built without OpenMP). 0 if the executor failed.
+  int kernelMaxThreads() const;
+
+  /// Same contract as referenceRun / BlockedExecutor::run: advances
+  /// \p TimeSteps steps, input in Buffers[0], result in
+  /// Buffers[TimeSteps % 2]. The grids must use halo == radius and share
+  /// one layout. Aborts with a diagnostic if the kernel rejects the run
+  /// (programming error: layout/type mismatch is asserted here first).
+  template <typename T>
+  void run(std::array<Grid<T> *, 2> Buffers, long long TimeSteps) const {
+    assert(ok() && "run() on a failed native kernel");
+    assert(static_cast<int>(sizeof(T)) == ElemSize &&
+           "element type does not match the compiled kernel");
+    assert(Buffers[0]->numDims() == NumDims && "dimensionality mismatch");
+    assert(Buffers[0]->halo() == Radius &&
+           "native kernels require halo == radius");
+    assert(Buffers[1]->halo() == Buffers[0]->halo() &&
+           Buffers[1]->extents() == Buffers[0]->extents() &&
+           "native execution requires identically laid out buffers");
+    const std::vector<long long> &Extents = Buffers[0]->extents();
+    int Rc = runRaw(Buffers[0]->data(), Buffers[1]->data(), Extents.data(),
+                    static_cast<int>(Extents.size()), TimeSteps);
+    if (Rc != 0) {
+      std::fprintf(stderr,
+                   "an5d: native kernel %s rejected the run (code %d)\n",
+                   Artifact.LibraryPath.c_str(), Rc);
+      std::abort();
+    }
+  }
+
+  /// Untyped entry for callers that manage raw buffers (the timing path).
+  /// Returns the kernel's an5d_run result; -1 on arity mismatch.
+  int runRaw(void *Buf0, void *Buf1, const long long *Extents,
+             int NumExtents, long long TimeSteps) const;
+
+private:
+  std::string Error;
+  KernelArtifact Artifact;
+  std::unique_ptr<KernelCache> OwnedCache;
+  std::unique_ptr<DynamicKernel> Library;
+
+  int NumDims = 0;
+  int Radius = 0;
+  int ElemSize = 0;
+  int Threads = 0;
+
+  using RunFn = int(void *, void *, const long long *, long long);
+  using IntFn = int();
+  using SetThreadsFn = void(int);
+  RunFn *Run = nullptr;
+  SetThreadsFn *SetThreads = nullptr;
+  IntFn *MaxThreads = nullptr;
+};
+
+} // namespace an5d
+
+#endif // AN5D_RUNTIME_NATIVEEXECUTOR_H

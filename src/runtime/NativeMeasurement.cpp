@@ -1,0 +1,142 @@
+//===- NativeMeasurement.cpp - Real measured sweep on compiled kernels -------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/NativeMeasurement.h"
+
+#include "sim/Grid.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <thread>
+
+namespace an5d {
+
+ProblemSize nativeMeasurementProblem(int NumDims) {
+  ProblemSize Problem;
+  if (NumDims == 2) {
+    Problem.Extents = {512, 512};
+    Problem.TimeSteps = 32;
+  } else if (NumDims == 3) {
+    Problem.Extents = {64, 64, 64};
+    Problem.TimeSteps = 8;
+  } else {
+    Problem.Extents = {65536};
+    Problem.TimeSteps = 64;
+  }
+  return Problem;
+}
+
+namespace {
+
+/// Times one kernel over one problem: fills pristine double buffers once,
+/// then per repeat restores them and measures a full an5d_run. Returns the
+/// best wall-clock seconds, or a negative value if the kernel rejected
+/// the run.
+template <typename T>
+double timeKernel(const NativeExecutor &Executor, const ProblemSize &Problem,
+                  int Radius, int Repeats) {
+  Grid<T> Pristine(Problem.Extents, Radius);
+  fillGridDeterministic(Pristine, 42);
+  Grid<T> Buf0 = Pristine, Buf1 = Pristine;
+
+  double Best = std::numeric_limits<double>::infinity();
+  for (int Rep = 0; Rep < std::max(1, Repeats); ++Rep) {
+    copyGrid(Pristine, Buf0);
+    copyGrid(Pristine, Buf1);
+    auto Start = std::chrono::steady_clock::now();
+    int Rc = Executor.runRaw(Buf0.data(), Buf1.data(),
+                             Problem.Extents.data(),
+                             static_cast<int>(Problem.Extents.size()),
+                             Problem.TimeSteps);
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    if (Rc != 0)
+      return -1;
+    Best = std::min(Best, Seconds);
+  }
+  return Best;
+}
+
+} // namespace
+
+std::vector<MeasuredResult>
+nativeMeasuredSweep(const StencilProgram &Program,
+                    const std::vector<SweepCandidate> &Candidates,
+                    const std::vector<ProblemSize> &Problems,
+                    const NativeMeasureOptions &Options, KernelCache *Cache) {
+  std::vector<MeasuredResult> Results(Candidates.size());
+  if (Candidates.empty())
+    return Results;
+
+  std::unique_ptr<KernelCache> OwnedCache;
+  if (!Cache) {
+    OwnedCache = std::make_unique<KernelCache>(Options.Runtime.CacheDir);
+    Cache = OwnedCache.get();
+  }
+
+  // Stage 1: compile every candidate's kernel across the pool. Executors
+  // land in their own pre-allocated slot, so the stage is race-free; the
+  // shared cache deduplicates identical sources (e.g. register-cap
+  // variants) behind its own lock.
+  std::vector<std::unique_ptr<NativeExecutor>> Executors(Candidates.size());
+  std::atomic<std::size_t> NextItem{0};
+  auto Worker = [&]() {
+    for (std::size_t Item;
+         (Item = NextItem.fetch_add(1, std::memory_order_relaxed)) <
+         Candidates.size();) {
+      Executors[Item] = std::make_unique<NativeExecutor>(
+          Program, Candidates[Item].Config, Options.Runtime, Cache);
+    }
+  };
+  int NumWorkers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolveSweepThreads(Options.CompileThreads)),
+      Candidates.size()));
+  if (NumWorkers <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Helpers;
+    Helpers.reserve(static_cast<std::size_t>(NumWorkers) - 1);
+    for (int I = 1; I < NumWorkers; ++I)
+      Helpers.emplace_back(Worker);
+    Worker();
+    for (std::thread &Helper : Helpers)
+      Helper.join();
+  }
+
+  // Stage 2: serial timing, one kernel at a time (measurements must not
+  // contend with each other for cores).
+  double FlopsPerCell =
+      static_cast<double>(Program.flopsPerCell().total());
+  for (std::size_t I = 0; I < Candidates.size(); ++I) {
+    if (!Executors[I] || !Executors[I]->ok())
+      continue;
+    assert(Candidates[I].ProblemIndex < Problems.size() &&
+           "candidate addresses a problem size outside the sweep");
+    const ProblemSize &Problem = Problems[Candidates[I].ProblemIndex];
+    double Seconds =
+        Program.elemType() == ScalarType::Float
+            ? timeKernel<float>(*Executors[I], Problem, Program.radius(),
+                                Options.Repeats)
+            : timeKernel<double>(*Executors[I], Problem, Program.radius(),
+                                 Options.Repeats);
+    if (Seconds <= 0)
+      continue;
+    MeasuredResult &Out = Results[I];
+    Out.Feasible = true;
+    Out.MeasuredTimeSeconds = Seconds;
+    double CellUpdates = static_cast<double>(Problem.cellCount()) *
+                         static_cast<double>(Problem.TimeSteps);
+    Out.MeasuredGflops = FlopsPerCell * CellUpdates / Seconds / 1e9;
+  }
+  return Results;
+}
+
+} // namespace an5d

@@ -1,0 +1,70 @@
+//===- NativeMeasurement.h - Real measured sweep on compiled kernels -*-C++-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Native measurement backend of the tuning flow: instead of the
+/// calibrated MeasuredSimulator, each sweep candidate is compiled into a
+/// real OpenMP kernel (runtime/NativeExecutor.h) and timed on the host
+/// CPU. Compilation fans out across a thread pool — kernel builds are
+/// independent compiler processes — while the timed runs execute strictly
+/// serially, one kernel at a time with the machine to itself, so
+/// measurements are not polluted by sibling candidates.
+///
+/// The numbers are wall-clock GFLOP/s of this machine's CPU, not of the
+/// modeled GPU: they rank configurations by real behavior but live on a
+/// different scale than the simulated backend (see README "Native
+/// runtime" for the caveats).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_RUNTIME_NATIVEMEASUREMENT_H
+#define AN5D_RUNTIME_NATIVEMEASUREMENT_H
+
+#include "runtime/NativeExecutor.h"
+#include "sim/MeasuredSimulator.h"
+#include "tuning/ParallelSweep.h"
+
+#include <vector>
+
+namespace an5d {
+
+/// Knobs of the native measured sweep.
+struct NativeMeasureOptions {
+  /// Compile/cache/load pipeline settings (cache dir, compiler, kernel
+  /// threads). Threads == 0 lets each kernel use the full OpenMP default.
+  NativeRuntimeOptions Runtime;
+
+  /// Worker threads for the parallel compile stage; 0 resolves like the
+  /// simulated sweep (resolveSweepThreads). Timing is always serial.
+  int CompileThreads = 0;
+
+  /// Timed repetitions per candidate; the fastest is kept (compensates
+  /// for scheduler noise on a busy host).
+  int Repeats = 2;
+};
+
+/// A problem size small enough for wall-clock candidate timing on a CPU
+/// (the paper-default sizes are sized for a V100 and would take minutes
+/// per candidate here).
+ProblemSize nativeMeasurementProblem(int NumDims);
+
+/// Runs every candidate through a compiled kernel: compilation in
+/// parallel across \p Options.CompileThreads workers (deduplicated by the
+/// kernel cache — candidates differing only in RegisterCap share one
+/// artifact), timing serially in candidate order. Results are indexed
+/// exactly like \p Candidates; infeasible or failed-to-build candidates
+/// come back with Feasible == false. \p Cache may be null (a private
+/// cache over Options.Runtime.CacheDir is used).
+std::vector<MeasuredResult>
+nativeMeasuredSweep(const StencilProgram &Program,
+                    const std::vector<SweepCandidate> &Candidates,
+                    const std::vector<ProblemSize> &Problems,
+                    const NativeMeasureOptions &Options,
+                    KernelCache *Cache = nullptr);
+
+} // namespace an5d
+
+#endif // AN5D_RUNTIME_NATIVEMEASUREMENT_H

@@ -40,6 +40,19 @@ struct SweepCandidate {
   std::size_t ProblemIndex = 0;
 };
 
+/// Which measurement source the tuning flow's second stage runs the
+/// candidates through.
+enum class MeasurementBackend {
+  /// The calibrated MeasuredSimulator below (default): models the paper's
+  /// GPUs, microseconds per candidate, fully parallel.
+  Simulated,
+  /// Real JIT-compiled OpenMP kernels timed on the host CPU
+  /// (runtime/NativeMeasurement.h): compilation fans out over the same
+  /// thread pool, the timed runs are serialized so candidates do not
+  /// contend for cores.
+  Native,
+};
+
 /// Resolves a requested worker count: values >= 1 pass through; 0 (the
 /// "auto" default of TuneOptions) maps to the hardware concurrency,
 /// clamped to [1, 8] — the sweep items are microseconds-sized, so a small

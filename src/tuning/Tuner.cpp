@@ -145,6 +145,16 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
                           const TuneOptions &Options) const {
   std::vector<TuneOutcome> Outcomes(Problems.size());
 
+  // The native backend times real CPU kernels: register caps are a CUDA
+  // knob the kernel source does not encode, so cap variants would rebuild
+  // and re-time identical kernels. 1D stencils have no C++ kernel backend
+  // yet and stay on the simulator.
+  bool UseNative = Options.Backend == MeasurementBackend::Native &&
+                   Program.numDims() >= 2;
+  static const std::vector<int> NativeCaps = {0};
+  const std::vector<int> &Caps =
+      UseNative ? NativeCaps : Options.RegisterCaps;
+
   // Stage 1 (enumerate/prune): per-problem model ranking, then the full
   // candidate list — top-K x register caps, cross-product with the
   // problem sizes — for one shared sweep.
@@ -152,7 +162,7 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
   for (std::size_t P = 0; P < Problems.size(); ++P) {
     Outcomes[P].TopByModel = rankByModel(Program, Problems[P], Options.TopK);
     for (const RankedConfig &Candidate : Outcomes[P].TopByModel)
-      for (int Cap : Options.RegisterCaps) {
+      for (int Cap : Caps) {
         SweepCandidate Item;
         Item.Config = Candidate.Config;
         Item.Config.RegisterCap = Cap;
@@ -163,9 +173,17 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
 
   // Stage 2 (measured sweep): parallel across the pool; the reduction
   // below walks the deterministic result array serially in candidate
-  // order, so the outcome is bit-identical for every thread count.
-  std::vector<MeasuredResult> Results = parallelMeasuredSweep(
-      Program, Spec, Candidates, Problems, Options.Threads);
+  // order, so the outcome is bit-identical for every thread count. The
+  // native backend parallelizes compilation over the same pool and then
+  // times the compiled kernels serially.
+  NativeMeasureOptions NativeOptions = Options.Native;
+  if (NativeOptions.CompileThreads == 0)
+    NativeOptions.CompileThreads = Options.Threads;
+  std::vector<MeasuredResult> Results =
+      UseNative ? nativeMeasuredSweep(Program, Candidates, Problems,
+                                      NativeOptions)
+                : parallelMeasuredSweep(Program, Spec, Candidates, Problems,
+                                        Options.Threads);
   for (std::size_t I = 0; I < Candidates.size(); ++I) {
     const MeasuredResult &Measured = Results[I];
     if (!Measured.Feasible)

@@ -33,6 +33,7 @@
 #include "model/BlockConfig.h"
 #include "model/GpuSpec.h"
 #include "model/PerformanceModel.h"
+#include "runtime/NativeMeasurement.h"
 #include "sim/MeasuredSimulator.h"
 #include "tuning/ParallelSweep.h"
 
@@ -76,8 +77,18 @@ struct TuneOptions {
   std::vector<int> RegisterCaps = {0, 32, 64, 96};
 
   /// Worker threads for the measured sweep; 0 picks one per hardware
-  /// thread (capped at 8). Any value yields bit-identical results.
+  /// thread (capped at 8). Any value yields bit-identical results (the
+  /// native backend parallelizes only compilation, never timing).
   int Threads = 0;
+
+  /// Measurement source of stage 2. With Native, register caps collapse
+  /// to {0} — -maxrregcount is a CUDA knob with no CPU analogue, so cap
+  /// variants would compile and time the same kernel repeatedly. 1D
+  /// stencils fall back to Simulated (the C++ kernel backend is 2D/3D).
+  MeasurementBackend Backend = MeasurementBackend::Simulated;
+
+  /// Compile/cache/timing knobs of the Native backend.
+  NativeMeasureOptions Native;
 };
 
 /// Model-guided configuration search for one device.

@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -160,4 +161,130 @@ TEST(CliTool, InfeasibleManualConfigRejected) {
       runCommand(an5dc() + " --bt 16 --bs 16 " + Path);
   EXPECT_NE(Code, 0);
   EXPECT_NE(Output.find("infeasible"), std::string::npos);
+}
+
+TEST(CliTool, NonNumericBtRejected) {
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark j2d5pt --bt foo");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("invalid value 'foo' for --bt"), std::string::npos);
+}
+
+TEST(CliTool, NonNumericBsEntryRejected) {
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark j3d27pt --bs 32,zebra");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("invalid value 'zebra' for --bs"),
+            std::string::npos);
+}
+
+TEST(CliTool, ZeroBtRejected) {
+  // atoi would have turned this into 0 and silently fallen back.
+  auto [Code, Output] = runCommand(an5dc() + " --benchmark j2d5pt --bt 0");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("for --bt"), std::string::npos);
+}
+
+TEST(CliTool, NegativeHsRejected) {
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark j2d5pt --hs -3");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("invalid value '-3' for --hs"), std::string::npos);
+}
+
+TEST(CliTool, NonNumericTuneTopkRejected) {
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark j2d5pt --tune --tune-topk many");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("for --tune-topk"), std::string::npos);
+}
+
+TEST(CliTool, UnknownMeasureSourceRejected) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d5pt --tune --measure quantum");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("unknown measurement source"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Native runtime flags
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A per-invocation-unique cache directory under the test temp dir, so
+/// miss/hit assertions cannot be poisoned by earlier ctest runs.
+std::string freshKernelCache(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "an5dc_cache_" + Tag;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// The cache shared by tests that only need *a* kernel (kept warm across
+/// ctest runs to keep them fast).
+std::string sharedKernelCache() {
+  return ::testing::TempDir() + "an5dc_cache_shared";
+}
+
+} // namespace
+
+TEST(CliTool, EmitOmpWritesKernelLibrary) {
+  std::string Dir = ::testing::TempDir() + "/an5dc_omp_out";
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d5pt --bt 2 --bs 64 --hs 0 --emit-omp " +
+      Dir);
+  EXPECT_EQ(Code, 0);
+  std::ifstream Kernel(Dir + "/j2d5pt_omp.cpp");
+  ASSERT_TRUE(Kernel.good()) << Output;
+  std::string Text((std::istreambuf_iterator<char>(Kernel)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(Text.find("extern \"C\""), std::string::npos);
+  EXPECT_NE(Text.find("int an5d_run("), std::string::npos);
+  EXPECT_NE(Text.find("#pragma omp"), std::string::npos);
+}
+
+TEST(CliTool, VerifyNativeMatchesReference) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d5pt --bt 2 --bs 32 --hs 8 --kernel-cache " +
+      sharedKernelCache() + " --verify-native");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("native == reference (bitwise)"), std::string::npos)
+      << Output;
+}
+
+TEST(CliTool, RunNativeSecondInvocationHitsCache) {
+  std::string Cache = freshKernelCache("hit");
+  std::string Command = an5dc() +
+                        " --benchmark j2d5pt --bt 2 --bs 32 --hs 8 "
+                        "--kernel-cache " +
+                        Cache + " --run-native";
+  auto [Code1, Output1] = runCommand(Command);
+  EXPECT_EQ(Code1, 0) << Output1;
+  EXPECT_NE(Output1.find("kernel cache: miss"), std::string::npos)
+      << Output1;
+  auto [Code2, Output2] = runCommand(Command);
+  EXPECT_EQ(Code2, 0) << Output2;
+  EXPECT_NE(Output2.find("kernel cache: hit"), std::string::npos)
+      << Output2;
+  EXPECT_NE(Output2.find("GFLOP/s"), std::string::npos);
+}
+
+TEST(CliTool, TuneWithNativeMeasurement) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d5pt --tune --measure native --tune-topk 2 "
+                "--kernel-cache " +
+      sharedKernelCache() + " --verify-native");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("tuned: bT="), std::string::npos) << Output;
+  EXPECT_NE(Output.find("native"), std::string::npos);
+  EXPECT_NE(Output.find("measured on host CPU"), std::string::npos);
+  EXPECT_NE(Output.find("native == reference (bitwise)"), std::string::npos)
+      << Output;
+}
+
+TEST(CliTool, NativeFlagsRejectedFor1dStencils) {
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark star1d1r --run-native");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("1D"), std::string::npos);
 }

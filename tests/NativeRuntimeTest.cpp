@@ -1,0 +1,441 @@
+//===- NativeRuntimeTest.cpp - Native runtime subsystem tests -----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exercises the compile/cache/load/execute pipeline of src/runtime/:
+///
+///  * NativeExecutor vs ReferenceExecutor bit-for-bit on **every** built-in
+///    2D/3D benchmark (the acceptance contract of the native backend);
+///  * KernelCache hit/miss behavior, persistence across cache objects,
+///    force-recompile, and failure accounting;
+///  * NativeCompiler detection and failure reporting;
+///  * the native measured sweep (compile pool + serial timing) and the
+///    Tuner's Native measurement backend.
+///
+/// Kernels build with -O1 appended (overriding the default -O2) to keep
+/// the many small test builds fast; optimization level cannot change
+/// results because the kernels are compiled with -ffp-contract=off and no
+/// fast-math. Most tests share one on-disk cache directory so repeated
+/// ctest runs are compile-free; tests asserting miss-then-hit transitions
+/// create private directories.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/KernelCache.h"
+#include "runtime/NativeCompiler.h"
+#include "runtime/NativeExecutor.h"
+#include "runtime/NativeMeasurement.h"
+#include "sim/Grid.h"
+#include "sim/ReferenceExecutor.h"
+#include "stencils/Benchmarks.h"
+#include "tuning/Tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace an5d;
+
+namespace {
+
+/// The shared cache directory: stable across test processes (each ctest
+/// entry is its own process) so every kernel compiles at most once per
+/// source+flags version.
+std::string sharedCacheDir() {
+  return ::testing::TempDir() + "an5d-native-test-cache";
+}
+
+/// A directory unique to one test, for miss/hit-transition assertions.
+std::string freshCacheDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "an5d-native-fresh-" + Tag;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+NativeRuntimeOptions fastBuildOptions(const std::string &CacheDir) {
+  NativeRuntimeOptions Options;
+  Options.CacheDir = CacheDir;
+  Options.ExtraCompileFlags = {"-O1"};
+  return Options;
+}
+
+/// A small feasible configuration for \p Program that exercises chunking
+/// and a temporal degree > 1.
+BlockConfig testConfig(const StencilProgram &Program) {
+  int Rad = Program.radius();
+  BlockConfig Config;
+  Config.BT = 2;
+  if (Program.numDims() == 2) {
+    Config.BS = {4 * Rad + 8};
+    Config.HS = 7;
+  } else {
+    Config.BS = {4 * Rad + 6, 4 * Rad + 4};
+    Config.HS = 5;
+  }
+  return Config;
+}
+
+/// Runs \p Steps through the reference executor and the native kernel and
+/// expects bitwise identical grids.
+template <typename T>
+void expectNativeMatchesReference(const StencilProgram &Program,
+                                  const BlockConfig &Config,
+                                  long long Steps) {
+  NativeExecutor Executor(Program, Config,
+                          fastBuildOptions(sharedCacheDir()));
+  ASSERT_TRUE(Executor.ok()) << Executor.error();
+
+  std::vector<long long> Extents =
+      Program.numDims() == 2 ? std::vector<long long>{23, 19}
+                             : std::vector<long long>{13, 11, 10};
+  Grid<T> Ref0(Extents, Program.radius()), Ref1(Extents, Program.radius());
+  fillGridDeterministic(Ref0, 33);
+  copyGrid(Ref0, Ref1);
+  Grid<T> Nat0 = Ref0, Nat1 = Ref0;
+
+  referenceRun<T>(Program, {&Ref0, &Ref1}, Steps);
+  Executor.run<T>({&Nat0, &Nat1}, Steps);
+
+  const Grid<T> &Want = Steps % 2 == 0 ? Ref0 : Ref1;
+  const Grid<T> &Got = Steps % 2 == 0 ? Nat0 : Nat1;
+  EXPECT_EQ(Want.raw(), Got.raw())
+      << Program.name() << " native result differs from the reference";
+}
+
+/// Every built-in benchmark the C++ kernel backend supports (2D and 3D).
+std::vector<std::string> nativeBackendBenchmarks() {
+  std::vector<std::string> Names;
+  for (const std::string &Name : benchmarkStencilNames()) {
+    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
+    if (P && P->numDims() >= 2)
+      Names.push_back(Name);
+  }
+  return Names;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bit-for-bit equivalence on every built-in benchmark
+//===----------------------------------------------------------------------===//
+
+class NativeEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NativeEquivalence, MatchesReferenceBitwise) {
+  auto Program = makeBenchmarkStencil(GetParam(), ScalarType::Float);
+  ASSERT_NE(Program, nullptr);
+  expectNativeMatchesReference<float>(*Program, testConfig(*Program), 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, NativeEquivalence,
+    ::testing::ValuesIn(nativeBackendBenchmarks()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(NativeRuntime, DoublePrecisionMatchesReference) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Double);
+  ASSERT_NE(Program, nullptr);
+  expectNativeMatchesReference<double>(*Program, testConfig(*Program), 9);
+  auto Program3 = makeBenchmarkStencil("star3d2r", ScalarType::Double);
+  ASSERT_NE(Program3, nullptr);
+  expectNativeMatchesReference<double>(*Program3, testConfig(*Program3), 8);
+}
+
+TEST(NativeRuntime, EvenStepCountEndsInBufferZero) {
+  auto Program = makeBenchmarkStencil("j2d9pt", ScalarType::Float);
+  ASSERT_NE(Program, nullptr);
+  expectNativeMatchesReference<float>(*Program, testConfig(*Program), 8);
+}
+
+TEST(NativeRuntime, MathCallStencilMatches) {
+  // gradient2d exercises the sqrt math-call path end to end.
+  auto Program = makeBenchmarkStencil("gradient2d", ScalarType::Float);
+  ASSERT_NE(Program, nullptr);
+  expectNativeMatchesReference<float>(*Program, testConfig(*Program), 5);
+}
+
+TEST(NativeRuntime, StreamingDivisionVariantsMatch) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  BlockConfig Config = testConfig(*Program);
+  Config.HS = 0; // single chunk spans the stream
+  expectNativeMatchesReference<float>(*Program, Config, 9);
+  Config.HS = 1000; // longer than the extent: also a single chunk
+  expectNativeMatchesReference<float>(*Program, Config, 9);
+}
+
+TEST(NativeRuntime, HighDegreeMatches) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = 5;
+  Config.BS = {32};
+  Config.HS = 8;
+  expectNativeMatchesReference<float>(*Program, Config, 13);
+}
+
+//===----------------------------------------------------------------------===//
+// Executor contract
+//===----------------------------------------------------------------------===//
+
+TEST(NativeRuntime, ZeroStepsLeavesBuffersUntouched) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  NativeExecutor Executor(*Program, testConfig(*Program),
+                          fastBuildOptions(sharedCacheDir()));
+  ASSERT_TRUE(Executor.ok()) << Executor.error();
+  Grid<float> A({9, 8}, 1), B({9, 8}, 1);
+  fillGridDeterministic(A, 3);
+  copyGrid(A, B);
+  std::vector<float> WantA = A.raw(), WantB = B.raw();
+  Executor.run<float>({&A, &B}, 0);
+  EXPECT_EQ(A.raw(), WantA);
+  EXPECT_EQ(B.raw(), WantB);
+}
+
+TEST(NativeRuntime, RunRawRejectsBadArguments) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  NativeExecutor Executor(*Program, testConfig(*Program),
+                          fastBuildOptions(sharedCacheDir()));
+  ASSERT_TRUE(Executor.ok()) << Executor.error();
+  long long Extents2[2] = {9, 8};
+  long long Extents3[3] = {9, 8, 7};
+  std::vector<float> Buf(11 * 10, 0.0f);
+  // Wrong arity is caught by the loader side.
+  EXPECT_EQ(Executor.runRaw(Buf.data(), Buf.data(), Extents3, 3, 1), -1);
+  // Null buffers, negative steps and degenerate extents by the kernel.
+  EXPECT_NE(Executor.runRaw(nullptr, Buf.data(), Extents2, 2, 1), 0);
+  EXPECT_NE(Executor.runRaw(Buf.data(), Buf.data(), Extents2, 2, -1), 0);
+  long long Degenerate[2] = {0, 8};
+  EXPECT_NE(Executor.runRaw(Buf.data(), Buf.data(), Degenerate, 2, 1), 0);
+}
+
+TEST(NativeRuntime, ReportsKernelMetadata) {
+  auto Program = makeBenchmarkStencil("star3d1r", ScalarType::Float);
+  NativeExecutor Executor(*Program, testConfig(*Program),
+                          fastBuildOptions(sharedCacheDir()));
+  ASSERT_TRUE(Executor.ok()) << Executor.error();
+  EXPECT_GE(Executor.kernelMaxThreads(), 1);
+  EXPECT_EQ(Executor.cacheKey().size(), 16u);
+  EXPECT_TRUE(std::filesystem::exists(Executor.libraryPath()));
+}
+
+TEST(NativeRuntime, RejectsUnsupportedDimensionality) {
+  auto Program = makeBenchmarkStencil("star1d1r", ScalarType::Float);
+  ASSERT_NE(Program, nullptr);
+  BlockConfig Config;
+  Config.BT = 2;
+  Config.HS = 16;
+  NativeExecutor Executor(*Program, Config,
+                          fastBuildOptions(sharedCacheDir()));
+  EXPECT_FALSE(Executor.ok());
+  EXPECT_NE(Executor.error().find("2D and 3D"), std::string::npos);
+}
+
+TEST(NativeRuntime, RejectsInfeasibleConfiguration) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  BlockConfig Config;
+  Config.BT = 8;
+  Config.BS = {16}; // compute width 16 - 2*8*1 = 0: infeasible
+  NativeExecutor Executor(*Program, Config,
+                          fastBuildOptions(sharedCacheDir()));
+  EXPECT_FALSE(Executor.ok());
+  EXPECT_NE(Executor.error().find("infeasible"), std::string::npos);
+}
+
+TEST(NativeRuntime, ReportsMissingCompiler) {
+  NativeCompiler Compiler("/nonexistent/an5d-cxx");
+  EXPECT_FALSE(Compiler.available());
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  NativeRuntimeOptions Options = fastBuildOptions(sharedCacheDir());
+  Options.Compiler = "/nonexistent/an5d-cxx";
+  NativeExecutor Executor(*Program, testConfig(*Program), Options);
+  EXPECT_FALSE(Executor.ok());
+  EXPECT_NE(Executor.error().find("not available"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel cache
+//===----------------------------------------------------------------------===//
+
+TEST(KernelCache, HashKeyIsStableAndDiscriminating) {
+  std::string KeyA = KernelCache::hashKey("source-a", "compiler-x");
+  EXPECT_EQ(KeyA.size(), 16u);
+  EXPECT_EQ(KeyA, KernelCache::hashKey("source-a", "compiler-x"));
+  EXPECT_NE(KeyA, KernelCache::hashKey("source-b", "compiler-x"));
+  EXPECT_NE(KeyA, KernelCache::hashKey("source-a", "compiler-y"));
+  // The separator keeps (source, fingerprint) splits distinct.
+  EXPECT_NE(KernelCache::hashKey("ab", "c"), KernelCache::hashKey("a", "bc"));
+}
+
+TEST(KernelCache, SecondBuildHitsWithoutCompiling) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  std::string Dir = freshCacheDir("hit");
+  KernelCache Cache(Dir);
+  NativeRuntimeOptions Options = fastBuildOptions(Dir);
+
+  NativeExecutor First(*Program, testConfig(*Program), Options, &Cache);
+  ASSERT_TRUE(First.ok()) << First.error();
+  EXPECT_FALSE(First.cacheHit());
+  EXPECT_GT(First.compileSeconds(), 0.0);
+
+  NativeExecutor Second(*Program, testConfig(*Program), Options, &Cache);
+  ASSERT_TRUE(Second.ok()) << Second.error();
+  EXPECT_TRUE(Second.cacheHit());
+  EXPECT_EQ(Second.libraryPath(), First.libraryPath());
+
+  KernelCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Failures, 0u);
+}
+
+TEST(KernelCache, PersistsAcrossCacheObjects) {
+  auto Program = makeBenchmarkStencil("j2d9pt", ScalarType::Float);
+  std::string Dir = freshCacheDir("persist");
+  NativeRuntimeOptions Options = fastBuildOptions(Dir);
+  {
+    NativeExecutor First(*Program, testConfig(*Program), Options);
+    ASSERT_TRUE(First.ok()) << First.error();
+    EXPECT_FALSE(First.cacheHit());
+  }
+  // A brand-new cache object (fresh process in real usage) over the same
+  // directory must find the artifact.
+  NativeExecutor Second(*Program, testConfig(*Program), Options);
+  ASSERT_TRUE(Second.ok()) << Second.error();
+  EXPECT_TRUE(Second.cacheHit());
+}
+
+TEST(KernelCache, ForceRecompileBypassesTheCache) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  std::string Dir = freshCacheDir("force");
+  KernelCache Cache(Dir);
+  NativeRuntimeOptions Options = fastBuildOptions(Dir);
+  NativeExecutor First(*Program, testConfig(*Program), Options, &Cache);
+  ASSERT_TRUE(First.ok()) << First.error();
+  Options.ForceRecompile = true;
+  NativeExecutor Second(*Program, testConfig(*Program), Options, &Cache);
+  ASSERT_TRUE(Second.ok()) << Second.error();
+  EXPECT_FALSE(Second.cacheHit());
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+}
+
+TEST(KernelCache, DifferentFlagsLandOnDifferentKeys) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  std::string Dir = freshCacheDir("flags");
+  KernelCache Cache(Dir);
+  NativeRuntimeOptions O1 = fastBuildOptions(Dir);
+  NativeRuntimeOptions O2 = fastBuildOptions(Dir);
+  O2.ExtraCompileFlags = {"-O0"};
+  NativeExecutor A(*Program, testConfig(*Program), O1, &Cache);
+  NativeExecutor B(*Program, testConfig(*Program), O2, &Cache);
+  ASSERT_TRUE(A.ok()) << A.error();
+  ASSERT_TRUE(B.ok()) << B.error();
+  EXPECT_NE(A.cacheKey(), B.cacheKey());
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+}
+
+TEST(KernelCache, CompileFailureIsReportedWithLog) {
+  std::string Dir = freshCacheDir("fail");
+  KernelCache Cache(Dir);
+  NativeCompiler Compiler;
+  ASSERT_TRUE(Compiler.available());
+  KernelArtifact Artifact =
+      Cache.getOrBuild("this is not C++ at all!", Compiler, {"-O0"});
+  EXPECT_FALSE(Artifact.Ok);
+  EXPECT_FALSE(Artifact.CacheHit);
+  EXPECT_NE(Artifact.Log.find("compile failed"), std::string::npos);
+  EXPECT_EQ(Cache.stats().Failures, 1u);
+  EXPECT_FALSE(std::filesystem::exists(Artifact.LibraryPath));
+}
+
+//===----------------------------------------------------------------------===//
+// Native measurement backend
+//===----------------------------------------------------------------------===//
+
+TEST(NativeMeasurement, MeasurementProblemIsCpuSized) {
+  for (int Dims : {1, 2, 3}) {
+    ProblemSize Problem = nativeMeasurementProblem(Dims);
+    EXPECT_EQ(static_cast<int>(Problem.Extents.size()), Dims);
+    EXPECT_GT(Problem.TimeSteps, 0);
+    EXPECT_LE(Problem.cellCount(), 1LL << 20)
+        << "native timing problems must stay CPU-sized";
+  }
+}
+
+TEST(NativeMeasurement, SweepTimesRealKernelsAndDeduplicatesCaps) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  BlockConfig Base = testConfig(*Program);
+  std::vector<SweepCandidate> Candidates;
+  for (int Cap : {0, 64}) {
+    SweepCandidate Item;
+    Item.Config = Base;
+    Item.Config.RegisterCap = Cap;
+    Candidates.push_back(Item);
+  }
+  std::vector<ProblemSize> Problems = {nativeMeasurementProblem(2)};
+  // Shrink timing further: unit tests only check plumbing.
+  Problems[0].Extents = {64, 64};
+  Problems[0].TimeSteps = 4;
+
+  std::string Dir = freshCacheDir("sweep");
+  KernelCache Cache(Dir);
+  NativeMeasureOptions Options;
+  Options.Runtime = fastBuildOptions(Dir);
+  // Serial compile stage: the second candidate must deterministically hit
+  // the artifact the first one built (parallel builders of one key race
+  // benignly but would double the miss count).
+  Options.CompileThreads = 1;
+  Options.Repeats = 1;
+  std::vector<MeasuredResult> Results =
+      nativeMeasuredSweep(*Program, Candidates, Problems, Options, &Cache);
+  ASSERT_EQ(Results.size(), Candidates.size());
+  for (const MeasuredResult &Result : Results) {
+    EXPECT_TRUE(Result.Feasible);
+    EXPECT_GT(Result.MeasuredGflops, 0.0);
+    EXPECT_GT(Result.MeasuredTimeSeconds, 0.0);
+  }
+  // The register cap is not part of the kernel source: one compile, one
+  // cache hit.
+  KernelCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Hits, 1u);
+}
+
+TEST(NativeMeasurement, TunerNativeBackendPicksAMeasuredConfig) {
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  Tuner T(GpuSpec::teslaV100());
+  TuneOptions Options;
+  Options.Backend = MeasurementBackend::Native;
+  Options.TopK = 2;
+  Options.Native.Runtime = fastBuildOptions(sharedCacheDir());
+  Options.Native.Repeats = 1;
+  ProblemSize Problem = nativeMeasurementProblem(2);
+  Problem.Extents = {96, 96};
+  Problem.TimeSteps = 4;
+  TuneOutcome Outcome = T.tune(*Program, Problem, Options);
+  ASSERT_TRUE(Outcome.Feasible);
+  EXPECT_GT(Outcome.BestMeasured.MeasuredGflops, 0.0);
+  EXPECT_GT(Outcome.BestMeasured.MeasuredTimeSeconds, 0.0);
+  EXPECT_EQ(Outcome.Best.RegisterCap, 0)
+      << "native backend collapses register caps";
+}
+
+TEST(NativeMeasurement, OneDimensionalFallsBackToSimulator) {
+  auto Program = makeBenchmarkStencil("star1d1r", ScalarType::Float);
+  Tuner T(GpuSpec::teslaV100());
+  TuneOptions Options;
+  Options.Backend = MeasurementBackend::Native;
+  Options.TopK = 2;
+  TuneOutcome Outcome =
+      T.tune(*Program, ProblemSize::paperDefault(1), Options);
+  EXPECT_TRUE(Outcome.Feasible)
+      << "1D must still tune (simulated fallback)";
+}

@@ -24,12 +24,21 @@
 ///   --bt N --bs N[,N] --hs N --regs N    manual configuration
 ///   --tune               pick the configuration with the Section 6.3 flow
 ///   --tune-threads N     measured-sweep worker threads (0 = auto)
-///   --tune-topk N        model-ranked candidates to measure (default 16)
+///   --tune-topk N        model-ranked candidates to measure (default 16;
+///                        8 with --measure native)
+///   --measure SOURCE     measured-sweep source: simulated (default) or
+///                        native (JIT-compiled OpenMP kernels on this CPU)
 ///   --print-stencil      show the detected stencil and classification
 ///   --print-model        show the roofline breakdown for the configuration
 ///   --emit-cuda DIR      write <kernel>.cu and <kernel>_host.cpp to DIR
 ///   --emit-check DIR     write the self-checking portable C++ program
+///   --emit-omp DIR       write the callable OpenMP kernel library source
 ///   --verify             run the blocked emulator vs the reference
+///   --verify-native      compile the native kernel and check it against
+///                        the reference bit for bit
+///   --run-native         compile (or fetch from cache), load and time the
+///                        native kernel on a CPU-sized problem
+///   --kernel-cache DIR   kernel-cache directory (default: see README)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +47,8 @@
 #include "codegen/LoopTilingCodegen.h"
 #include "frontend/StencilExtractor.h"
 #include "report/ScheduleReport.h"
+#include "runtime/NativeExecutor.h"
+#include "runtime/NativeMeasurement.h"
 #include "sim/BlockedExecutor.h"
 #include "sim/Grid.h"
 #include "sim/MeasuredSimulator.h"
@@ -46,7 +57,11 @@
 #include "transforms/ExprSimplify.h"
 #include "tuning/Tuner.h"
 
+#include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -69,15 +84,20 @@ struct CliOptions {
   int Regs = 0;
   bool Tune = false;
   TuneOptions Tuning;
+  bool TopKSet = false;
   bool PrintStencil = false;
   bool PrintModel = false;
   bool Report = false;
   bool Simplify = false;
   bool DivToMul = false;
   bool Verify = false;
+  bool VerifyNative = false;
+  bool RunNative = false;
+  NativeRuntimeOptions NativeOpts;
   CodegenOptions Codegen;
   std::string EmitCudaDir;
   std::string EmitCheckDir;
+  std::string EmitOmpDir;
   std::string EmitLoopTilingDir;
   bool ListBenchmarks = false;
 };
@@ -89,20 +109,51 @@ void printUsage() {
       "  --benchmark NAME | --list-benchmarks\n"
       "  --name NAME --type float|double --device v100|p100\n"
       "  --bt N --bs N[,N] --hs N --regs N | --tune\n"
-      "  --tune-threads N --tune-topk N\n"
+      "  --tune-threads N --tune-topk N --measure simulated|native\n"
       "  --print-stencil --print-model --report --verify\n"
+      "  --verify-native --run-native --kernel-cache DIR\n"
       "  --simplify --div-to-mul\n"
       "  --no-assoc-opt --no-dafree-opt --vectorized-smem --unroll-inner\n"
-      "  --emit-cuda DIR --emit-check DIR --emit-loop-tiling DIR\n");
+      "  --emit-cuda DIR --emit-check DIR --emit-omp DIR "
+      "--emit-loop-tiling DIR\n");
 }
 
-std::vector<int> parseIntList(const std::string &Text) {
-  std::vector<int> Out;
+/// Parses a full decimal integer >= \p MinValue into \p Out; anything else
+/// ("foo", "12x", overflow, too small) gets a diagnostic naming \p Flag.
+bool parseIntValue(const char *Flag, const char *Text, int MinValue,
+                   int &Out) {
+  char *End = nullptr;
+  errno = 0;
+  long Value = std::strtol(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || Value < MinValue ||
+      Value > INT_MAX) {
+    std::fprintf(stderr,
+                 "an5dc: invalid value '%s' for %s (expected an integer "
+                 ">= %d)\n",
+                 Text, Flag, MinValue);
+    return false;
+  }
+  Out = static_cast<int>(Value);
+  return true;
+}
+
+/// Parses a comma-separated list of positive integers (--bs).
+bool parseIntListValue(const char *Flag, const std::string &Text,
+                       std::vector<int> &Out) {
+  Out.clear();
   std::stringstream Stream(Text);
   std::string Item;
-  while (std::getline(Stream, Item, ','))
-    Out.push_back(std::atoi(Item.c_str()));
-  return Out;
+  while (std::getline(Stream, Item, ',')) {
+    int Value = 0;
+    if (!parseIntValue(Flag, Item.c_str(), 1, Value))
+      return false;
+    Out.push_back(Value);
+  }
+  if (Out.empty()) {
+    std::fprintf(stderr, "an5dc: empty value for %s\n", Flag);
+    return false;
+  }
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -149,41 +200,58 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.UseP100 = std::strcmp(V, "p100") == 0;
     } else if (Arg == "--bt") {
       const char *V = Next();
-      if (!V)
+      if (!V || !parseIntValue("--bt", V, 1, Options.BT))
         return false;
-      Options.BT = std::atoi(V);
     } else if (Arg == "--bs") {
       const char *V = Next();
-      if (!V)
+      if (!V || !parseIntListValue("--bs", V, Options.BS))
         return false;
-      Options.BS = parseIntList(V);
     } else if (Arg == "--hs") {
       const char *V = Next();
-      if (!V)
+      if (!V || !parseIntValue("--hs", V, 0, Options.HS))
         return false;
-      Options.HS = std::atoi(V);
     } else if (Arg == "--regs") {
       const char *V = Next();
-      if (!V)
+      if (!V || !parseIntValue("--regs", V, 0, Options.Regs))
         return false;
-      Options.Regs = std::atoi(V);
     } else if (Arg == "--tune") {
       Options.Tune = true;
     } else if (Arg == "--tune-threads") {
       const char *V = Next();
-      if (!V)
+      if (!V ||
+          !parseIntValue("--tune-threads", V, 0, Options.Tuning.Threads))
         return false;
-      Options.Tuning.Threads = std::atoi(V);
     } else if (Arg == "--tune-topk") {
+      const char *V = Next();
+      int K = 0;
+      if (!V || !parseIntValue("--tune-topk", V, 1, K))
+        return false;
+      Options.Tuning.TopK = static_cast<std::size_t>(K);
+      Options.TopKSet = true;
+    } else if (Arg == "--measure") {
       const char *V = Next();
       if (!V)
         return false;
-      int K = std::atoi(V);
-      if (K < 1) {
-        std::fprintf(stderr, "an5dc: --tune-topk must be >= 1\n");
+      if (std::strcmp(V, "simulated") == 0)
+        Options.Tuning.Backend = MeasurementBackend::Simulated;
+      else if (std::strcmp(V, "native") == 0)
+        Options.Tuning.Backend = MeasurementBackend::Native;
+      else {
+        std::fprintf(stderr,
+                     "an5dc: unknown measurement source '%s' (expected "
+                     "'simulated' or 'native')\n",
+                     V);
         return false;
       }
-      Options.Tuning.TopK = static_cast<std::size_t>(K);
+    } else if (Arg == "--kernel-cache") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.NativeOpts.CacheDir = V;
+    } else if (Arg == "--verify-native") {
+      Options.VerifyNative = true;
+    } else if (Arg == "--run-native") {
+      Options.RunNative = true;
     } else if (Arg == "--print-stencil") {
       Options.PrintStencil = true;
     } else if (Arg == "--print-model") {
@@ -218,6 +286,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.EmitCheckDir = V;
+    } else if (Arg == "--emit-omp") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.EmitOmpDir = V;
     } else if (Arg == "--emit-loop-tiling") {
       const char *V = Next();
       if (!V)
@@ -264,6 +337,71 @@ BlockConfig verificationConfig(const StencilProgram &Program,
     B = 2 * Small.BT * Rad + 8;
   Small.HS = 10;
   return Small;
+}
+
+/// Verifies the compiled native kernel against the reference bit for bit.
+/// Unlike --verify this runs the *actual* configuration — the native
+/// kernel handles production-sized blocks without shrinking.
+template <typename T>
+bool verifyNativeKernel(const StencilProgram &Program,
+                        const BlockConfig &Config,
+                        const NativeRuntimeOptions &NativeOpts) {
+  NativeExecutor Executor(Program, Config, NativeOpts);
+  if (!Executor.ok()) {
+    std::fprintf(stderr, "an5dc: %s\n", Executor.error().c_str());
+    return false;
+  }
+  std::vector<long long> Extents = Program.numDims() == 2
+                                       ? std::vector<long long>{97, 89}
+                                       : std::vector<long long>{33, 29, 27};
+  long long Steps = 9;
+  Grid<T> Ref0(Extents, Program.radius()), Ref1(Extents, Program.radius());
+  fillGridDeterministic(Ref0, 77);
+  copyGrid(Ref0, Ref1);
+  Grid<T> Nat0 = Ref0, Nat1 = Ref0;
+  referenceRun<T>(Program, {&Ref0, &Ref1}, Steps);
+  Executor.run<T>({&Nat0, &Nat1}, Steps);
+  const Grid<T> &Want = Steps % 2 == 0 ? Ref0 : Ref1;
+  const Grid<T> &Got = Steps % 2 == 0 ? Nat0 : Nat1;
+  return Want.raw() == Got.raw();
+}
+
+/// Compiles (or fetches), loads and times the native kernel on the
+/// CPU-sized measurement problem; prints throughput and cache behavior.
+template <typename T>
+bool runNativeTimed(const StencilProgram &Program, const BlockConfig &Config,
+                    const NativeRuntimeOptions &NativeOpts) {
+  NativeExecutor Executor(Program, Config, NativeOpts);
+  if (!Executor.ok()) {
+    std::fprintf(stderr, "an5dc: %s\n", Executor.error().c_str());
+    return false;
+  }
+  if (Executor.cacheHit())
+    std::printf("kernel cache: hit (%s)\n", Executor.libraryPath().c_str());
+  else
+    std::printf("kernel cache: miss, compiled in %.2f s (%s)\n",
+                Executor.compileSeconds(), Executor.libraryPath().c_str());
+
+  ProblemSize Problem = nativeMeasurementProblem(Program.numDims());
+  Grid<T> Buf0(Problem.Extents, Program.radius()),
+      Buf1(Problem.Extents, Program.radius());
+  fillGridDeterministic(Buf0, 42);
+  copyGrid(Buf0, Buf1);
+  auto Start = std::chrono::steady_clock::now();
+  Executor.run<T>({&Buf0, &Buf1}, Problem.TimeSteps);
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  double CellUpdates = static_cast<double>(Problem.cellCount()) *
+                       static_cast<double>(Problem.TimeSteps);
+  double Gflops = Seconds > 0
+                      ? static_cast<double>(Program.flopsPerCell().total()) *
+                            CellUpdates / Seconds / 1e9
+                      : 0;
+  std::printf("native run (%s, %s): %.3f s, %.2f GFLOP/s on %d thread(s)\n",
+              Config.toString().c_str(), Problem.toString().c_str(), Seconds,
+              Gflops, Executor.kernelMaxThreads());
+  return true;
 }
 
 } // namespace
@@ -357,19 +495,45 @@ int main(int Argc, char **Argv) {
       Options.UseP100 ? GpuSpec::teslaP100() : GpuSpec::teslaV100();
   ProblemSize Problem = ProblemSize::paperDefault(Program->numDims());
 
+  bool NativeMeasure =
+      Options.Tuning.Backend == MeasurementBackend::Native &&
+      Program->numDims() > 1;
+  if (Options.Tuning.Backend == MeasurementBackend::Native && !NativeMeasure)
+    std::fprintf(stderr, "an5dc: note: no native backend for 1D stencils; "
+                         "measuring with the simulator\n");
+
   // Configuration: manual, tuned, or a sensible default.
   BlockConfig Config;
   if (Options.Tune) {
+    // The native backend times real kernels on this CPU, so it tunes over
+    // the CPU-sized measurement problem (the paper-default extents are
+    // sized for a V100) and narrows the default top-K — each candidate
+    // costs a compile. `Problem` itself stays on the paper default so
+    // --print-model / --report keep their usual meaning.
+    ProblemSize TuneProblem = Problem;
+    if (NativeMeasure) {
+      TuneProblem = nativeMeasurementProblem(Program->numDims());
+      if (!Options.TopKSet)
+        Options.Tuning.TopK = 8;
+      Options.Tuning.Native.Runtime = Options.NativeOpts;
+    }
     Tuner T(Spec);
-    TuneOutcome Outcome = T.tune(*Program, Problem, Options.Tuning);
+    TuneOutcome Outcome = T.tune(*Program, TuneProblem, Options.Tuning);
     if (!Outcome.Feasible) {
       std::fprintf(stderr, "an5dc: tuning found no feasible config\n");
       return 1;
     }
     Config = Outcome.Best;
-    std::printf("tuned: %s  (simulated %.0f GFLOP/s on %s)\n",
-                Config.toString().c_str(),
-                Outcome.BestMeasured.MeasuredGflops, Spec.Name.c_str());
+    if (NativeMeasure)
+      std::printf("tuned: %s  (native %.2f GFLOP/s measured on host CPU, "
+                  "%.3f s)\n",
+                  Config.toString().c_str(),
+                  Outcome.BestMeasured.MeasuredGflops,
+                  Outcome.BestMeasured.MeasuredTimeSeconds);
+    else
+      std::printf("tuned: %s  (simulated %.0f GFLOP/s on %s)\n",
+                  Config.toString().c_str(),
+                  Outcome.BestMeasured.MeasuredGflops, Spec.Name.c_str());
   } else {
     Config.BT = Options.BT > 0 ? Options.BT : 4;
     if (!Options.BS.empty())
@@ -414,7 +578,8 @@ int main(int Argc, char **Argv) {
 
   if (Program->numDims() == 1 &&
       (!Options.EmitCudaDir.empty() || !Options.EmitCheckDir.empty() ||
-       !Options.EmitLoopTilingDir.empty())) {
+       !Options.EmitOmpDir.empty() || !Options.EmitLoopTilingDir.empty() ||
+       Options.RunNative || Options.VerifyNative)) {
     // The model/tuner/emulator stack handles 1D (pure streaming), but the
     // code generators only know the 2D/3D kernel shapes so far.
     std::fprintf(stderr,
@@ -455,6 +620,37 @@ int main(int Argc, char **Argv) {
     std::ofstream(Path) << generateCppCheckProgram(*Program, Small,
                                                    CheckSize);
     std::printf("wrote %s\n", Path.c_str());
+  }
+
+  if (!Options.EmitOmpDir.empty()) {
+    std::filesystem::create_directories(Options.EmitOmpDir);
+    std::string Path =
+        Options.EmitOmpDir + "/" + Program->name() + "_omp.cpp";
+    std::ofstream(Path) << generateCppKernelLibrary(*Program, Config);
+    std::printf("wrote %s (callable kernel library, an5d_run ABI)\n",
+                Path.c_str());
+  }
+
+  if (Options.RunNative) {
+    bool Ok = Program->elemType() == ScalarType::Float
+                  ? runNativeTimed<float>(*Program, Config,
+                                          Options.NativeOpts)
+                  : runNativeTimed<double>(*Program, Config,
+                                           Options.NativeOpts);
+    if (!Ok)
+      return 1;
+  }
+
+  if (Options.VerifyNative) {
+    bool Ok = Program->elemType() == ScalarType::Float
+                  ? verifyNativeKernel<float>(*Program, Config,
+                                              Options.NativeOpts)
+                  : verifyNativeKernel<double>(*Program, Config,
+                                               Options.NativeOpts);
+    std::printf("verify-native (%s): %s\n", Config.toString().c_str(),
+                Ok ? "native == reference (bitwise)" : "MISMATCH");
+    if (!Ok)
+      return 1;
   }
 
   if (Options.Verify) {

@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
-#===- tools/bench_emulator.sh - Dump emulator + tuner benches to JSON ------===#
+#===- tools/bench_emulator.sh - Dump emulator/tuner/native benches to JSON -===#
 #
 # Part of the AN5D reproduction project, under the MIT license.
 #
-# Runs bench_emulator_throughput and bench_tuner_throughput (both Google
-# Benchmark) and dumps the results to BENCH_emulator.json and
-# BENCH_tuner.json so the emulator's and the measured sweep's performance
+# Runs the Google-Benchmark binaries — bench_emulator_throughput,
+# bench_tuner_throughput and bench_native_runtime — and dumps the results
+# to BENCH_emulator.json, BENCH_tuner.json and BENCH_native.json so the
+# emulator's, the measured sweep's and the native kernel's performance
 # trajectories can be tracked PR over PR. Build the benches first:
 #
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 #
 # Usage:
-#   tools/bench_emulator.sh [build-dir] [output.json] [extra benchmark args]
+#   tools/bench_emulator.sh [build-dir] [output] [extra benchmark args]
 #
-# The tuner results land next to [output.json] as BENCH_tuner.json; the
-# extra benchmark args apply to both binaries.
+# [output] may be a directory (all three JSON files land inside) or a
+# .json file path for the emulator results (the tuner and native results
+# land next to it). Extra benchmark args apply to every binary. A missing
+# bench binary is an error — benches must not silently drop out of the
+# record.
 #
 # Examples:
 #   tools/bench_emulator.sh
+#   tools/bench_emulator.sh build results/
 #   tools/bench_emulator.sh build BENCH_emulator.json --benchmark_filter=Blocked
 #
 #===------------------------------------------------------------------------===#
@@ -28,23 +33,38 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_emulator.json}"
 shift $(( $# > 2 ? 2 : $# ))
 
-TUNER_OUT="$(dirname "$OUT")/BENCH_tuner.json"
+# Directory output: keep the canonical file names inside it.
+if [ -d "$OUT" ] || [[ "$OUT" == */ ]]; then
+  OUT_DIR="${OUT%/}"
+  mkdir -p "$OUT_DIR"
+  OUT="$OUT_DIR/BENCH_emulator.json"
+else
+  OUT_DIR="$(dirname "$OUT")"
+  mkdir -p "$OUT_DIR"
+fi
+TUNER_OUT="$OUT_DIR/BENCH_tuner.json"
+NATIVE_OUT="$OUT_DIR/BENCH_native.json"
 
-BIN="$BUILD_DIR/bench/bench_emulator_throughput"
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not found or not executable." >&2
+fail_missing() {
+  echo "error: $1 not found or not executable." >&2
   echo "Build it with: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
   echo "(Google Benchmark development headers are required at configure time.)" >&2
   exit 1
-fi
+}
 
-"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
+EMULATOR_BIN="$BUILD_DIR/bench/bench_emulator_throughput"
+TUNER_BIN="$BUILD_DIR/bench/bench_tuner_throughput"
+NATIVE_BIN="$BUILD_DIR/bench/bench_native_runtime"
+
+[ -x "$EMULATOR_BIN" ] || fail_missing "$EMULATOR_BIN"
+[ -x "$TUNER_BIN" ] || fail_missing "$TUNER_BIN"
+[ -x "$NATIVE_BIN" ] || fail_missing "$NATIVE_BIN"
+
+"$EMULATOR_BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
 echo "wrote $OUT"
 
-TUNER_BIN="$BUILD_DIR/bench/bench_tuner_throughput"
-if [ -x "$TUNER_BIN" ]; then
-  "$TUNER_BIN" --benchmark_out="$TUNER_OUT" --benchmark_out_format=json "$@"
-  echo "wrote $TUNER_OUT"
-else
-  echo "warning: $TUNER_BIN not found; skipping BENCH_tuner.json" >&2
-fi
+"$TUNER_BIN" --benchmark_out="$TUNER_OUT" --benchmark_out_format=json "$@"
+echo "wrote $TUNER_OUT"
+
+"$NATIVE_BIN" --benchmark_out="$NATIVE_OUT" --benchmark_out_format=json "$@"
+echo "wrote $NATIVE_OUT"
