@@ -16,9 +16,11 @@
 /// ratio against a best-of-3 tape-emulator run as "native_vs_tape_x". On
 /// the 3D benchmarks at >= 4 threads the native kernel is expected to beat
 /// the tape emulator comfortably (specialized constants, no interpreter
-/// dispatch, parallel blocks). Kernels compile once into a per-user cache
-/// (AN5D_KERNEL_CACHE overrides), so repeat runs skip compilation;
-/// tools/bench_emulator.sh dumps the results to BENCH_native.json.
+/// dispatch, parallel blocks). The 1D cases cover the pure-streaming
+/// kernel (empty bS, OpenMP over hS chunks). Kernels compile once into a
+/// per-user cache (AN5D_KERNEL_CACHE overrides), so repeat runs skip
+/// compilation; tools/bench_emulator.sh dumps the results to
+/// BENCH_native.json.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,7 +57,14 @@ struct Scenario {
 Scenario makeScenario(const std::string &Name) {
   Scenario S;
   S.Program = makeBenchmarkStencil(Name, ScalarType::Float);
-  if (S.Program->numDims() == 2) {
+  if (S.Program->numDims() == 1) {
+    // Pure streaming: bS stays empty, parallelism comes from hS chunks.
+    S.Config.BT = 8;
+    S.Config.BS.clear();
+    S.Config.HS = 4096;
+    S.Extents = {1 << 16};
+    S.Steps = 32;
+  } else if (S.Program->numDims() == 2) {
     S.Config.BT = 4;
     S.Config.BS = {128};
     S.Config.HS = 128;
@@ -134,6 +143,38 @@ void runNativeBench(benchmark::State &State, const std::string &Name,
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// 1D (pure streaming; native parallelism comes from hS chunks)
+//===----------------------------------------------------------------------===//
+
+static void BM_TapeBlocked_j1d3pt(benchmark::State &State) {
+  runTapeBench(State, "j1d3pt");
+}
+BENCHMARK(BM_TapeBlocked_j1d3pt)->Unit(benchmark::kMillisecond);
+
+static void BM_NativeOmp_j1d3pt(benchmark::State &State) {
+  runNativeBench(State, "j1d3pt", static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_NativeOmp_j1d3pt)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_TapeBlocked_star1d2r(benchmark::State &State) {
+  runTapeBench(State, "star1d2r");
+}
+BENCHMARK(BM_TapeBlocked_star1d2r)->Unit(benchmark::kMillisecond);
+
+static void BM_NativeOmp_star1d2r(benchmark::State &State) {
+  runNativeBench(State, "star1d2r", static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_NativeOmp_star1d2r)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
 
 //===----------------------------------------------------------------------===//
 // 2D

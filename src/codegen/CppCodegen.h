@@ -6,9 +6,10 @@
 ///
 /// \file
 /// Generates portable C++ translations of the blocked N.5D schedule for one
-/// stencil and configuration, in two modes sharing one blocked-invocation
-/// body (tier pipeline, halo overwrite, boundary pinning, stream division,
-/// host-side temporal scheduling):
+/// stencil and configuration — 1D (pure streaming: empty bS, one lane per
+/// hS chunk, OpenMP worksharing over chunks), 2D and 3D — in two modes
+/// sharing one blocked-invocation body (tier pipeline, halo overwrite,
+/// boundary pinning, stream division, host-side temporal scheduling):
 ///
 ///  * **Self-check program** (generateCppCheckProgram): a standalone `main`
 ///    with a naive reference and a bitwise self-check, baking the problem

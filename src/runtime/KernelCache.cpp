@@ -69,6 +69,20 @@ KernelArtifact KernelCache::getOrBuild(
   Artifact.LibraryPath = Base.string() + ".so";
 
   std::error_code Ec;
+  // Serialize same-key builds within this process: the exists-check runs
+  // under the key's lock, so a worker that waited out a sibling's build
+  // sees the finished artifact and records a hit instead of re-compiling
+  // the identical source (register-cap variants, repeated problem sizes).
+  std::shared_ptr<std::mutex> KeyMutex;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::shared_ptr<std::mutex> &Slot = Builders[Artifact.Key];
+    if (!Slot)
+      Slot = std::make_shared<std::mutex>();
+    KeyMutex = Slot;
+  }
+  std::lock_guard<std::mutex> KeyLock(*KeyMutex);
+
   if (!ForceRecompile && fs::exists(Artifact.LibraryPath, Ec)) {
     Artifact.Ok = true;
     Artifact.CacheHit = true;
@@ -77,32 +91,44 @@ KernelArtifact KernelCache::getOrBuild(
     return Artifact;
   }
 
-  {
-    std::ofstream Out(Artifact.SourcePath);
-    Out << Source;
-    if (!Out) {
-      Artifact.Log = "cannot write " + Artifact.SourcePath;
-      std::lock_guard<std::mutex> Lock(Mutex);
-      ++Stats.Failures;
-      return Artifact;
-    }
-  }
-
-  // Compile to a per-build temporary, then rename into place: concurrent
-  // builders of the same key — sibling processes *or* sibling threads of
-  // the in-process compile pool — each produce a complete artifact and
-  // the rename is atomic, so no loader ever sees a half-written .so. The
-  // pid alone is not unique enough: same-process pool workers racing on
-  // one key would share it, so a process-wide counter disambiguates.
+  // Everything below works on per-build temporaries renamed into place:
+  // concurrent builders of the same key — sibling processes *or* sibling
+  // threads of the in-process compile pool — each produce complete files
+  // and the renames are atomic, so no compiler ever reads a truncated
+  // .cpp and no loader ever sees a half-written .so. The pid alone is
+  // not unique enough: same-process pool workers racing on one key would
+  // share it, so a process-wide counter disambiguates.
   static std::atomic<unsigned> TempCounter{0};
   std::string Suffix =
       ".tmp." + std::to_string(TempCounter.fetch_add(1));
 #if !defined(_WIN32)
   Suffix += "." + std::to_string(::getpid());
 #endif
+
+  // The source is compiled from its temporary and only then installed at
+  // the canonical path (for inspection / recompilation): writing the
+  // shared path directly would truncate it under a concurrent builder's
+  // compiler, which silently succeeds on a partial TU. The temporary
+  // keeps the .cpp extension — compilers classify inputs by suffix.
+  std::string TempSourcePath = Artifact.SourcePath + Suffix + ".cpp";
+  {
+    std::ofstream Out(TempSourcePath);
+    Out << Source;
+    if (!Out) {
+      Artifact.Log = "cannot write " + TempSourcePath;
+      fs::remove(TempSourcePath, Ec);
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.Failures;
+      return Artifact;
+    }
+  }
+
   std::string TempPath = Artifact.LibraryPath + Suffix;
   CompileOutcome Outcome =
-      Compiler.compileSharedLibrary(Artifact.SourcePath, TempPath, ExtraFlags);
+      Compiler.compileSharedLibrary(TempSourcePath, TempPath, ExtraFlags);
+  fs::rename(TempSourcePath, Artifact.SourcePath, Ec);
+  if (Ec)
+    fs::remove(TempSourcePath, Ec); // canonical copy is best-effort only
   Artifact.Log = Outcome.Log;
   Artifact.CompileSeconds = Outcome.Seconds;
   if (!Outcome.Success) {

@@ -18,8 +18,16 @@
 /// The cache directory defaults to $AN5D_KERNEL_CACHE, then
 /// $HOME/.cache/an5d/kernels, then <tmp>/an5d-kernel-cache. getOrBuild is
 /// thread-safe (the measured sweep compiles candidates from a thread
-/// pool): compilation goes to a per-call temporary and is renamed into
-/// place atomically, so concurrent builders of the same key race benignly.
+/// pool): same-key builds within one process are serialized on a per-key
+/// mutex — the first requester compiles, the rest wait and then hit its
+/// artifact, so one key costs one *successful* compile per process.
+/// Failures are not memoized (a failed build leaves no artifact, so every
+/// requester of that key retries — serially — and reports the live log);
+/// transient failures therefore self-heal at the cost of repeated
+/// compiles on a persistently broken source. Across processes compilation
+/// goes to a per-call temporary and is renamed into place atomically, so
+/// cross-process races on one key stay benign (each produces a complete
+/// artifact).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +37,8 @@
 #include "runtime/NativeCompiler.h"
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -84,6 +94,10 @@ private:
   std::string Dir;
   mutable std::mutex Mutex;
   KernelCacheStats Stats;
+  /// Per-key build locks: concurrent requesters of one key wait for the
+  /// first builder instead of each shelling out a redundant compile.
+  /// Guarded by Mutex; shared_ptr so a waiter's lock survives map growth.
+  std::map<std::string, std::shared_ptr<std::mutex>> Builders;
 };
 
 } // namespace an5d

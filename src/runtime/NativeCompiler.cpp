@@ -25,7 +25,9 @@ namespace an5d {
 namespace {
 
 /// Runs \p Command with stderr folded into stdout; returns (exit code,
-/// captured output). Exit code -1 means the shell could not be spawned.
+/// captured output). Exit code -1 means the shell could not be spawned
+/// or the command died abnormally (e.g. a signal-killed cc1plus must not
+/// masquerade as exit 0, which WEXITSTATUS alone would report).
 std::pair<int, std::string> runCommand(const std::string &Command) {
   std::string Full = Command + " 2>&1";
   FILE *Pipe = ::popen(Full.c_str(), "r");
@@ -36,7 +38,21 @@ std::pair<int, std::string> runCommand(const std::string &Command) {
   while (std::fgets(Buffer.data(), Buffer.size(), Pipe))
     Output += Buffer.data();
   int Status = ::pclose(Pipe);
-  return {Status == -1 ? -1 : WEXITSTATUS(Status), Output};
+  if (Status == -1)
+    return {-1, Output};
+#if !defined(_WIN32)
+  if (!WIFEXITED(Status)) {
+    if (WIFSIGNALED(Status))
+      Output += "\ncommand terminated by signal " +
+                std::to_string(WTERMSIG(Status));
+    else
+      Output += "\ncommand terminated abnormally";
+    return {-1, Output};
+  }
+  return {WEXITSTATUS(Status), Output};
+#else
+  return {Status, Output};
+#endif
 }
 
 /// Single-quotes \p Path for the shell (cache and temp dirs may contain

@@ -16,8 +16,8 @@ NativeExecutor::NativeExecutor(const StencilProgram &Program,
                                const NativeRuntimeOptions &Options,
                                KernelCache *SharedCache)
     : Threads(Options.Threads) {
-  if (Program.numDims() != 2 && Program.numDims() != 3) {
-    Error = "the native runtime supports 2D and 3D stencils (got " +
+  if (Program.numDims() < 1 || Program.numDims() > 3) {
+    Error = "the native runtime supports 1D, 2D and 3D stencils (got " +
             std::to_string(Program.numDims()) + "D)";
     return;
   }
@@ -91,6 +91,11 @@ NativeExecutor::NativeExecutor(const StencilProgram &Program,
 
 int NativeExecutor::kernelMaxThreads() const {
   return MaxThreads ? MaxThreads() : 0;
+}
+
+void NativeExecutor::pinKernelThreads(int N) const {
+  if (SetThreads && N > 0)
+    SetThreads(N);
 }
 
 int NativeExecutor::runRaw(void *Buf0, void *Buf1, const long long *Extents,

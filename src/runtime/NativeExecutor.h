@@ -21,7 +21,7 @@
 ///   int an5d_abi_version(void);
 ///   const char *an5d_stencil_name(void);  // e.g. "j2d5pt"
 ///   const char *an5d_config(void);        // BlockConfig::toString()
-///   int an5d_num_dims(void);              // 2 or 3
+///   int an5d_num_dims(void);              // 1, 2 or 3
 ///   int an5d_radius(void);
 ///   int an5d_elem_size(void);             // sizeof element in bytes
 ///   int an5d_block_time(void);            // bT baked into the kernel
@@ -106,6 +106,12 @@ public:
   /// The OpenMP thread-pool size the loaded kernel reports (1 if it was
   /// built without OpenMP). 0 if the executor failed.
   int kernelMaxThreads() const;
+
+  /// Pins the kernel's OpenMP pool to \p N threads via `an5d_set_threads`
+  /// (no-op for N <= 0 or a failed executor). The measurement path calls
+  /// this before timing so results do not float with the ambient
+  /// OMP_NUM_THREADS of the calling process.
+  void pinKernelThreads(int N) const;
 
   /// Same contract as referenceRun / BlockedExecutor::run: advances
   /// \p TimeSteps steps, input in Buffers[0], result in

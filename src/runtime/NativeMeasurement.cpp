@@ -33,21 +33,41 @@ ProblemSize nativeMeasurementProblem(int NumDims) {
   return Problem;
 }
 
-namespace {
-
-/// Times one kernel over one problem: fills pristine double buffers once,
-/// then per repeat restores them and measures a full an5d_run. Returns the
-/// best wall-clock seconds, or a negative value if the kernel rejected
-/// the run.
 template <typename T>
-double timeKernel(const NativeExecutor &Executor, const ProblemSize &Problem,
-                  int Radius, int Repeats) {
+KernelTiming timeNativeKernel(const NativeExecutor &Executor,
+                              const ProblemSize &Problem, int Radius,
+                              int Repeats, int Threads) {
+  // Pin explicitly: with no request (Threads == 0) pin to the machine's
+  // hardware concurrency, not to the kernel's current default — the
+  // latter is whatever ambient OMP_NUM_THREADS initialized the pool to,
+  // and measurements must not float with the caller's environment. The
+  // previous pool size is restored on exit: the OpenMP ICV is
+  // process-wide, so leaving the pin in place would silently change the
+  // thread count of any later kernel run in this process (e.g. an5dc
+  // --tune --measure native followed by --run-native).
+  int Ambient = Executor.kernelMaxThreads();
+  int Pin = Threads;
+  if (Pin <= 0)
+    Pin = static_cast<int>(std::thread::hardware_concurrency());
+  if (Pin <= 0)
+    Pin = Ambient; // no concurrency info: freeze the pool as-is
+  Executor.pinKernelThreads(Pin);
+  struct RestorePool {
+    const NativeExecutor &Executor;
+    int Threads;
+    ~RestorePool() { Executor.pinKernelThreads(Threads); }
+  } Restore{Executor, Ambient};
+
+  KernelTiming Timing;
+  // Read back rather than echo the request: a kernel built without
+  // OpenMP ignores the pin and stays at 1.
+  Timing.ThreadsUsed = Executor.kernelMaxThreads();
+
   Grid<T> Pristine(Problem.Extents, Radius);
   fillGridDeterministic(Pristine, 42);
   Grid<T> Buf0 = Pristine, Buf1 = Pristine;
-
   double Best = std::numeric_limits<double>::infinity();
-  for (int Rep = 0; Rep < std::max(1, Repeats); ++Rep) {
+  for (int Rep = -1; Rep < std::max(1, Repeats); ++Rep) {
     copyGrid(Pristine, Buf0);
     copyGrid(Pristine, Buf1);
     auto Start = std::chrono::steady_clock::now();
@@ -58,14 +78,24 @@ double timeKernel(const NativeExecutor &Executor, const ProblemSize &Problem,
     double Seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - Start)
                          .count();
-    if (Rc != 0)
-      return -1;
+    if (Rc != 0) {
+      Timing.Rc = Rc;
+      return Timing;
+    }
+    if (Rep < 0)
+      continue; // warmup run: correct but untimed
     Best = std::min(Best, Seconds);
   }
-  return Best;
+  Timing.Seconds = std::max(Best, MinMeasurableSeconds);
+  return Timing;
 }
 
-} // namespace
+template KernelTiming timeNativeKernel<float>(const NativeExecutor &,
+                                              const ProblemSize &, int, int,
+                                              int);
+template KernelTiming timeNativeKernel<double>(const NativeExecutor &,
+                                               const ProblemSize &, int, int,
+                                               int);
 
 std::vector<MeasuredResult>
 nativeMeasuredSweep(const StencilProgram &Program,
@@ -116,25 +146,35 @@ nativeMeasuredSweep(const StencilProgram &Program,
   double FlopsPerCell =
       static_cast<double>(Program.flopsPerCell().total());
   for (std::size_t I = 0; I < Candidates.size(); ++I) {
-    if (!Executors[I] || !Executors[I]->ok())
+    if (!Executors[I] || !Executors[I]->ok()) {
+      // Not an infeasible configuration: record why the kernel never ran
+      // so the tuner can surface compile failures distinctly.
+      Results[I].FailureReason =
+          Executors[I] ? Executors[I]->error() : "kernel was never built";
       continue;
+    }
     assert(Candidates[I].ProblemIndex < Problems.size() &&
            "candidate addresses a problem size outside the sweep");
     const ProblemSize &Problem = Problems[Candidates[I].ProblemIndex];
-    double Seconds =
+    KernelTiming Timing =
         Program.elemType() == ScalarType::Float
-            ? timeKernel<float>(*Executors[I], Problem, Program.radius(),
-                                Options.Repeats)
-            : timeKernel<double>(*Executors[I], Problem, Program.radius(),
-                                 Options.Repeats);
-    if (Seconds <= 0)
+            ? timeNativeKernel<float>(*Executors[I], Problem,
+                                      Program.radius(), Options.Repeats,
+                                      Options.Runtime.Threads)
+            : timeNativeKernel<double>(*Executors[I], Problem,
+                                       Program.radius(), Options.Repeats,
+                                       Options.Runtime.Threads);
+    if (Timing.Rc != 0) {
+      Results[I].FailureReason = "kernel rejected the run (code " +
+                                 std::to_string(Timing.Rc) + ")";
       continue;
+    }
     MeasuredResult &Out = Results[I];
     Out.Feasible = true;
-    Out.MeasuredTimeSeconds = Seconds;
+    Out.MeasuredTimeSeconds = Timing.Seconds;
     double CellUpdates = static_cast<double>(Problem.cellCount()) *
                          static_cast<double>(Problem.TimeSteps);
-    Out.MeasuredGflops = FlopsPerCell * CellUpdates / Seconds / 1e9;
+    Out.MeasuredGflops = FlopsPerCell * CellUpdates / Timing.Seconds / 1e9;
   }
   return Results;
 }

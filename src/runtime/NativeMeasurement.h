@@ -34,7 +34,10 @@ namespace an5d {
 /// Knobs of the native measured sweep.
 struct NativeMeasureOptions {
   /// Compile/cache/load pipeline settings (cache dir, compiler, kernel
-  /// threads). Threads == 0 lets each kernel use the full OpenMP default.
+  /// threads). Runtime.Threads is the timed kernels' OpenMP pool size
+  /// (an5dc --measure-threads); 0 pins each kernel to the machine's
+  /// hardware concurrency instead of floating with the ambient
+  /// OMP_NUM_THREADS.
   NativeRuntimeOptions Runtime;
 
   /// Worker threads for the parallel compile stage; 0 resolves like the
@@ -42,7 +45,9 @@ struct NativeMeasureOptions {
   int CompileThreads = 0;
 
   /// Timed repetitions per candidate; the fastest is kept (compensates
-  /// for scheduler noise on a busy host).
+  /// for scheduler noise on a busy host). Every candidate additionally
+  /// runs one untimed warmup before the timed repeats (an5dc
+  /// --measure-repeats sets the timed count).
   int Repeats = 2;
 };
 
@@ -51,13 +56,50 @@ struct NativeMeasureOptions {
 /// per candidate here).
 ProblemSize nativeMeasurementProblem(int NumDims);
 
+/// One kernel timing: the run status is separate from the wall-clock
+/// value, so a rejected run (Rc != 0) cannot be confused with a
+/// degenerate zero-length measurement.
+struct KernelTiming {
+  int Rc = 0;          ///< an5d_run status; non-zero means the kernel
+                       ///< rejected the run and Seconds is meaningless.
+  double Seconds = 0;  ///< Best wall clock over the timed repeats, clamped
+                       ///< to >= MinMeasurableSeconds.
+  int ThreadsUsed = 0; ///< Pool size the timed runs executed with (1 for
+                       ///< kernels built without OpenMP); the ambient
+                       ///< pool size is restored before returning.
+};
+
+/// Floor for a timed run: anything faster than this is below what a
+/// steady_clock round-trip resolves reliably, so GFLOP/s derived from it
+/// would be noise (or a division by zero on a coarse clock). 100ns.
+constexpr double MinMeasurableSeconds = 1e-7;
+
+/// The measurement protocol shared by the sweep and `an5dc --run-native`:
+/// pins the kernel's OpenMP pool (\p Threads; 0 = hardware concurrency)
+/// and restores the previous pool size on exit, fills pristine double
+/// buffers, runs one untimed warmup, then keeps the fastest of \p Repeats
+/// timed `an5d_run` invocations. T must match the kernel's element type.
+template <typename T>
+KernelTiming timeNativeKernel(const NativeExecutor &Executor,
+                              const ProblemSize &Problem, int Radius,
+                              int Repeats, int Threads);
+
+extern template KernelTiming
+timeNativeKernel<float>(const NativeExecutor &, const ProblemSize &, int,
+                        int, int);
+extern template KernelTiming
+timeNativeKernel<double>(const NativeExecutor &, const ProblemSize &, int,
+                         int, int);
+
 /// Runs every candidate through a compiled kernel: compilation in
 /// parallel across \p Options.CompileThreads workers (deduplicated by the
 /// kernel cache — candidates differing only in RegisterCap share one
 /// artifact), timing serially in candidate order. Results are indexed
 /// exactly like \p Candidates; infeasible or failed-to-build candidates
-/// come back with Feasible == false. \p Cache may be null (a private
-/// cache over Options.Runtime.CacheDir is used).
+/// come back with Feasible == false, and candidates whose kernel failed
+/// to build or rejected the run carry the reason in
+/// MeasuredResult::FailureReason. \p Cache may be null (a private cache
+/// over Options.Runtime.CacheDir is used).
 std::vector<MeasuredResult>
 nativeMeasuredSweep(const StencilProgram &Program,
                     const std::vector<SweepCandidate> &Candidates,

@@ -145,12 +145,11 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
                           const TuneOptions &Options) const {
   std::vector<TuneOutcome> Outcomes(Problems.size());
 
-  // The native backend times real CPU kernels: register caps are a CUDA
-  // knob the kernel source does not encode, so cap variants would rebuild
-  // and re-time identical kernels. 1D stencils have no C++ kernel backend
-  // yet and stay on the simulator.
-  bool UseNative = Options.Backend == MeasurementBackend::Native &&
-                   Program.numDims() >= 2;
+  // The native backend times real CPU kernels (all dimensionalities —
+  // 1D streams through the chunk-parallel kernel): register caps are a
+  // CUDA knob the kernel source does not encode, so cap variants would
+  // rebuild and re-time identical kernels.
+  bool UseNative = Options.Backend == MeasurementBackend::Native;
   static const std::vector<int> NativeCaps = {0};
   const std::vector<int> &Caps =
       UseNative ? NativeCaps : Options.RegisterCaps;
@@ -186,9 +185,18 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
                                         Options.Threads);
   for (std::size_t I = 0; I < Candidates.size(); ++I) {
     const MeasuredResult &Measured = Results[I];
-    if (!Measured.Feasible)
-      continue;
     TuneOutcome &Outcome = Outcomes[Candidates[I].ProblemIndex];
+    if (!Measured.Feasible) {
+      // Candidates the backend could not run at all (compile/load
+      // failure, rejected run) are counted separately from genuinely
+      // infeasible ones so the caller can warn about a broken toolchain.
+      if (!Measured.FailureReason.empty()) {
+        ++Outcome.MeasurementFailures;
+        if (Outcome.FirstFailureReason.empty())
+          Outcome.FirstFailureReason = Measured.FailureReason;
+      }
+      continue;
+    }
     if (!Outcome.Feasible ||
         Measured.MeasuredGflops > Outcome.BestMeasured.MeasuredGflops) {
       Outcome.Feasible = true;

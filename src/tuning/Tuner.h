@@ -61,6 +61,15 @@ struct TuneOutcome {
   BlockConfig Best;            ///< Includes the chosen register cap.
   MeasuredResult BestMeasured; ///< Simulated "Tuned" performance.
   std::vector<RankedConfig> TopByModel;
+
+  /// Sweep candidates whose measurement failed outright (native backend:
+  /// kernel did not compile/load or rejected the run) — distinct from
+  /// model-infeasible candidates, which are silently pruned. A non-zero
+  /// count with Feasible == false usually means a broken host toolchain,
+  /// not an untunable stencil; an5dc surfaces it on stderr.
+  std::size_t MeasurementFailures = 0;
+  std::string FirstFailureReason; ///< Representative failure (e.g. the
+                                  ///< compiler log of the first one).
 };
 
 /// Knobs of the Section 6.3 search.
@@ -83,8 +92,9 @@ struct TuneOptions {
 
   /// Measurement source of stage 2. With Native, register caps collapse
   /// to {0} — -maxrregcount is a CUDA knob with no CPU analogue, so cap
-  /// variants would compile and time the same kernel repeatedly. 1D
-  /// stencils fall back to Simulated (the C++ kernel backend is 2D/3D).
+  /// variants would compile and time the same kernel repeatedly. All
+  /// dimensionalities run real kernels (1D streams through the
+  /// chunk-parallel kernel).
   MeasurementBackend Backend = MeasurementBackend::Simulated;
 
   /// Compile/cache/timing knobs of the Native backend.

@@ -282,9 +282,115 @@ TEST(CliTool, TuneWithNativeMeasurement) {
       << Output;
 }
 
-TEST(CliTool, NativeFlagsRejectedFor1dStencils) {
-  auto [Code, Output] =
-      runCommand(an5dc() + " --benchmark star1d1r --run-native");
+TEST(CliTool, VerifyNative1dMatchesReference) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j1d3pt --bt 3 --hs 16 --kernel-cache " +
+      sharedKernelCache() + " --verify-native");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("native == reference (bitwise)"), std::string::npos)
+      << Output;
+}
+
+TEST(CliTool, RunNative1dReportsThroughput) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j1d3pt --bt 3 --hs 16 --kernel-cache " +
+      sharedKernelCache() + " --run-native");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("GFLOP/s"), std::string::npos) << Output;
+  EXPECT_NE(Output.find("bS=-"), std::string::npos)
+      << "1D configs print the pure-streaming shape";
+}
+
+TEST(CliTool, EmitOmp1dWritesKernelLibrary) {
+  std::string Dir = ::testing::TempDir() + "/an5dc_omp1d_out";
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark star1d1r --bt 2 --hs 32 --emit-omp " + Dir);
+  EXPECT_EQ(Code, 0) << Output;
+  std::ifstream Kernel(Dir + "/star1d1r_omp.cpp");
+  ASSERT_TRUE(Kernel.good()) << Output;
+  std::string Text((std::istreambuf_iterator<char>(Kernel)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(Text.find("int an5d_run("), std::string::npos);
+  EXPECT_NE(Text.find("#pragma omp"), std::string::npos);
+  EXPECT_NE(Text.find("size_t pidx(long long i)"), std::string::npos)
+      << "1D kernels index a single dimension";
+  EXPECT_EQ(Text.find("BS1"), std::string::npos)
+      << "1D kernels have no blocked dimensions";
+}
+
+TEST(CliTool, TuneWithNativeMeasurement1d) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark star1d1r --tune --measure native "
+                "--tune-topk 2 --measure-repeats 1 --kernel-cache " +
+      sharedKernelCache() + " --verify-native");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("tuned: bT="), std::string::npos) << Output;
+  EXPECT_NE(Output.find("measured on host CPU"), std::string::npos)
+      << Output;
+  EXPECT_NE(Output.find("native == reference (bitwise)"), std::string::npos)
+      << Output;
+  EXPECT_EQ(Output.find("simulator"), std::string::npos)
+      << "1D native tuning must not fall back to the simulator";
+}
+
+TEST(CliTool, BrokenCompilerSurfacesFailureCountNotInfeasible) {
+  // AN5D_CXX overrides the host compiler the native runtime shells out
+  // to; a broken one must produce the failure warning with a cause, not
+  // a bare "no feasible config".
+  auto [Code, Output] = runCommand(
+      "AN5D_CXX=/nonexistent/an5d-cxx " + an5dc() +
+      " --benchmark j1d3pt --tune --measure native --tune-topk 2");
   EXPECT_NE(Code, 0);
-  EXPECT_NE(Output.find("1D"), std::string::npos);
+  EXPECT_NE(Output.find("failed to compile or run"), std::string::npos)
+      << Output;
+  EXPECT_NE(Output.find("not available"), std::string::npos)
+      << "the warning must carry the failure cause";
+}
+
+TEST(CliTool, CudaEmissionStillRejectedFor1dStencils) {
+  std::string Dir = ::testing::TempDir() + "/an5dc_cuda1d_out";
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark star1d1r --bt 2 --hs 32 --emit-cuda " + Dir);
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("CUDA code generation for 1D"), std::string::npos);
+}
+
+TEST(CliTool, MeasureThreadsAppliesToRunNative) {
+  // The flag is not tune-only: a standalone --run-native must pin the
+  // kernel's OpenMP pool to the requested size.
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j1d3pt --bt 3 --hs 16 --measure-threads 2 "
+                "--kernel-cache " +
+      sharedKernelCache() + " --run-native");
+  EXPECT_EQ(Code, 0) << Output;
+  if (Output.find("on 1 thread(s)") != std::string::npos)
+    GTEST_SKIP() << "kernel built without OpenMP (serial fallback): the "
+                    "pool size cannot be observed";
+  EXPECT_NE(Output.find("on 2 thread(s)"), std::string::npos) << Output;
+}
+
+TEST(CliTool, MeasureRepeatsAppliesToRunNative) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j1d3pt --bt 3 --hs 16 --measure-repeats 3 "
+                "--kernel-cache " +
+      sharedKernelCache() + " --run-native");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("(best of 3)"), std::string::npos) << Output;
+}
+
+TEST(CliTool, NonNumericMeasureThreadsRejected) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d5pt --tune --measure native "
+                "--measure-threads many");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("invalid value 'many' for --measure-threads"),
+            std::string::npos);
+}
+
+TEST(CliTool, ZeroMeasureRepeatsRejected) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d5pt --tune --measure native "
+                "--measure-repeats 0");
+  EXPECT_NE(Code, 0);
+  EXPECT_NE(Output.find("for --measure-repeats"), std::string::npos);
 }

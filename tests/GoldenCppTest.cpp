@@ -92,6 +92,31 @@ TEST(GoldenCpp, Star3d1rDoubleCheckProgram) {
                          "star3d1r check program");
 }
 
+TEST(GoldenCpp, Star1d1rCheckProgram) {
+  auto P = makeStarStencil(1, 1, ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS.clear(); // 1D pure streaming: no blocked dimensions
+  C.HS = 8;
+  ProblemSize Problem;
+  Problem.Extents = {95};
+  Problem.TimeSteps = 11;
+  expectEqualWithContext(generateCppCheckProgram(*P, C, Problem),
+                         readGolden("an5d_star1d1r_check.cpp.golden"),
+                         "star1d1r check program");
+}
+
+TEST(GoldenCpp, Star1d1rKernelLibrary) {
+  auto P = makeStarStencil(1, 1, ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS.clear();
+  C.HS = 128;
+  expectEqualWithContext(generateCppKernelLibrary(*P, C),
+                         readGolden("an5d_star1d1r_omp.cpp.golden"),
+                         "star1d1r kernel library");
+}
+
 TEST(GoldenCpp, J2d5ptKernelLibrary) {
   auto P = makeJacobi2d5pt(ScalarType::Float);
   BlockConfig C;

@@ -7,7 +7,8 @@
 /// Exercises the compile/cache/load/execute pipeline of src/runtime/:
 ///
 ///  * NativeExecutor vs ReferenceExecutor bit-for-bit on **every** built-in
-///    2D/3D benchmark (the acceptance contract of the native backend);
+///    benchmark — 1D (pure streaming, chunk-parallel), 2D and 3D — the
+///    acceptance contract of the native backend;
 ///  * KernelCache hit/miss behavior, persistence across cache objects,
 ///    force-recompile, and failure accounting;
 ///  * NativeCompiler detection and failure reporting;
@@ -69,7 +70,10 @@ BlockConfig testConfig(const StencilProgram &Program) {
   int Rad = Program.radius();
   BlockConfig Config;
   Config.BT = 2;
-  if (Program.numDims() == 2) {
+  if (Program.numDims() == 1) {
+    Config.BS.clear(); // pure streaming: no blocked dimensions
+    Config.HS = 7;
+  } else if (Program.numDims() == 2) {
     Config.BS = {4 * Rad + 8};
     Config.HS = 7;
   } else {
@@ -90,8 +94,9 @@ void expectNativeMatchesReference(const StencilProgram &Program,
   ASSERT_TRUE(Executor.ok()) << Executor.error();
 
   std::vector<long long> Extents =
-      Program.numDims() == 2 ? std::vector<long long>{23, 19}
-                             : std::vector<long long>{13, 11, 10};
+      Program.numDims() == 1   ? std::vector<long long>{53}
+      : Program.numDims() == 2 ? std::vector<long long>{23, 19}
+                               : std::vector<long long>{13, 11, 10};
   Grid<T> Ref0(Extents, Program.radius()), Ref1(Extents, Program.radius());
   fillGridDeterministic(Ref0, 33);
   copyGrid(Ref0, Ref1);
@@ -106,14 +111,12 @@ void expectNativeMatchesReference(const StencilProgram &Program,
       << Program.name() << " native result differs from the reference";
 }
 
-/// Every built-in benchmark the C++ kernel backend supports (2D and 3D).
+/// Every built-in benchmark: the Table 3 2D/3D set plus the extra 1D
+/// stencils — the C++ kernel backend supports all of them.
 std::vector<std::string> nativeBackendBenchmarks() {
-  std::vector<std::string> Names;
-  for (const std::string &Name : benchmarkStencilNames()) {
-    auto P = makeBenchmarkStencil(Name, ScalarType::Float);
-    if (P && P->numDims() >= 2)
-      Names.push_back(Name);
-  }
+  std::vector<std::string> Names = benchmarkStencilNames();
+  for (const std::string &Name : extraStencilNames())
+    Names.push_back(Name);
   return Names;
 }
 
@@ -182,6 +185,33 @@ TEST(NativeRuntime, HighDegreeMatches) {
   expectNativeMatchesReference<float>(*Program, Config, 13);
 }
 
+TEST(NativeRuntime, OneDimensionalStreamingVariantsMatch) {
+  // The 1D kernel parallelizes over hS chunks; hS=0 degenerates to one
+  // chunk (serial), and an hS longer than the extent is also one chunk.
+  auto Program = makeBenchmarkStencil("star1d2r", ScalarType::Float);
+  ASSERT_NE(Program, nullptr);
+  BlockConfig Config = testConfig(*Program);
+  Config.HS = 0;
+  expectNativeMatchesReference<float>(*Program, Config, 9);
+  Config.HS = 1000;
+  expectNativeMatchesReference<float>(*Program, Config, 9);
+}
+
+TEST(NativeRuntime, OneDimensionalHighDegreeMatches) {
+  auto Program = makeBenchmarkStencil("box1d3r", ScalarType::Float);
+  ASSERT_NE(Program, nullptr);
+  BlockConfig Config;
+  Config.BT = 7; // degree 7, radius 3: 21-plane lag across chunk seams
+  Config.HS = 11;
+  expectNativeMatchesReference<float>(*Program, Config, 13);
+}
+
+TEST(NativeRuntime, OneDimensionalDoublePrecisionMatches) {
+  auto Program = makeBenchmarkStencil("j1d3pt", ScalarType::Double);
+  ASSERT_NE(Program, nullptr);
+  expectNativeMatchesReference<double>(*Program, testConfig(*Program), 9);
+}
+
 //===----------------------------------------------------------------------===//
 // Executor contract
 //===----------------------------------------------------------------------===//
@@ -227,7 +257,7 @@ TEST(NativeRuntime, ReportsKernelMetadata) {
   EXPECT_TRUE(std::filesystem::exists(Executor.libraryPath()));
 }
 
-TEST(NativeRuntime, RejectsUnsupportedDimensionality) {
+TEST(NativeRuntime, OneDimensionalKernelReportsMetadata) {
   auto Program = makeBenchmarkStencil("star1d1r", ScalarType::Float);
   ASSERT_NE(Program, nullptr);
   BlockConfig Config;
@@ -235,8 +265,12 @@ TEST(NativeRuntime, RejectsUnsupportedDimensionality) {
   Config.HS = 16;
   NativeExecutor Executor(*Program, Config,
                           fastBuildOptions(sharedCacheDir()));
-  EXPECT_FALSE(Executor.ok());
-  EXPECT_NE(Executor.error().find("2D and 3D"), std::string::npos);
+  ASSERT_TRUE(Executor.ok()) << Executor.error();
+  EXPECT_GE(Executor.kernelMaxThreads(), 1);
+  // 1D extents arity is enforced like every other dimensionality.
+  std::vector<float> Buf(16, 0.0f);
+  long long Extents2[2] = {9, 8};
+  EXPECT_EQ(Executor.runRaw(Buf.data(), Buf.data(), Extents2, 2, 1), -1);
 }
 
 TEST(NativeRuntime, RejectsInfeasibleConfiguration) {
@@ -389,10 +423,10 @@ TEST(NativeMeasurement, SweepTimesRealKernelsAndDeduplicatesCaps) {
   KernelCache Cache(Dir);
   NativeMeasureOptions Options;
   Options.Runtime = fastBuildOptions(Dir);
-  // Serial compile stage: the second candidate must deterministically hit
-  // the artifact the first one built (parallel builders of one key race
-  // benignly but would double the miss count).
-  Options.CompileThreads = 1;
+  // Parallel compile stage on purpose: same-key builds serialize inside
+  // KernelCache, so even concurrent builders must produce exactly one
+  // compile (miss) and one wait-then-hit.
+  Options.CompileThreads = 2;
   Options.Repeats = 1;
   std::vector<MeasuredResult> Results =
       nativeMeasuredSweep(*Program, Candidates, Problems, Options, &Cache);
@@ -428,14 +462,88 @@ TEST(NativeMeasurement, TunerNativeBackendPicksAMeasuredConfig) {
       << "native backend collapses register caps";
 }
 
-TEST(NativeMeasurement, OneDimensionalFallsBackToSimulator) {
+TEST(NativeMeasurement, OneDimensionalTunesThroughRealKernels) {
+  // 1D no longer falls back to the simulator: the tuner compiles and
+  // times real streaming kernels, so the outcome carries a wall-clock
+  // measurement and a cap-normalized configuration.
   auto Program = makeBenchmarkStencil("star1d1r", ScalarType::Float);
   Tuner T(GpuSpec::teslaV100());
   TuneOptions Options;
   Options.Backend = MeasurementBackend::Native;
   Options.TopK = 2;
+  Options.Native.Runtime = fastBuildOptions(sharedCacheDir());
+  Options.Native.Repeats = 1;
+  ProblemSize Problem = nativeMeasurementProblem(1);
+  Problem.Extents = {4096};
+  Problem.TimeSteps = 8;
+  TuneOutcome Outcome = T.tune(*Program, Problem, Options);
+  ASSERT_TRUE(Outcome.Feasible);
+  EXPECT_GT(Outcome.BestMeasured.MeasuredGflops, 0.0);
+  EXPECT_GT(Outcome.BestMeasured.MeasuredTimeSeconds, 0.0);
+  EXPECT_EQ(Outcome.Best.RegisterCap, 0);
+  EXPECT_EQ(Outcome.MeasurementFailures, 0u);
+  EXPECT_TRUE(Outcome.Best.BS.empty())
+      << "1D native tuning must keep the pure-streaming shape";
+}
+
+TEST(NativeMeasurement, SweepRecordsPerCandidateFailureReasons) {
+  // A broken host compiler must not masquerade as "infeasible": every
+  // candidate records why its kernel never ran.
+  auto Program = makeBenchmarkStencil("j2d5pt", ScalarType::Float);
+  std::vector<SweepCandidate> Candidates(2);
+  Candidates[0].Config = testConfig(*Program);
+  Candidates[1].Config = testConfig(*Program);
+  Candidates[1].Config.BT = 3;
+  std::vector<ProblemSize> Problems = {nativeMeasurementProblem(2)};
+  NativeMeasureOptions Options;
+  Options.Runtime = fastBuildOptions(freshCacheDir("failreason"));
+  Options.Runtime.Compiler = "/nonexistent/an5d-cxx";
+  Options.CompileThreads = 1;
+  std::vector<MeasuredResult> Results =
+      nativeMeasuredSweep(*Program, Candidates, Problems, Options);
+  ASSERT_EQ(Results.size(), 2u);
+  for (const MeasuredResult &Result : Results) {
+    EXPECT_FALSE(Result.Feasible);
+    EXPECT_NE(Result.FailureReason.find("not available"),
+              std::string::npos)
+        << Result.FailureReason;
+  }
+}
+
+TEST(NativeMeasurement, TunerCountsCompileFailures) {
+  auto Program = makeBenchmarkStencil("star1d1r", ScalarType::Float);
+  Tuner T(GpuSpec::teslaV100());
+  TuneOptions Options;
+  Options.Backend = MeasurementBackend::Native;
+  Options.TopK = 2;
+  Options.Native.Runtime = fastBuildOptions(sharedCacheDir());
+  Options.Native.Runtime.Compiler = "/nonexistent/an5d-cxx";
   TuneOutcome Outcome =
-      T.tune(*Program, ProblemSize::paperDefault(1), Options);
-  EXPECT_TRUE(Outcome.Feasible)
-      << "1D must still tune (simulated fallback)";
+      T.tune(*Program, nativeMeasurementProblem(1), Options);
+  EXPECT_FALSE(Outcome.Feasible);
+  EXPECT_EQ(Outcome.MeasurementFailures, Options.TopK)
+      << "every candidate kernel should fail on the broken compiler";
+  EXPECT_NE(Outcome.FirstFailureReason.find("not available"),
+            std::string::npos)
+      << Outcome.FirstFailureReason;
+}
+
+TEST(NativeMeasurement, TimingsAreClampedToResolvableDurations) {
+  // A degenerate problem (4 cells, 1 step) can complete faster than the
+  // clock resolves; the sweep must still report a usable positive time
+  // rather than zero or infinite GFLOP/s.
+  auto Program = makeBenchmarkStencil("star1d1r", ScalarType::Float);
+  std::vector<SweepCandidate> Candidates(1);
+  Candidates[0].Config = testConfig(*Program);
+  std::vector<ProblemSize> Problems(1);
+  Problems[0].Extents = {4};
+  Problems[0].TimeSteps = 1;
+  NativeMeasureOptions Options;
+  Options.Runtime = fastBuildOptions(sharedCacheDir());
+  Options.Repeats = 1;
+  std::vector<MeasuredResult> Results =
+      nativeMeasuredSweep(*Program, Candidates, Problems, Options);
+  ASSERT_EQ(Results.size(), 1u);
+  ASSERT_TRUE(Results[0].Feasible) << Results[0].FailureReason;
+  EXPECT_GE(Results[0].MeasuredTimeSeconds, 1e-7);
 }

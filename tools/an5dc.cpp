@@ -28,6 +28,13 @@
 ///                        8 with --measure native)
 ///   --measure SOURCE     measured-sweep source: simulated (default) or
 ///                        native (JIT-compiled OpenMP kernels on this CPU)
+///   --measure-threads N  OpenMP threads per timed native kernel — applies
+///                        to the --tune --measure native sweep and to
+///                        --run-native (0 = the tune sweep pins to this
+///                        machine's hardware concurrency)
+///   --measure-repeats N  timed repetitions, best kept (>= 1) — applies
+///                        to the tune sweep (plus one untimed warmup)
+///                        and to --run-native
 ///   --print-stencil      show the detected stencil and classification
 ///   --print-model        show the roofline breakdown for the configuration
 ///   --emit-cuda DIR      write <kernel>.cu and <kernel>_host.cpp to DIR
@@ -57,8 +64,8 @@
 #include "transforms/ExprSimplify.h"
 #include "tuning/Tuner.h"
 
+#include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -85,6 +92,8 @@ struct CliOptions {
   bool Tune = false;
   TuneOptions Tuning;
   bool TopKSet = false;
+  int MeasureThreads = -1; ///< --measure-threads; -1 = not set
+  int MeasureRepeats = 0;  ///< --measure-repeats; 0 = not set
   bool PrintStencil = false;
   bool PrintModel = false;
   bool Report = false;
@@ -110,6 +119,7 @@ void printUsage() {
       "  --name NAME --type float|double --device v100|p100\n"
       "  --bt N --bs N[,N] --hs N --regs N | --tune\n"
       "  --tune-threads N --tune-topk N --measure simulated|native\n"
+      "  --measure-threads N --measure-repeats N\n"
       "  --print-stencil --print-model --report --verify\n"
       "  --verify-native --run-native --kernel-cache DIR\n"
       "  --simplify --div-to-mul\n"
@@ -243,6 +253,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
                      V);
         return false;
       }
+    } else if (Arg == "--measure-threads") {
+      const char *V = Next();
+      if (!V ||
+          !parseIntValue("--measure-threads", V, 0, Options.MeasureThreads))
+        return false;
+    } else if (Arg == "--measure-repeats") {
+      const char *V = Next();
+      if (!V ||
+          !parseIntValue("--measure-repeats", V, 1, Options.MeasureRepeats))
+        return false;
     } else if (Arg == "--kernel-cache") {
       const char *V = Next();
       if (!V)
@@ -351,9 +371,10 @@ bool verifyNativeKernel(const StencilProgram &Program,
     std::fprintf(stderr, "an5dc: %s\n", Executor.error().c_str());
     return false;
   }
-  std::vector<long long> Extents = Program.numDims() == 2
-                                       ? std::vector<long long>{97, 89}
-                                       : std::vector<long long>{33, 29, 27};
+  std::vector<long long> Extents =
+      Program.numDims() == 1   ? std::vector<long long>{193}
+      : Program.numDims() == 2 ? std::vector<long long>{97, 89}
+                               : std::vector<long long>{33, 29, 27};
   long long Steps = 9;
   Grid<T> Ref0(Extents, Program.radius()), Ref1(Extents, Program.radius());
   fillGridDeterministic(Ref0, 77);
@@ -368,9 +389,10 @@ bool verifyNativeKernel(const StencilProgram &Program,
 
 /// Compiles (or fetches), loads and times the native kernel on the
 /// CPU-sized measurement problem; prints throughput and cache behavior.
+/// \p Repeats > 1 keeps the fastest run (--measure-repeats).
 template <typename T>
 bool runNativeTimed(const StencilProgram &Program, const BlockConfig &Config,
-                    const NativeRuntimeOptions &NativeOpts) {
+                    const NativeRuntimeOptions &NativeOpts, int Repeats) {
   NativeExecutor Executor(Program, Config, NativeOpts);
   if (!Executor.ok()) {
     std::fprintf(stderr, "an5dc: %s\n", Executor.error().c_str());
@@ -383,24 +405,24 @@ bool runNativeTimed(const StencilProgram &Program, const BlockConfig &Config,
                 Executor.compileSeconds(), Executor.libraryPath().c_str());
 
   ProblemSize Problem = nativeMeasurementProblem(Program.numDims());
-  Grid<T> Buf0(Problem.Extents, Program.radius()),
-      Buf1(Problem.Extents, Program.radius());
-  fillGridDeterministic(Buf0, 42);
-  copyGrid(Buf0, Buf1);
-  auto Start = std::chrono::steady_clock::now();
-  Executor.run<T>({&Buf0, &Buf1}, Problem.TimeSteps);
-  double Seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - Start)
-                       .count();
+  Repeats = std::max(1, Repeats);
+  // The same warmup/pin/best-of/clamp protocol the tune sweep uses, so
+  // --run-native numbers are directly comparable to --measure native.
+  KernelTiming Timing = timeNativeKernel<T>(
+      Executor, Problem, Program.radius(), Repeats, NativeOpts.Threads);
+  if (Timing.Rc != 0) {
+    std::fprintf(stderr, "an5dc: native kernel rejected the run (code %d)\n",
+                 Timing.Rc);
+    return false;
+  }
   double CellUpdates = static_cast<double>(Problem.cellCount()) *
                        static_cast<double>(Problem.TimeSteps);
-  double Gflops = Seconds > 0
-                      ? static_cast<double>(Program.flopsPerCell().total()) *
-                            CellUpdates / Seconds / 1e9
-                      : 0;
-  std::printf("native run (%s, %s): %.3f s, %.2f GFLOP/s on %d thread(s)\n",
-              Config.toString().c_str(), Problem.toString().c_str(), Seconds,
-              Gflops, Executor.kernelMaxThreads());
+  double Gflops = static_cast<double>(Program.flopsPerCell().total()) *
+                  CellUpdates / Timing.Seconds / 1e9;
+  std::printf("native run (%s, %s): %.3f s (best of %d), %.2f GFLOP/s on "
+              "%d thread(s)\n",
+              Config.toString().c_str(), Problem.toString().c_str(),
+              Timing.Seconds, Repeats, Gflops, Timing.ThreadsUsed);
   return true;
 }
 
@@ -495,12 +517,14 @@ int main(int Argc, char **Argv) {
       Options.UseP100 ? GpuSpec::teslaP100() : GpuSpec::teslaV100();
   ProblemSize Problem = ProblemSize::paperDefault(Program->numDims());
 
+  // A thread request applies to every native-kernel run this invocation
+  // makes (--run-native, --verify-native, and — via the Runtime copy
+  // below — the measured tune sweep).
+  if (Options.MeasureThreads > 0)
+    Options.NativeOpts.Threads = Options.MeasureThreads;
+
   bool NativeMeasure =
-      Options.Tuning.Backend == MeasurementBackend::Native &&
-      Program->numDims() > 1;
-  if (Options.Tuning.Backend == MeasurementBackend::Native && !NativeMeasure)
-    std::fprintf(stderr, "an5dc: note: no native backend for 1D stencils; "
-                         "measuring with the simulator\n");
+      Options.Tuning.Backend == MeasurementBackend::Native;
 
   // Configuration: manual, tuned, or a sensible default.
   BlockConfig Config;
@@ -516,9 +540,27 @@ int main(int Argc, char **Argv) {
       if (!Options.TopKSet)
         Options.Tuning.TopK = 8;
       Options.Tuning.Native.Runtime = Options.NativeOpts;
+      if (Options.MeasureRepeats > 0)
+        Options.Tuning.Native.Repeats = Options.MeasureRepeats;
     }
     Tuner T(Spec);
     TuneOutcome Outcome = T.tune(*Program, TuneProblem, Options.Tuning);
+    if (Outcome.MeasurementFailures > 0) {
+      // Distinct from "infeasible": these candidates never produced a
+      // measurement (usually a broken host compiler, not a bad config).
+      // Flatten the reason — compile failures span several lines and the
+      // first one alone is a contentless "kernel build failed:" header.
+      std::string Reason = Outcome.FirstFailureReason.substr(0, 300);
+      for (char &C : Reason)
+        if (C == '\n')
+          C = ' ';
+      if (Outcome.FirstFailureReason.size() > 300)
+        Reason += "...";
+      std::fprintf(stderr,
+                   "an5dc: warning: %zu candidate kernel(s) failed to "
+                   "compile or run (first: %s)\n",
+                   Outcome.MeasurementFailures, Reason.c_str());
+    }
     if (!Outcome.Feasible) {
       std::fprintf(stderr, "an5dc: tuning found no feasible config\n");
       return 1;
@@ -577,14 +619,12 @@ int main(int Argc, char **Argv) {
   }
 
   if (Program->numDims() == 1 &&
-      (!Options.EmitCudaDir.empty() || !Options.EmitCheckDir.empty() ||
-       !Options.EmitOmpDir.empty() || !Options.EmitLoopTilingDir.empty() ||
-       Options.RunNative || Options.VerifyNative)) {
-    // The model/tuner/emulator stack handles 1D (pure streaming), but the
-    // code generators only know the 2D/3D kernel shapes so far.
+      (!Options.EmitCudaDir.empty() || !Options.EmitLoopTilingDir.empty())) {
+    // The C++ backend (check program, kernel library, native runtime)
+    // handles 1D; the CUDA generators only know the 2D/3D kernel shapes.
     std::fprintf(stderr,
-                 "an5dc: code generation for 1D stencils is not supported "
-                 "yet (model, tuner and --verify are)\n");
+                 "an5dc: CUDA code generation for 1D stencils is not "
+                 "supported yet (the C++/native backend is)\n");
     return 1;
   }
 
@@ -611,7 +651,9 @@ int main(int Argc, char **Argv) {
     std::filesystem::create_directories(Options.EmitCheckDir);
     BlockConfig Small = verificationConfig(*Program, Config);
     ProblemSize CheckSize;
-    CheckSize.Extents = Program->numDims() == 2
+    CheckSize.Extents = Program->numDims() == 1
+                            ? std::vector<long long>{95}
+                        : Program->numDims() == 2
                             ? std::vector<long long>{40, 37}
                             : std::vector<long long>{14, 12, 11};
     CheckSize.TimeSteps = 11;
@@ -634,9 +676,11 @@ int main(int Argc, char **Argv) {
   if (Options.RunNative) {
     bool Ok = Program->elemType() == ScalarType::Float
                   ? runNativeTimed<float>(*Program, Config,
-                                          Options.NativeOpts)
+                                          Options.NativeOpts,
+                                          Options.MeasureRepeats)
                   : runNativeTimed<double>(*Program, Config,
-                                           Options.NativeOpts);
+                                           Options.NativeOpts,
+                                           Options.MeasureRepeats);
     if (!Ok)
       return 1;
   }
