@@ -1,0 +1,397 @@
+//===- KernelLint.cpp - Structural linter for emitted kernels -------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelLint.h"
+
+#include "codegen/CppCodegen.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace an5d;
+
+namespace {
+
+/// 1-based line of byte offset \p Pos in \p Text.
+int lineOf(const std::string &Text, size_t Pos) {
+  int Line = 1;
+  for (size_t I = 0; I < Pos && I < Text.size(); ++I)
+    if (Text[I] == '\n')
+      ++Line;
+  return Line;
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Finds \p Token in \p Text at a non-identifier boundary on both sides.
+size_t findToken(const std::string &Text, const std::string &Token,
+                 size_t From = 0) {
+  for (size_t Pos = Text.find(Token, From); Pos != std::string::npos;
+       Pos = Text.find(Token, Pos + 1)) {
+    const bool LeftOk = Pos == 0 || !isIdentChar(Text[Pos - 1]);
+    const size_t End = Pos + Token.size();
+    const bool RightOk = End >= Text.size() || !isIdentChar(Text[End]);
+    if (LeftOk && RightOk)
+      return Pos;
+  }
+  return std::string::npos;
+}
+
+void addFinding(LintReport &Report, LintRule Rule, int Line,
+                std::string Subject, std::string Message) {
+  LintFinding F;
+  F.Rule = Rule;
+  F.Line = Line;
+  F.Subject = std::move(Subject);
+  F.Message = std::move(Message);
+  Report.Findings.push_back(std::move(F));
+}
+
+/// The `an5d_*` symbols every kernel library must define
+/// (runtime/NativeExecutor.h, CppKernelAbiVersion contract).
+const char *const RequiredAbiSymbols[] = {
+    "an5d_abi_version", "an5d_stencil_name", "an5d_config",
+    "an5d_num_dims",    "an5d_radius",       "an5d_elem_size",
+    "an5d_block_time",  "an5d_max_threads",  "an5d_set_threads",
+    "an5d_run",
+};
+
+/// Process-control and allocation-free-stdio calls that have no place in
+/// any generated TU.
+const char *const BannedEverywhere[] = {"system", "fork", "popen", "rand",
+                                        "srand"};
+
+/// Additionally banned inside a dlopen'd kernel library: nothing a timed,
+/// host-loaded shared object may do to the host process or its stdio.
+const char *const BannedInKernelLibrary[] = {"exit",   "abort", "printf",
+                                             "fprintf", "puts"};
+
+void checkBannedCall(LintReport &Report, const std::string &Stripped,
+                     const std::string &Name, LintTarget Target) {
+  for (size_t Pos = findToken(Stripped, Name); Pos != std::string::npos;
+       Pos = findToken(Stripped, Name, Pos + 1)) {
+    // Only flag calls: the next non-space character must open the
+    // argument list.
+    size_t After = Pos + Name.size();
+    while (After < Stripped.size() &&
+           std::isspace(static_cast<unsigned char>(Stripped[After])))
+      ++After;
+    if (After >= Stripped.size() || Stripped[After] != '(')
+      continue;
+    addFinding(Report, LintRule::BannedCall, lineOf(Stripped, Pos), Name,
+               "call to '" + Name + "' is banned in a " +
+                   lintTargetName(Target) + " translation unit");
+  }
+}
+
+/// Scans \p Stripped for floating-point literals and enforces the
+/// exact-literal policy: float TUs suffix every FP literal with f/F,
+/// double TUs suffix none.
+void checkFloatLiterals(LintReport &Report, const std::string &Stripped,
+                        ScalarType ElemType) {
+  for (size_t I = 0; I < Stripped.size();) {
+    const char C = Stripped[I];
+    const bool StartsNumber =
+        std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && I + 1 < Stripped.size() &&
+         std::isdigit(static_cast<unsigned char>(Stripped[I + 1])));
+    const bool Boundary =
+        I == 0 || (!isIdentChar(Stripped[I - 1]) && Stripped[I - 1] != '.');
+    if (!StartsNumber || !Boundary) {
+      ++I;
+      continue;
+    }
+    const size_t Begin = I;
+    // Hexadecimal (and binary) literals are integers here; skip them.
+    if (C == '0' && I + 1 < Stripped.size() &&
+        (Stripped[I + 1] == 'x' || Stripped[I + 1] == 'X' ||
+         Stripped[I + 1] == 'b' || Stripped[I + 1] == 'B')) {
+      I += 2;
+      while (I < Stripped.size() && (isIdentChar(Stripped[I])))
+        ++I;
+      continue;
+    }
+    bool SawDot = false, SawExponent = false;
+    while (I < Stripped.size()) {
+      const char D = Stripped[I];
+      if (std::isdigit(static_cast<unsigned char>(D)) || D == '\'') {
+        ++I;
+      } else if (D == '.' && !SawDot && !SawExponent) {
+        SawDot = true;
+        ++I;
+      } else if ((D == 'e' || D == 'E') && !SawExponent) {
+        SawExponent = true;
+        ++I;
+        if (I < Stripped.size() &&
+            (Stripped[I] == '+' || Stripped[I] == '-'))
+          ++I;
+      } else {
+        break;
+      }
+    }
+    std::string Suffix;
+    while (I < Stripped.size() && std::isalpha(static_cast<unsigned char>(
+                                      Stripped[I])))
+      Suffix += Stripped[I++];
+    if (!SawDot && !SawExponent)
+      continue; // Integer literal.
+    const bool HasF = Suffix.find('f') != std::string::npos ||
+                      Suffix.find('F') != std::string::npos;
+    const std::string Literal =
+        Stripped.substr(Begin, I - Begin);
+    if (ElemType == ScalarType::Float && !HasF)
+      addFinding(Report, LintRule::FloatLiteralPolicy, lineOf(Stripped, Begin),
+                 Literal,
+                 "unsuffixed literal '" + Literal +
+                     "' in a float translation unit evaluates in double "
+                     "precision, breaking the bit-for-bit contract");
+    else if (ElemType == ScalarType::Double && HasF)
+      addFinding(Report, LintRule::FloatLiteralPolicy, lineOf(Stripped, Begin),
+                 Literal,
+                 "f-suffixed literal '" + Literal +
+                     "' in a double translation unit rounds to float "
+                     "precision");
+  }
+}
+
+/// Checks that the first definition of \p Function restrict-qualifies at
+/// least \p MinCount pointer parameters.
+void checkRestrict(LintReport &Report, const std::string &Stripped,
+                   const std::string &Function, int MinCount) {
+  const size_t Pos = findToken(Stripped, Function);
+  if (Pos == std::string::npos)
+    return; // A missing invocation body is reported elsewhere.
+  const size_t Open = Stripped.find('(', Pos);
+  const size_t Close = Open == std::string::npos
+                           ? std::string::npos
+                           : Stripped.find(')', Open);
+  if (Open == std::string::npos || Close == std::string::npos)
+    return;
+  const std::string Params = Stripped.substr(Open, Close - Open);
+  int Count = 0;
+  for (size_t P = Params.find("__restrict__"); P != std::string::npos;
+       P = Params.find("__restrict__", P + 1))
+    ++Count;
+  if (Count < MinCount)
+    addFinding(Report, LintRule::MissingRestrict, lineOf(Stripped, Pos),
+               Function,
+               "'" + Function + "' must __restrict__-qualify its " +
+                   std::to_string(MinCount) +
+                   " buffer pointers (the schedule verifier proves they "
+                   "never alias)");
+}
+
+} // namespace
+
+const char *an5d::lintTargetName(LintTarget Target) {
+  switch (Target) {
+  case LintTarget::KernelLibrary:
+    return "kernel-library";
+  case LintTarget::CheckProgram:
+    return "check-program";
+  case LintTarget::CudaKernel:
+    return "cuda-kernel";
+  }
+  return "unknown";
+}
+
+const char *an5d::lintRuleName(LintRule Rule) {
+  switch (Rule) {
+  case LintRule::MissingSymbol:
+    return "missing-symbol";
+  case LintRule::MissingExternC:
+    return "missing-extern-c";
+  case LintRule::AbiVersionMismatch:
+    return "abi-version-mismatch";
+  case LintRule::FloatLiteralPolicy:
+    return "float-literal-policy";
+  case LintRule::BannedCall:
+    return "banned-call";
+  case LintRule::MissingRestrict:
+    return "missing-restrict";
+  case LintRule::MissingKernelQualifier:
+    return "missing-kernel-qualifier";
+  }
+  return "unknown";
+}
+
+std::string LintFinding::toString() const {
+  std::string S = "[";
+  S += lintRuleName(Rule);
+  S += "]";
+  if (Line > 0)
+    S += " line " + std::to_string(Line);
+  S += ": ";
+  S += Message;
+  return S;
+}
+
+Diagnostic LintFinding::toDiagnostic() const {
+  Diagnostic D;
+  D.Kind = DiagnosticKind::Error;
+  D.Message = toString();
+  return D;
+}
+
+std::string LintReport::toString() const {
+  if (Findings.empty())
+    return "lint clean";
+  std::string S;
+  for (const LintFinding &F : Findings) {
+    if (!S.empty())
+      S += "\n";
+    S += F.toString();
+  }
+  return S;
+}
+
+void LintReport::render(DiagnosticEngine &Diags) const {
+  for (const LintFinding &F : Findings)
+    Diags.report(F.toDiagnostic());
+}
+
+std::string an5d::stripCommentsAndStrings(const std::string &Source) {
+  std::string Out = Source;
+  enum State { Code, LineComment, BlockComment, String, Char } S = Code;
+  for (size_t I = 0; I < Out.size(); ++I) {
+    const char C = Out[I];
+    const char Next = I + 1 < Out.size() ? Out[I + 1] : '\0';
+    switch (S) {
+    case Code:
+      if (C == '/' && Next == '/') {
+        S = LineComment;
+        Out[I] = ' ';
+      } else if (C == '/' && Next == '*') {
+        S = BlockComment;
+        Out[I] = ' ';
+      } else if (C == '"') {
+        S = String;
+        Out[I] = ' ';
+      } else if (C == '\'') {
+        S = Char;
+        Out[I] = ' ';
+      }
+      break;
+    case LineComment:
+      if (C == '\n')
+        S = Code;
+      else
+        Out[I] = ' ';
+      break;
+    case BlockComment:
+      if (C == '*' && Next == '/') {
+        Out[I] = ' ';
+        Out[I + 1] = ' ';
+        ++I;
+        S = Code;
+      } else if (C != '\n') {
+        Out[I] = ' ';
+      }
+      break;
+    case String:
+      if (C == '\\' && Next != '\0') {
+        Out[I] = ' ';
+        if (Next != '\n')
+          Out[I + 1] = ' ';
+        ++I;
+      } else if (C == '"') {
+        Out[I] = ' ';
+        S = Code;
+      } else if (C != '\n') {
+        Out[I] = ' ';
+      }
+      break;
+    case Char:
+      if (C == '\\' && Next != '\0') {
+        Out[I] = ' ';
+        if (Next != '\n')
+          Out[I + 1] = ' ';
+        ++I;
+      } else if (C == '\'') {
+        Out[I] = ' ';
+        S = Code;
+      } else if (C != '\n') {
+        Out[I] = ' ';
+      }
+      break;
+    }
+  }
+  return Out;
+}
+
+LintReport an5d::lintTranslationUnit(const std::string &Source,
+                                     LintTarget Target, ScalarType ElemType) {
+  LintReport Report;
+  const std::string Stripped = stripCommentsAndStrings(Source);
+
+  // extern "C" linkage: matched against the raw source because the "C"
+  // string literal is blanked by the stripper.
+  const bool HasExternC = Source.find("extern \"C\"") != std::string::npos;
+
+  if (Target == LintTarget::KernelLibrary) {
+    if (!HasExternC)
+      addFinding(Report, LintRule::MissingExternC, 0, "extern \"C\"",
+                 "kernel library never opens an extern \"C\" block; the "
+                 "loader resolves unmangled an5d_* symbols");
+    for (const char *Symbol : RequiredAbiSymbols)
+      if (findToken(Stripped, Symbol) == std::string::npos)
+        addFinding(Report, LintRule::MissingSymbol, 0, Symbol,
+                   std::string("required ABI symbol '") + Symbol +
+                       "' is not defined");
+
+    // an5d_abi_version must return the version the loader checks.
+    const size_t VersionPos = findToken(Stripped, "an5d_abi_version");
+    if (VersionPos != std::string::npos) {
+      const size_t ReturnPos = Stripped.find("return", VersionPos);
+      bool Matches = false;
+      if (ReturnPos != std::string::npos) {
+        const char *P = Stripped.c_str() + ReturnPos + 6;
+        char *End = nullptr;
+        const long Version = std::strtol(P, &End, 10);
+        Matches = End != P && Version == CppKernelAbiVersion;
+      }
+      if (!Matches)
+        addFinding(Report, LintRule::AbiVersionMismatch,
+                   lineOf(Stripped, VersionPos), "an5d_abi_version",
+                   "an5d_abi_version does not return " +
+                       std::to_string(CppKernelAbiVersion) +
+                       " (the version runtime/NativeExecutor.h loads)");
+    }
+    for (const char *Name : BannedInKernelLibrary)
+      checkBannedCall(Report, Stripped, Name, Target);
+    checkRestrict(Report, Stripped, "runInvocation", 2);
+  }
+
+  if (Target == LintTarget::CheckProgram) {
+    if (findToken(Stripped, "main") == std::string::npos)
+      addFinding(Report, LintRule::MissingSymbol, 0, "main",
+                 "check program has no main function");
+    checkRestrict(Report, Stripped, "runInvocation", 2);
+  }
+
+  if (Target == LintTarget::CudaKernel) {
+    if (!HasExternC)
+      addFinding(Report, LintRule::MissingExternC, 0, "extern \"C\"",
+                 "CUDA kernel never opens an extern \"C\" block; the host "
+                 "launcher resolves the unmangled kernel name");
+    if (findToken(Stripped, "__global__") == std::string::npos)
+      addFinding(Report, LintRule::MissingKernelQualifier, 0, "__global__",
+                 "CUDA translation unit defines no __global__ kernel");
+    const size_t RestrictPos = Stripped.find("__restrict__");
+    if (RestrictPos == std::string::npos)
+      addFinding(Report, LintRule::MissingRestrict, 0, "__restrict__",
+                 "CUDA kernel parameters must __restrict__-qualify the "
+                 "input/output buffers");
+  }
+
+  for (const char *Name : BannedEverywhere)
+    checkBannedCall(Report, Stripped, Name, Target);
+  checkFloatLiterals(Report, Stripped, ElemType);
+
+  return Report;
+}

@@ -1,0 +1,420 @@
+//===- ScheduleVerifier.cpp - Static proof of N.5D schedule safety --------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ScheduleVerifier.h"
+
+#include "sim/TimeBlockScheduler.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace an5d;
+
+namespace {
+
+/// printf-style std::string builder for diagnostic messages.
+std::string format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  char Buffer[512];
+  std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+  return Buffer;
+}
+
+/// Closed integer interval [Lo, Hi] (non-empty by construction here: every
+/// interval the verifier forms spans at least one cell).
+struct Span {
+  long long Lo = 0;
+  long long Hi = 0;
+
+  bool within(const Span &Outer) const {
+    return Lo >= Outer.Lo && Hi <= Outer.Hi;
+  }
+};
+
+/// Minimum and maximum tap offset along \p Axis (0 = streaming).
+Span tapRange(const std::vector<std::vector<int>> &Taps, int Axis) {
+  Span R{0, 0};
+  for (const std::vector<int> &Tap : Taps) {
+    if (Axis >= static_cast<int>(Tap.size()))
+      continue;
+    R.Lo = std::min<long long>(R.Lo, Tap[static_cast<size_t>(Axis)]);
+    R.Hi = std::max<long long>(R.Hi, Tap[static_cast<size_t>(Axis)]);
+  }
+  return R;
+}
+
+void addViolation(std::vector<ScheduleViolation> &Out,
+                  ScheduleViolationKind Kind, int Degree, int Tier, int Axis,
+                  long long Offset, std::string Message) {
+  ScheduleViolation V;
+  V.Kind = Kind;
+  V.Degree = Degree;
+  V.Tier = Tier;
+  V.Axis = Axis;
+  V.Offset = Offset;
+  V.Message = std::move(Message);
+  Out.push_back(std::move(V));
+}
+
+} // namespace
+
+const char *an5d::scheduleViolationKindName(ScheduleViolationKind Kind) {
+  switch (Kind) {
+  case ScheduleViolationKind::ConfigArity:
+    return "config-arity";
+  case ScheduleViolationKind::BlockTooSmall:
+    return "block-too-small";
+  case ScheduleViolationKind::HaloViolation:
+    return "halo-violation";
+  case ScheduleViolationKind::RingClobber:
+    return "ring-clobber";
+  case ScheduleViolationKind::WaveOrderViolation:
+    return "wave-order-violation";
+  case ScheduleViolationKind::RaceOverlap:
+    return "race-overlap";
+  case ScheduleViolationKind::CoverageGap:
+    return "coverage-gap";
+  case ScheduleViolationKind::TimeScheduleInvariant:
+    return "time-schedule-invariant";
+  }
+  return "unknown";
+}
+
+std::string ScheduleViolation::toString() const {
+  std::string S = "[";
+  S += scheduleViolationKindName(Kind);
+  S += format("] degree %d", Degree);
+  if (Tier >= 0)
+    S += format(" tier %d", Tier);
+  if (Axis >= 0)
+    S += format(" axis %d", Axis);
+  S += ": ";
+  S += Message;
+  return S;
+}
+
+Diagnostic ScheduleViolation::toDiagnostic() const {
+  Diagnostic D;
+  D.Kind = DiagnosticKind::Error;
+  D.Message = toString();
+  return D;
+}
+
+std::string ScheduleVerifyResult::toString() const {
+  if (Violations.empty())
+    return format("schedule proven safe (%d degree%s checked)",
+                  DegreesChecked, DegreesChecked == 1 ? "" : "s");
+  std::string S;
+  for (const ScheduleViolation &V : Violations) {
+    if (!S.empty())
+      S += "\n";
+    S += V.toString();
+  }
+  return S;
+}
+
+void ScheduleVerifyResult::render(DiagnosticEngine &Diags) const {
+  for (const ScheduleViolation &V : Violations)
+    Diags.report(V.toDiagnostic());
+}
+
+ScheduleModel an5d::buildScheduleModel(const StencilProgram &Program,
+                                       const BlockConfig &Config,
+                                       int Degree) {
+  const long long Rad = Program.radius();
+  ScheduleModel M;
+  M.Name = Program.name() + " " + Config.toString() + " degree " +
+           std::to_string(Degree);
+  M.NumDims = Program.numDims();
+  M.Radius = Program.radius();
+  M.Degree = Degree;
+  M.GridHalo = Rad;
+  M.RingDepth = 2 * Rad + 1;
+  M.LoadSpanHalo = Degree * Rad;
+  M.LoadStreamReach = Degree * Rad;
+  M.LoadOrderPosition = 0;
+  for (int B : Config.BS) {
+    // The emitted kernels recompute the width per invocation degree
+    // (cw = bS - 2*degree*rad), so a partial-degree call has a wider
+    // compute region than the full-bT call.
+    const long long Width = B - 2 * Degree * Rad;
+    M.BS.push_back(B);
+    M.ComputeWidth.push_back(Width);
+    M.BlockStride.push_back(Width);
+    M.StoreWidth.push_back(Width);
+  }
+  M.ChunkLength = Config.HS > 0 ? Config.HS : 0;
+  M.ChunkStride = M.ChunkLength;
+  M.Taps = Program.taps();
+  for (int T = 1; T <= Degree; ++T) {
+    TierModel Tier;
+    Tier.Tier = T;
+    Tier.OrderPosition = T;
+    Tier.StreamLag = static_cast<long long>(T) * Rad;
+    Tier.Reach = static_cast<long long>(Degree - T) * Rad;
+    M.Tiers.push_back(Tier);
+  }
+  return M;
+}
+
+std::vector<ScheduleViolation>
+an5d::verifyScheduleModel(const ScheduleModel &M) {
+  std::vector<ScheduleViolation> Out;
+  const int D = M.Degree;
+
+  // Structural sanity: the blocked-axis vectors must agree with the
+  // dimensionality before any per-axis reasoning makes sense.
+  const size_t NumBlocked = M.BS.size();
+  if (static_cast<int>(NumBlocked) != M.NumDims - 1 ||
+      M.ComputeWidth.size() != NumBlocked ||
+      M.BlockStride.size() != NumBlocked ||
+      M.StoreWidth.size() != NumBlocked) {
+    addViolation(Out, ScheduleViolationKind::ConfigArity, D, -1, -1, 0,
+                 format("bS carries %zu entr%s but the stencil has %d "
+                        "non-streaming dimension%s",
+                        M.BS.size(), M.BS.size() == 1 ? "y" : "ies",
+                        M.NumDims - 1, M.NumDims - 1 == 1 ? "" : "s"));
+    return Out;
+  }
+  if (D < 1 || M.Tiers.size() != static_cast<size_t>(D)) {
+    addViolation(Out, ScheduleViolationKind::TimeScheduleInvariant, D, -1, -1,
+                 0,
+                 format("invocation degree %d needs exactly %d computing "
+                        "tier%s (model has %zu)",
+                        D, std::max(D, 0), D == 1 ? "" : "s",
+                        M.Tiers.size()));
+    return Out;
+  }
+
+  // 1. Global grid halo: every tap of a valid computation (and every
+  // boundary-pinning read) lands inside the padded allocation.
+  for (int Axis = 0; Axis < M.NumDims; ++Axis) {
+    const Span Tap = tapRange(M.Taps, Axis);
+    if (Tap.Lo < -M.GridHalo || Tap.Hi > M.GridHalo) {
+      const long long Bad = Tap.Hi > M.GridHalo ? Tap.Hi : Tap.Lo;
+      addViolation(Out, ScheduleViolationKind::HaloViolation, D, -1, Axis,
+                   Bad,
+                   format("tap offset %+lld exceeds the allocated grid halo "
+                          "of %lld cell%s per side",
+                          Bad, M.GridHalo, M.GridHalo == 1 ? "" : "s"));
+    }
+  }
+
+  // 2. Blocked axes: compute width, then the per-tier containment chain
+  // (reads within the loaded span and within the producer's valid
+  // region), then the final tier's store region.
+  for (size_t A = 0; A < NumBlocked; ++A) {
+    const int Axis = static_cast<int>(A) + 1;
+    const long long CW = M.ComputeWidth[A];
+    if (CW < 1) {
+      addViolation(Out, ScheduleViolationKind::BlockTooSmall, D, -1, Axis, CW,
+                   format("compute width %lld is not positive (bS=%lld needs "
+                          "2*%d*%d halo cells): the halo consumes the block",
+                          CW, M.BS[A], D, M.Radius));
+      continue; // Per-tier intervals are meaningless on this axis.
+    }
+    const Span LoadSpan{-M.LoadSpanHalo, M.BS[A] - 1 - M.LoadSpanHalo};
+    const Span Tap = tapRange(M.Taps, Axis);
+    for (size_t I = 0; I < M.Tiers.size(); ++I) {
+      const TierModel &T = M.Tiers[I];
+      const Span Valid{-T.Reach, CW - 1 + T.Reach};
+      const Span Reads{Valid.Lo + Tap.Lo, Valid.Hi + Tap.Hi};
+      if (!Reads.within(LoadSpan)) {
+        addViolation(Out, ScheduleViolationKind::HaloViolation, D, T.Tier,
+                     Axis, Reads.Lo < LoadSpan.Lo ? Tap.Lo : Tap.Hi,
+                     format("reads lanes [%lld, %lld] outside the loaded "
+                            "block span [%lld, %lld]",
+                            Reads.Lo, Reads.Hi, LoadSpan.Lo, LoadSpan.Hi));
+        continue;
+      }
+      if (I > 0) {
+        const TierModel &P = M.Tiers[I - 1];
+        const Span Produced{-P.Reach, CW - 1 + P.Reach};
+        if (!Reads.within(Produced))
+          addViolation(Out, ScheduleViolationKind::HaloViolation, D, T.Tier,
+                       Axis, Reads.Lo < Produced.Lo ? Tap.Lo : Tap.Hi,
+                       format("reads lanes [%lld, %lld] outside tier %d's "
+                              "valid region [%lld, %lld]",
+                              Reads.Lo, Reads.Hi, P.Tier, Produced.Lo,
+                              Produced.Hi));
+      }
+    }
+    // Stores must come from cells the final tier actually evaluated.
+    const TierModel &Last = M.Tiers.back();
+    const Span Store{0, M.StoreWidth[A] - 1};
+    const Span LastValid{-Last.Reach, CW - 1 + Last.Reach};
+    if (M.StoreWidth[A] >= 1 && !Store.within(LastValid))
+      addViolation(Out, ScheduleViolationKind::HaloViolation, D, Last.Tier,
+                   Axis, Store.Hi - LastValid.Hi,
+                   format("stores lanes [0, %lld] beyond its valid region "
+                          "[%lld, %lld]",
+                          Store.Hi, LastValid.Lo, LastValid.Hi));
+  }
+
+  // 3. Streaming axis: each tier's computed plane range, widened by the
+  // stream taps, must stay within what its producer has (symbolically in
+  // the chunk bounds, so only the reach offsets compare).
+  const Span StreamTap = tapRange(M.Taps, 0);
+  for (size_t I = 0; I < M.Tiers.size(); ++I) {
+    const TierModel &T = M.Tiers[I];
+    const long long ProducerReach =
+        I == 0 ? M.LoadStreamReach : M.Tiers[I - 1].Reach;
+    const int ProducerTier = I == 0 ? 0 : M.Tiers[I - 1].Tier;
+    const Span Reads{-T.Reach + StreamTap.Lo, T.Reach + StreamTap.Hi};
+    if (!Reads.within(Span{-ProducerReach, ProducerReach}))
+      addViolation(Out, ScheduleViolationKind::HaloViolation, D, T.Tier, 0,
+                   Reads.Hi > ProducerReach ? StreamTap.Hi : StreamTap.Lo,
+                   format("needs producer sub-planes at chunk offsets "
+                          "[%lld, %lld] but tier %d only covers "
+                          "[%lld, %lld]",
+                          Reads.Lo, Reads.Hi, ProducerTier, -ProducerReach,
+                          ProducerReach));
+  }
+
+  // 4. Ring capacity and wavefront order. Consumer tier T at streaming
+  // step s reads producer plane p + o (p = s - StreamLag_T, o a stream
+  // tap); the producer writes plane q at step q + StreamLag_P. The plane
+  // must already be written (wave order) and must not share a ring slot
+  // with a later plane the producer has also written (clobber).
+  for (size_t I = 0; I < M.Tiers.size(); ++I) {
+    const TierModel &T = M.Tiers[I];
+    const long long ProducerLag = I == 0 ? 0 : M.Tiers[I - 1].StreamLag;
+    const int ProducerOrder =
+        I == 0 ? M.LoadOrderPosition : M.Tiers[I - 1].OrderPosition;
+    const int ProducerTier = I == 0 ? 0 : M.Tiers[I - 1].Tier;
+    const long long LagDiff = T.StreamLag - ProducerLag;
+    const bool ProducerFirst = ProducerOrder < T.OrderPosition;
+
+    // Wave order, worst case at the most positive stream tap: the read
+    // plane is written at step p + o + ProducerLag, which must precede
+    // the read at step p + StreamLag_T.
+    if (StreamTap.Hi > LagDiff ||
+        (StreamTap.Hi == LagDiff && !ProducerFirst))
+      addViolation(Out, ScheduleViolationKind::WaveOrderViolation, D, T.Tier,
+                   0, StreamTap.Hi,
+                   format("reads sub-plane p%+lld that producer tier %d has "
+                          "not written at read time (producer lags %lld "
+                          "plane%s behind%s)",
+                          StreamTap.Hi, ProducerTier, LagDiff,
+                          LagDiff == 1 ? "" : "s",
+                          StreamTap.Hi == LagDiff && !ProducerFirst
+                              ? ", and runs after the consumer within a step"
+                              : ""));
+
+    // Ring clobber, worst case at the most negative stream tap: the slot
+    // of plane p + o is reused by plane p + o + RingDepth, which the
+    // producer writes at step p + o + RingDepth + ProducerLag. That step
+    // must still be in the future at read time.
+    const long long Slack = ProducerFirst ? 0 : 1;
+    if (M.RingDepth + StreamTap.Lo + Slack <= LagDiff)
+      addViolation(Out, ScheduleViolationKind::RingClobber, D, T.Tier, 0,
+                   StreamTap.Lo,
+                   format("ring depth %lld is too shallow: producer tier %d "
+                          "overwrites the slot of sub-plane p%+lld before "
+                          "tier %d reads it (needs depth > %lld)",
+                          M.RingDepth, ProducerTier, StreamTap.Lo, T.Tier,
+                          LagDiff - StreamTap.Lo - Slack));
+  }
+
+  // 5. Race freedom and coverage of the concurrent work-item grid: the
+  // chunk x block OpenMP worksharing set partitions the interior iff
+  // adjacent strides neither overlap (a static data race on `out`) nor
+  // leave gaps.
+  for (size_t A = 0; A < NumBlocked; ++A) {
+    const int Axis = static_cast<int>(A) + 1;
+    const long long Stride = M.BlockStride[A];
+    const long long Store = M.StoreWidth[A];
+    if (Store < 1)
+      continue; // Degenerate store already reported as BlockTooSmall.
+    if (Stride < Store)
+      addViolation(Out, ScheduleViolationKind::RaceOverlap, D, -1, Axis,
+                   Store - Stride,
+                   format("adjacent blocks write %lld overlapping cell%s "
+                          "(origin stride %lld < stored width %lld)",
+                          Store - Stride, Store - Stride == 1 ? "" : "s",
+                          Stride, Store));
+    else if (Stride > Store)
+      addViolation(Out, ScheduleViolationKind::CoverageGap, D, -1, Axis,
+                   Stride - Store,
+                   format("adjacent blocks leave %lld cell%s unwritten "
+                          "(origin stride %lld > stored width %lld)",
+                          Stride - Store, Stride - Store == 1 ? "" : "s",
+                          Stride, Store));
+  }
+  if (M.ChunkLength > 0) {
+    if (M.ChunkStride < M.ChunkLength)
+      addViolation(Out, ScheduleViolationKind::RaceOverlap, D, -1, 0,
+                   M.ChunkLength - M.ChunkStride,
+                   format("adjacent stream chunks write %lld overlapping "
+                          "sub-plane%s (chunk stride %lld < length %lld)",
+                          M.ChunkLength - M.ChunkStride,
+                          M.ChunkLength - M.ChunkStride == 1 ? "" : "s",
+                          M.ChunkStride, M.ChunkLength));
+    else if (M.ChunkStride > M.ChunkLength)
+      addViolation(Out, ScheduleViolationKind::CoverageGap, D, -1, 0,
+                   M.ChunkStride - M.ChunkLength,
+                   format("adjacent stream chunks leave %lld sub-plane%s "
+                          "unwritten (chunk stride %lld > length %lld)",
+                          M.ChunkStride - M.ChunkLength,
+                          M.ChunkStride - M.ChunkLength == 1 ? "" : "s",
+                          M.ChunkStride, M.ChunkLength));
+  }
+
+  return Out;
+}
+
+ScheduleVerifyResult an5d::verifySchedule(const StencilProgram &Program,
+                                          const BlockConfig &Config,
+                                          const ProblemSize *Problem) {
+  ScheduleVerifyResult Result;
+
+  if (Config.BT < 1) {
+    addViolation(Result.Violations,
+                 ScheduleViolationKind::TimeScheduleInvariant, Config.BT, -1,
+                 -1, 0,
+                 format("temporal blocking degree bT=%d must be >= 1",
+                        Config.BT));
+    return Result;
+  }
+  if (static_cast<int>(Config.BS.size()) != Program.numDims() - 1) {
+    addViolation(Result.Violations, ScheduleViolationKind::ConfigArity,
+                 Config.BT, -1, -1, 0,
+                 format("bS carries %zu entr%s but %s has %d non-streaming "
+                        "dimension%s",
+                        Config.BS.size(), Config.BS.size() == 1 ? "y" : "ies",
+                        Program.name().c_str(), Program.numDims() - 1,
+                        Program.numDims() - 1 == 1 ? "" : "s"));
+    return Result;
+  }
+
+  // The host schedule (Section 4.3.1) can issue any degree in [1, bT], so
+  // a config is safe only when every degree's invocation is.
+  for (int Degree = 1; Degree <= Config.BT; ++Degree) {
+    const ScheduleModel Model = buildScheduleModel(Program, Config, Degree);
+    std::vector<ScheduleViolation> V = verifyScheduleModel(Model);
+    Result.Violations.insert(Result.Violations.end(),
+                             std::make_move_iterator(V.begin()),
+                             std::make_move_iterator(V.end()));
+    ++Result.DegreesChecked;
+  }
+
+  if (Problem && Problem->TimeSteps > 0) {
+    const std::vector<int> Degrees =
+        scheduleTimeBlocks(Problem->TimeSteps, Config.BT);
+    const std::string Broken =
+        describeTimeBlockScheduleViolation(Degrees, Problem->TimeSteps,
+                                           Config.BT);
+    if (!Broken.empty())
+      addViolation(Result.Violations,
+                   ScheduleViolationKind::TimeScheduleInvariant, Config.BT,
+                   -1, -1, 0, Broken);
+  }
+
+  return Result;
+}

@@ -1,0 +1,208 @@
+//===- ScheduleVerifier.h - Static proof of N.5D schedule safety -*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval analysis over the blocked N.5D schedule: given a
+/// (StencilProgram, BlockConfig) pair, build an explicit ScheduleModel of
+/// one temporal-block invocation — ring depth, per-tier stream lag and
+/// spatial reach, work-item write strides — and statically prove, before
+/// any kernel is compiled, that
+///
+///   1. every tap read falls inside the allocated halo (the bT x radius
+///      rule, for the padded global grid, the loaded block span, and each
+///      tier's shrinking valid region — including the 1D empty-bS
+///      streaming schedule and boundary-plane pinning),
+///   2. the per-tier rings are deep enough that no producer overwrites a
+///      sub-plane a consumer has not read yet (ring clobber),
+///   3. wavefront dependency order holds — no tier reads a sub-plane its
+///      producer has not written by that streaming step (wave order), and
+///   4. the write-sets of concurrently scheduled OpenMP work items (the
+///      chunk x block worksharing set) are pairwise disjoint and gap-free
+///      (static race detector for the emitted `omp for`).
+///
+/// The model mirrors sim/BlockedExecutor.h and the codegen backends: tier
+/// T at streaming step s processes sub-plane p = s - T*radius, holds a
+/// ring of RingDepth sub-planes, and keeps a valid region that shrinks by
+/// radius per tier (reach (bT - T)*radius). Violations carry a structured
+/// kind plus the offending axis, tier and tap offset, and render as
+/// support/Diagnostic errors.
+///
+/// The model's fields are deliberately mutable so tests can corrupt one
+/// invariant at a time (shrink a halo, swap a wave, overlap two lanes)
+/// and assert the verifier flags exactly that corruption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_ANALYSIS_SCHEDULEVERIFIER_H
+#define AN5D_ANALYSIS_SCHEDULEVERIFIER_H
+
+#include "ir/StencilProgram.h"
+#include "model/BlockConfig.h"
+#include "support/Diagnostic.h"
+
+#include <string>
+#include <vector>
+
+namespace an5d {
+
+/// What a schedule violation breaks. Each kind names one invariant of the
+/// N.5D schedule; the mutation tests assert kind-for-corruption.
+enum class ScheduleViolationKind {
+  /// BS arity does not match the stencil dimensionality (bS carries one
+  /// entry per non-streaming dimension).
+  ConfigArity,
+  /// A blocked dimension's halo consumes the whole block: compute width
+  /// < 1 (the bS >= 2*bT*rad + 1 rule).
+  BlockTooSmall,
+  /// A tap read escapes the region its producer guarantees: the padded
+  /// global grid, the loaded block span, or the producing tier's valid
+  /// region.
+  HaloViolation,
+  /// A tier's ring is too shallow: a sub-plane is overwritten (slot
+  /// reuse) before the consuming tier has read it.
+  RingClobber,
+  /// Wavefront order broken: a tier reads a sub-plane its producer has
+  /// not written by that streaming step.
+  WaveOrderViolation,
+  /// Two concurrently scheduled work items write overlapping cells.
+  RaceOverlap,
+  /// Concurrent work items leave interior cells unwritten (stride
+  /// exceeds the stored width) — not a race, but an incorrect schedule.
+  CoverageGap,
+  /// The host-side temporal block schedule breaks a Section 4.3.1
+  /// postcondition (degree bounds, step sum, or call-count parity).
+  TimeScheduleInvariant,
+};
+
+/// Stable lowercase name of \p Kind (e.g. "halo-violation").
+const char *scheduleViolationKindName(ScheduleViolationKind Kind);
+
+/// One statically detected schedule defect. Axis 0 is the streaming
+/// dimension; axes 1..N-1 are the blocked dimensions; -1 means the
+/// violation is not tied to one axis. Tier -1 likewise means no single
+/// tier (tier 0 is the load tier, 1..degree compute).
+struct ScheduleViolation {
+  ScheduleViolationKind Kind = ScheduleViolationKind::HaloViolation;
+  int Degree = 0;
+  int Tier = -1;
+  int Axis = -1;
+  long long Offset = 0; ///< Offending tap offset or overlap width.
+  std::string Message;  ///< Human-readable detail, LLVM diag style.
+
+  /// "[halo-violation] degree 2 tier 1 axis 1: <message>".
+  std::string toString() const;
+
+  /// The same content as a support/Diagnostic error.
+  Diagnostic toDiagnostic() const;
+};
+
+/// Outcome of verifying one (program, config) pair across all temporal
+/// degrees the schedule can issue.
+struct ScheduleVerifyResult {
+  std::vector<ScheduleViolation> Violations;
+  int DegreesChecked = 0;
+
+  /// True when every checked degree is statically safe.
+  bool proven() const { return Violations.empty(); }
+
+  /// One line per violation; "schedule proven safe" when clean.
+  std::string toString() const;
+
+  /// Reports every violation into \p Diags as an error.
+  void render(DiagnosticEngine &Diags) const;
+};
+
+/// One computing tier of the pipeline (tiers 1..degree; the tier-0 load
+/// stage is modeled by the Load* fields of ScheduleModel).
+struct TierModel {
+  int Tier = 1;
+  /// Execution position within one streaming step. The load stage runs at
+  /// LoadOrderPosition; a consumer may read a producer's same-step write
+  /// only if the producer's position is smaller.
+  int OrderPosition = 1;
+  /// Tier T processes sub-plane s - StreamLag at streaming step s.
+  long long StreamLag = 0;
+  /// Half-width of the tier's valid region beyond the compute region, in
+  /// cells, on every axis: (degree - T) * radius by construction.
+  long long Reach = 0;
+};
+
+/// Explicit model of one temporal-block invocation at a fixed degree.
+/// buildScheduleModel derives it from (program, config); every field is a
+/// plain value so tests can corrupt single invariants.
+struct ScheduleModel {
+  std::string Name; ///< "<stencil> <config> degree <d>" for messages.
+  int NumDims = 1;  ///< Spatial dimensions (streaming dim included).
+  int Radius = 1;
+  int Degree = 1;
+
+  /// Halo cells allocated per side of every axis of the global padded
+  /// buffers (Grid layout: radius).
+  long long GridHalo = 0;
+
+  /// Sub-planes per tier ring (2*radius + 1 by construction).
+  long long RingDepth = 0;
+
+  /// Loaded block span per blocked axis (bS_i), and the span's left halo:
+  /// lanes [-LoadSpanHalo, BS_i - LoadSpanHalo) relative to the block
+  /// origin (degree * radius by construction).
+  std::vector<long long> BS;
+  long long LoadSpanHalo = 0;
+
+  /// Stream-direction reach of the tier-0 load beyond the chunk bounds
+  /// (degree * radius by construction).
+  long long LoadStreamReach = 0;
+
+  /// Execution position of the tier-0 load within one streaming step.
+  int LoadOrderPosition = 0;
+
+  /// Compute-region width per blocked axis (bS_i - 2*degree*radius).
+  std::vector<long long> ComputeWidth;
+
+  /// Origin stride between adjacent blocks per blocked axis (compute
+  /// width by construction: block b owns [b*Stride, b*Stride + Store)).
+  std::vector<long long> BlockStride;
+
+  /// Cells the final tier stores per blocked axis from each block
+  /// (compute width by construction).
+  std::vector<long long> StoreWidth;
+
+  /// Stream-chunk length and the stride between adjacent chunk starts
+  /// (hS and hS; 0 disables chunking — one chunk spans the extent and
+  /// the streaming axis carries no concurrency).
+  long long ChunkLength = 0;
+  long long ChunkStride = 0;
+
+  /// Deduplicated tap offsets (streaming component first).
+  std::vector<std::vector<int>> Taps;
+
+  /// Computing tiers 1..degree in pipeline order.
+  std::vector<TierModel> Tiers;
+};
+
+/// Derives the ScheduleModel the emulator and both codegen backends
+/// implement for \p Config at temporal degree \p Degree (1 <= Degree <=
+/// Config.BT; the host schedule can issue any such degree).
+ScheduleModel buildScheduleModel(const StencilProgram &Program,
+                                 const BlockConfig &Config, int Degree);
+
+/// Checks every invariant of \p Model and returns all violations found
+/// (empty means statically proven safe at Model.Degree).
+std::vector<ScheduleViolation> verifyScheduleModel(const ScheduleModel &Model);
+
+/// Verifies \p Config for \p Program across every temporal degree in
+/// [1, Config.BT] (the host-side scheduler can issue any of them). When
+/// \p Problem is non-null, additionally validates the Section 4.3.1
+/// host-schedule postconditions for Problem->TimeSteps. Thread caps are
+/// deliberately out of scope: they are a hardware resource limit, not a
+/// schedule-safety property (see BlockConfig::isFeasible).
+ScheduleVerifyResult verifySchedule(const StencilProgram &Program,
+                                    const BlockConfig &Config,
+                                    const ProblemSize *Problem = nullptr);
+
+} // namespace an5d
+
+#endif // AN5D_ANALYSIS_SCHEDULEVERIFIER_H

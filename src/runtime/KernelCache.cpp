@@ -6,11 +6,13 @@
 
 #include "runtime/KernelCache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <vector>
 
 #if !defined(_WIN32)
 #include <unistd.h>
@@ -32,8 +34,20 @@ std::string KernelCache::defaultDirectory() {
   return (Tmp / "an5d-kernel-cache").string();
 }
 
-KernelCache::KernelCache(std::string Directory)
-    : Dir(Directory.empty() ? defaultDirectory() : std::move(Directory)) {
+long long KernelCache::defaultMaxBytes() {
+  if (const char *Env = std::getenv("AN5D_KERNEL_CACHE_MAX_MB");
+      Env && *Env) {
+    char *End = nullptr;
+    const long long Mb = std::strtoll(Env, &End, 10);
+    if (End != Env)
+      return Mb > 0 ? Mb * 1024 * 1024 : 0;
+  }
+  return 512LL * 1024 * 1024;
+}
+
+KernelCache::KernelCache(std::string Directory, long long MaxBytes)
+    : Dir(Directory.empty() ? defaultDirectory() : std::move(Directory)),
+      MaxBytes_(MaxBytes < 0 ? defaultMaxBytes() : MaxBytes) {
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
   // A failure surfaces naturally as a write/compile error in getOrBuild.
@@ -86,6 +100,10 @@ KernelArtifact KernelCache::getOrBuild(
   if (!ForceRecompile && fs::exists(Artifact.LibraryPath, Ec)) {
     Artifact.Ok = true;
     Artifact.CacheHit = true;
+    // Touch the artifact so the LRU eviction order tracks use, not just
+    // build time (a hot kernel hit daily must outlive a one-off build).
+    fs::last_write_time(Artifact.LibraryPath,
+                        fs::file_time_type::clock::now(), Ec);
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.Hits;
     return Artifact;
@@ -148,9 +166,78 @@ KernelArtifact KernelCache::getOrBuild(
   }
 
   Artifact.Ok = true;
-  std::lock_guard<std::mutex> Lock(Mutex);
-  ++Stats.Misses;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Misses;
+  }
+  // The cache only grows on a successful build, so this is the one spot
+  // where the size cap can newly overflow.
+  evictOverCap(Artifact.Key);
   return Artifact;
+}
+
+void KernelCache::evictOverCap(const std::string &KeepKey) {
+  if (MaxBytes_ <= 0)
+    return;
+
+  struct Entry {
+    std::string Library;
+    std::string Source;
+    fs::file_time_type Mtime;
+    long long Bytes = 0;
+  };
+  std::vector<Entry> Entries;
+  long long TotalBytes = 0;
+
+  std::error_code Ec;
+  const std::string KeepName = "an5d_" + KeepKey + ".so";
+  for (fs::directory_iterator It(Dir, Ec), End; !Ec && It != End;
+       It.increment(Ec)) {
+    const fs::path &Path = It->path();
+    const std::string Name = Path.filename().string();
+    if (Name.rfind("an5d_", 0) != 0 || Path.extension() != ".so")
+      continue;
+    Entry E;
+    E.Library = Path.string();
+    E.Source = (Path.parent_path() / Path.stem()).string() + ".cpp";
+    E.Mtime = fs::last_write_time(Path, Ec);
+    if (Ec) {
+      Ec.clear();
+      continue; // Evicted by a sibling between listing and stat.
+    }
+    E.Bytes = static_cast<long long>(fs::file_size(Path, Ec));
+    if (Ec) {
+      Ec.clear();
+      E.Bytes = 0;
+    }
+    const long long SourceBytes =
+        static_cast<long long>(fs::file_size(E.Source, Ec));
+    if (!Ec)
+      E.Bytes += SourceBytes;
+    Ec.clear();
+    TotalBytes += E.Bytes;
+    if (Name != KeepName) // The just-built artifact is never evicted.
+      Entries.push_back(std::move(E));
+  }
+
+  if (TotalBytes <= MaxBytes_)
+    return;
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.Mtime < B.Mtime; });
+
+  std::size_t Evicted = 0;
+  for (const Entry &E : Entries) {
+    if (TotalBytes <= MaxBytes_)
+      break;
+    fs::remove(E.Library, Ec);
+    fs::remove(E.Source, Ec);
+    TotalBytes -= E.Bytes;
+    ++Evicted;
+  }
+  if (Evicted > 0) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stats.Evictions += Evicted;
+  }
 }
 
 KernelCacheStats KernelCache::stats() const {

@@ -50,6 +50,8 @@ struct KernelCacheStats {
   std::size_t Hits = 0;
   std::size_t Misses = 0;
   std::size_t Failures = 0;
+  /// Artifacts removed by the LRU size cap (one per evicted key).
+  std::size_t Evictions = 0;
 };
 
 /// One resolved cache entry.
@@ -68,10 +70,25 @@ struct KernelArtifact {
 class KernelCache {
 public:
   /// \p Directory overrides defaultDirectory() when non-empty; it is
-  /// created if missing.
-  explicit KernelCache(std::string Directory = "");
+  /// created if missing. \p MaxBytes caps the total size of cached
+  /// artifacts (.so plus the kept .cpp): after each successful build the
+  /// least-recently-used keys are evicted until the cache fits. 0 means
+  /// unlimited; the default -1 resolves defaultMaxBytes(). Recency is
+  /// artifact mtime — a hit touches its .so, so persistent caches stay
+  /// LRU across processes. Eviction never removes the key just built,
+  /// and a concurrently *building* sibling process can transiently lose
+  /// an artifact it was about to load (it then recompiles: the same
+  /// benign self-healing as a failed build).
+  explicit KernelCache(std::string Directory = "", long long MaxBytes = -1);
 
   const std::string &directory() const { return Dir; }
+
+  /// The configured size cap in bytes (0 = unlimited).
+  long long maxBytes() const { return MaxBytes_; }
+
+  /// $AN5D_KERNEL_CACHE_MAX_MB megabytes when set (<= 0 disables the
+  /// cap), otherwise 512 MB.
+  static long long defaultMaxBytes();
 
   /// $AN5D_KERNEL_CACHE > $HOME/.cache/an5d/kernels > <tmp>/an5d-kernel-cache.
   static std::string defaultDirectory();
@@ -91,7 +108,12 @@ public:
   KernelCacheStats stats() const;
 
 private:
+  /// Removes least-recently-used artifact pairs until the cache fits
+  /// MaxBytes_, never touching \p KeepKey (the key just built).
+  void evictOverCap(const std::string &KeepKey);
+
   std::string Dir;
+  long long MaxBytes_ = 0;
   mutable std::mutex Mutex;
   KernelCacheStats Stats;
   /// Per-key build locks: concurrent requesters of one key wait for the

@@ -147,16 +147,55 @@ NativeCompiler::NativeCompiler(std::string Command)
   OpenMp = Probe.OpenMp;
 }
 
+std::vector<std::string> NativeCompiler::sanitizerFlags() {
+  std::string Raw;
+  if (const char *Env = std::getenv("AN5D_KERNEL_SANITIZE"))
+    Raw = Env;
+#ifdef AN5D_SANITIZE_FLAGS
+  else
+    Raw = AN5D_SANITIZE_FLAGS;
+#endif
+  if (Raw.empty() || Raw == "none" || Raw == "0")
+    return {};
+  std::vector<std::string> Flags;
+  std::string Current;
+  for (char C : Raw) {
+    if (C == ' ' || C == ';') {
+      if (!Current.empty())
+        Flags.push_back(std::move(Current));
+      Current.clear();
+    } else {
+      Current += C;
+    }
+  }
+  if (!Current.empty())
+    Flags.push_back(std::move(Current));
+  return Flags;
+}
+
 std::vector<std::string> NativeCompiler::flags() const {
   // -ffp-contract=off keeps the bit-for-bit contract with the in-process
   // executors (no fused mul/add); see the file comment. -fopenmp appears
   // only when the probe built an OpenMP shared library, and through
   // fingerprint() it is part of the cache key — so a toolchain gaining or
-  // losing OpenMP support can never be served a stale artifact.
+  // losing OpenMP support (or a sanitizer appearing) can never be served
+  // a stale artifact.
   std::vector<std::string> Flags = {"-std=c++17", "-O2", "-shared",
                                     "-fPIC", "-ffp-contract=off"};
-  if (OpenMp)
+  const std::vector<std::string> Sanitize = sanitizerFlags();
+  bool ThreadSanitizer = false;
+  for (const std::string &Flag : Sanitize)
+    if (Flag.find("thread") != std::string::npos)
+      ThreadSanitizer = true;
+  // Under -fsanitize=thread kernels build without OpenMP: the system
+  // libgomp is not TSan-instrumented, so every worksharing barrier would
+  // be reported as a false-positive race. The kernels' serial path is
+  // schedule-identical (the pair loop just runs on one thread), so TSan
+  // still exercises the full tier pipeline. See README "Static
+  // verification & sanitizers".
+  if (OpenMp && !ThreadSanitizer)
     Flags.push_back("-fopenmp");
+  Flags.insert(Flags.end(), Sanitize.begin(), Sanitize.end());
   return Flags;
 }
 

@@ -64,8 +64,17 @@ public:
   /// kernels then compile with OpenMP worksharing enabled.
   bool openMpSupported() const { return OpenMp; }
 
+  /// The sanitizer flags kernel builds inherit so dlopen'd kernels run
+  /// under the *same* sanitizer as the host process: the
+  /// AN5D_KERNEL_SANITIZE environment variable when set (raw flags;
+  /// "none" disables), otherwise the flags CMake baked in when the
+  /// project was configured with AN5D_SANITIZE. Empty in a plain build.
+  static std::vector<std::string> sanitizerFlags();
+
   /// The flags every kernel build uses with this compiler, in order
-  /// (-fopenmp included iff supported). \p ExtraFlags of
+  /// (-fopenmp included iff supported, sanitizerFlags() appended; under
+  /// -fsanitize=thread the OpenMP flag is dropped — see flags() for the
+  /// uninstrumented-libgomp rationale). \p ExtraFlags of
   /// compileSharedLibrary are appended after these, so callers can
   /// override (e.g. a test passing -O1 for faster builds).
   std::vector<std::string> flags() const;

@@ -6,10 +6,23 @@
 
 #include "runtime/NativeExecutor.h"
 
+#include "analysis/KernelLint.h"
 #include "codegen/CppCodegen.h"
 #include "runtime/NativeCompiler.h"
 
+#include <cstdlib>
+
 namespace an5d {
+
+namespace {
+
+/// True when AN5D_LINT_KERNELS asks for process-wide kernel linting.
+bool lintRequestedByEnvironment() {
+  const char *Env = std::getenv("AN5D_LINT_KERNELS");
+  return Env && *Env && std::string(Env) != "0";
+}
+
+} // namespace
 
 NativeExecutor::NativeExecutor(const StencilProgram &Program,
                                const BlockConfig &Config,
@@ -40,6 +53,15 @@ NativeExecutor::NativeExecutor(const StencilProgram &Program,
   }
 
   std::string Source = generateCppKernelLibrary(Program, Config);
+  if (Options.LintKernels || lintRequestedByEnvironment()) {
+    LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                            Program.elemType());
+    if (!Report.clean()) {
+      Error = "kernel lint failed for " + Config.toString() + ":\n" +
+              Report.toString();
+      return;
+    }
+  }
   Artifact = Cache->getOrBuild(Source, Compiler, Options.ExtraCompileFlags,
                                Options.ForceRecompile);
   if (!Artifact.Ok) {

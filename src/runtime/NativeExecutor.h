@@ -28,7 +28,10 @@
 ///   int an5d_max_threads(void);           // OpenMP pool size (1 if serial)
 ///   void an5d_set_threads(int n);         // n <= 0 keeps the default
 ///   int an5d_run(void *buf0, void *buf1, const long long *extents,
-///                long long timeSteps);    // 0 on success
+///                long long timeSteps);    // 0 on success; buf0 and buf1
+///                                         // must be distinct (the blocked
+///                                         // invocation restrict-qualifies
+///                                         // them)
 ///
 /// Both buffers are padded row-major grids with a halo of radius cells per
 /// side of every dimension in `extents` (streaming dimension first) —
@@ -73,6 +76,13 @@ struct NativeRuntimeOptions {
 
   /// Rebuild even if the cache already holds the kernel.
   bool ForceRecompile = false;
+
+  /// Lint the generated translation unit (analysis/KernelLint.h) before
+  /// compiling and fail the executor on any finding — a debug gate for
+  /// codegen changes. The AN5D_LINT_KERNELS environment variable (any
+  /// non-empty value except "0") enables it process-wide; an5dc --lint
+  /// sets it per run.
+  bool LintKernels = false;
 };
 
 /// A loaded native kernel for one (stencil, configuration) pair.

@@ -6,6 +6,7 @@
 
 #include "runtime/NativeMeasurement.h"
 
+#include "analysis/ScheduleVerifier.h"
 #include "sim/Grid.h"
 
 #include <algorithm>
@@ -112,6 +113,26 @@ nativeMeasuredSweep(const StencilProgram &Program,
     Cache = OwnedCache.get();
   }
 
+  // Stage 0: static schedule verification, before any compiler runs. A
+  // candidate the interval analysis cannot prove safe is rejected here —
+  // no JIT time spent — with the verdict as its failure reason. Only
+  // configurations the feasibility model accepts are verified, so
+  // genuinely infeasible candidates keep their established "infeasible"
+  // diagnostics from the build path below.
+  if (Options.VerifySchedule) {
+    for (std::size_t I = 0; I < Candidates.size(); ++I) {
+      const BlockConfig &Config = Candidates[I].Config;
+      if (!Config.matchesDimensionality(Program.numDims()) ||
+          !Config.isFeasible(Program.radius()))
+        continue;
+      ScheduleVerifyResult Verdict = verifySchedule(Program, Config);
+      if (!Verdict.proven())
+        Results[I].FailureReason = "schedule verifier rejected " +
+                                   Config.toString() + ": " +
+                                   Verdict.Violations.front().toString();
+    }
+  }
+
   // Stage 1: compile every candidate's kernel across the pool. Executors
   // land in their own pre-allocated slot, so the stage is race-free; the
   // shared cache deduplicates identical sources (e.g. register-cap
@@ -122,6 +143,8 @@ nativeMeasuredSweep(const StencilProgram &Program,
     for (std::size_t Item;
          (Item = NextItem.fetch_add(1, std::memory_order_relaxed)) <
          Candidates.size();) {
+      if (!Results[Item].FailureReason.empty())
+        continue; // verifier-rejected: never build
       Executors[Item] = std::make_unique<NativeExecutor>(
           Program, Candidates[Item].Config, Options.Runtime, Cache);
     }
@@ -146,6 +169,8 @@ nativeMeasuredSweep(const StencilProgram &Program,
   double FlopsPerCell =
       static_cast<double>(Program.flopsPerCell().total());
   for (std::size_t I = 0; I < Candidates.size(); ++I) {
+    if (!Results[I].FailureReason.empty())
+      continue; // verifier-rejected in stage 0
     if (!Executors[I] || !Executors[I]->ok()) {
       // Not an infeasible configuration: record why the kernel never ran
       // so the tuner can surface compile failures distinctly.

@@ -44,6 +44,12 @@ void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
   Diags.push_back({DiagnosticKind::Note, Loc, std::move(Message)});
 }
 
+void DiagnosticEngine::report(Diagnostic D) {
+  if (D.Kind == DiagnosticKind::Error)
+    ++NumErrors;
+  Diags.push_back(std::move(D));
+}
+
 std::string DiagnosticEngine::toString() const {
   std::string Result;
   for (const Diagnostic &D : Diags) {

@@ -48,6 +48,11 @@ public:
   /// Attaches an explanatory note at \p Loc.
   void note(SourceLocation Loc, std::string Message);
 
+  /// Records a pre-built diagnostic (the analysis passes construct theirs
+  /// structurally and hand them over whole). Errors count toward
+  /// hasErrors() exactly like error().
+  void report(Diagnostic D);
+
   bool hasErrors() const { return NumErrors > 0; }
   unsigned errorCount() const { return NumErrors; }
 

@@ -6,6 +6,7 @@
 
 #include "tuning/Tuner.h"
 
+#include "analysis/ScheduleVerifier.h"
 #include "model/RegisterModel.h"
 #include "tuning/ParallelSweep.h"
 
@@ -160,7 +161,22 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
   std::vector<SweepCandidate> Candidates;
   for (std::size_t P = 0; P < Problems.size(); ++P) {
     Outcomes[P].TopByModel = rankByModel(Program, Problems[P], Options.TopK);
-    for (const RankedConfig &Candidate : Outcomes[P].TopByModel)
+    for (const RankedConfig &Candidate : Outcomes[P].TopByModel) {
+      // Static schedule verification gates the sweep: a candidate the
+      // interval analysis cannot prove safe never reaches the compiler.
+      // rankByModel only emits feasibility-pruned configs, so a rejection
+      // here means the model and the verifier disagree — worth surfacing
+      // loudly rather than timing a kernel with a latent race.
+      ScheduleVerifyResult Verdict =
+          verifySchedule(Program, Candidate.Config, &Problems[P]);
+      if (!Verdict.proven()) {
+        ++Outcomes[P].VerifierRejections;
+        if (Outcomes[P].FirstRejectionReason.empty())
+          Outcomes[P].FirstRejectionReason =
+              Candidate.Config.toString() + ": " +
+              Verdict.Violations.front().toString();
+        continue;
+      }
       for (int Cap : Caps) {
         SweepCandidate Item;
         Item.Config = Candidate.Config;
@@ -168,6 +184,7 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
         Item.ProblemIndex = P;
         Candidates.push_back(std::move(Item));
       }
+    }
   }
 
   // Stage 2 (measured sweep): parallel across the pool; the reduction

@@ -70,6 +70,16 @@ struct TuneOutcome {
   std::size_t MeasurementFailures = 0;
   std::string FirstFailureReason; ///< Representative failure (e.g. the
                                   ///< compiler log of the first one).
+
+  /// Model-ranked candidates the schedule verifier
+  /// (analysis/ScheduleVerifier.h) statically rejected before any kernel
+  /// was compiled — distinct from model-infeasible candidates (silently
+  /// pruned in stage 1) and from MeasurementFailures (the backend tried
+  /// and failed). Non-zero means the feasibility model and the verifier
+  /// disagree; the cross-check suite keeps this at zero for every
+  /// enumerated configuration.
+  std::size_t VerifierRejections = 0;
+  std::string FirstRejectionReason; ///< Representative verifier verdict.
 };
 
 /// Knobs of the Section 6.3 search.

@@ -1,0 +1,767 @@
+//===- AnalysisTest.cpp - Schedule verifier and kernel lint tests -------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The static-analysis layer end to end:
+///
+///  * the schedule verifier proves every feasible enumerated configuration
+///    of every built-in stencil safe and agrees with
+///    BlockConfig::isFeasible (modulo thread caps, which are a hardware
+///    resource, not a schedule property);
+///  * mutation tests corrupt one ScheduleModel invariant at a time and
+///    assert the verifier reports exactly the matching violation kind;
+///  * the kernel linter passes every generated and golden translation
+///    unit, and each lint rule fires on a TU corrupted against it;
+///  * the kernel cache's LRU size cap evicts least-recently-used
+///    artifacts and reports evictions in its statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelLint.h"
+#include "analysis/ScheduleVerifier.h"
+#include "codegen/CppCodegen.h"
+#include "codegen/CudaCodegen.h"
+#include "runtime/KernelCache.h"
+#include "runtime/NativeCompiler.h"
+#include "sim/TimeBlockScheduler.h"
+#include "stencils/Benchmarks.h"
+#include "tuning/Tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace an5d;
+
+namespace {
+
+std::vector<std::string> allBuiltinStencils() {
+  std::vector<std::string> Names = benchmarkStencilNames();
+  for (const std::string &Extra : extraStencilNames())
+    Names.push_back(Extra);
+  return Names;
+}
+
+bool hasKind(const std::vector<ScheduleViolation> &Violations,
+             ScheduleViolationKind Kind) {
+  return std::any_of(Violations.begin(), Violations.end(),
+                     [&](const ScheduleViolation &V) { return V.Kind == Kind; });
+}
+
+bool hasRule(const LintReport &Report, LintRule Rule) {
+  return std::any_of(Report.Findings.begin(), Report.Findings.end(),
+                     [&](const LintFinding &F) { return F.Rule == Rule; });
+}
+
+std::string readGolden(const std::string &FileName) {
+  std::ifstream In(std::string(AN5D_GOLDEN_DIR) + "/" + FileName);
+  EXPECT_TRUE(In.good()) << "missing golden file " << FileName;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// A known-good 2D model to mutate: j2d5pt (radius 1) at bT=2.
+ScheduleModel referenceModel2d(int Degree = 2) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS = {32};
+  C.HS = 8;
+  return buildScheduleModel(*P, C, Degree);
+}
+
+/// A known-good 1D pure-streaming model (empty bS).
+ScheduleModel referenceModel1d(int Degree = 2) {
+  auto P = makeStarStencil(1, 1, ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS.clear();
+  C.HS = 8;
+  return buildScheduleModel(*P, C, Degree);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Schedule verifier: agreement with the feasibility model
+//===----------------------------------------------------------------------===//
+
+// The cross-check the tuner's VerifierRejections counter relies on: for
+// every built-in stencil and every enumerated configuration, the interval
+// analysis and BlockConfig::isFeasible reach the same verdict once the
+// thread cap (out of the verifier's scope) is lifted.
+TEST(ScheduleVerifier, AgreesWithFeasibilityOnEveryEnumeratedConfig) {
+  Tuner T(GpuSpec::teslaV100());
+  for (const std::string &Name : allBuiltinStencils()) {
+    auto Program = makeBenchmarkStencil(Name, ScalarType::Float);
+    ASSERT_NE(Program, nullptr) << Name;
+    for (const BlockConfig &Config : T.enumerateConfigs(*Program)) {
+      ASSERT_TRUE(Config.matchesDimensionality(Program->numDims()))
+          << Name << " " << Config.toString();
+      const bool Feasible = Config.isFeasible(Program->radius(), INT_MAX);
+      ScheduleVerifyResult Verdict = verifySchedule(*Program, Config);
+      EXPECT_EQ(Verdict.proven(), Feasible)
+          << Name << " " << Config.toString() << ": "
+          << Verdict.toString();
+      EXPECT_EQ(Verdict.DegreesChecked, Config.BT)
+          << Name << " " << Config.toString();
+      if (!Feasible)
+        EXPECT_TRUE(hasKind(Verdict.Violations,
+                            ScheduleViolationKind::BlockTooSmall))
+            << Name << " " << Config.toString() << ": "
+            << Verdict.toString();
+    }
+  }
+}
+
+TEST(ScheduleVerifier, ProvenConfigsIncludeHostScheduleCheck) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 4;
+  C.BS = {128};
+  C.HS = 256;
+  ProblemSize Problem;
+  Problem.Extents = {512, 512};
+  Problem.TimeSteps = 1000;
+  ScheduleVerifyResult Verdict = verifySchedule(*P, C, &Problem);
+  EXPECT_TRUE(Verdict.proven()) << Verdict.toString();
+  EXPECT_EQ(Verdict.DegreesChecked, 4);
+  EXPECT_NE(Verdict.toString().find("proven safe"), std::string::npos);
+}
+
+TEST(ScheduleVerifier, RejectsNonPositiveTemporalDegree) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 0;
+  C.BS = {64};
+  ScheduleVerifyResult Verdict = verifySchedule(*P, C);
+  ASSERT_FALSE(Verdict.proven());
+  EXPECT_TRUE(hasKind(Verdict.Violations,
+                      ScheduleViolationKind::TimeScheduleInvariant));
+}
+
+TEST(ScheduleVerifier, RejectsArityMismatch) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS.clear(); // 2D stencil needs one blocked dimension.
+  C.HS = 128;
+  ScheduleVerifyResult Verdict = verifySchedule(*P, C);
+  ASSERT_FALSE(Verdict.proven());
+  EXPECT_TRUE(hasKind(Verdict.Violations, ScheduleViolationKind::ConfigArity));
+}
+
+TEST(ScheduleVerifier, RejectsHaloConsumingBlock) {
+  auto P = makeJacobi2d5pt(ScalarType::Float); // radius 1
+  BlockConfig C;
+  C.BT = 4;
+  C.BS = {8}; // 8 - 2*4*1 = 0: no compute region at full degree.
+  C.HS = 128;
+  EXPECT_FALSE(C.isFeasible(P->radius(), INT_MAX));
+  ScheduleVerifyResult Verdict = verifySchedule(*P, C);
+  ASSERT_FALSE(Verdict.proven());
+  EXPECT_TRUE(hasKind(Verdict.Violations,
+                      ScheduleViolationKind::BlockTooSmall));
+  // Only the degrees whose halo overflows the block are flagged: degree 4
+  // needs 8 halo lanes, degree 3 needs 6 (leaving width 2). The partial
+  // degrees stay safe, and each violation names the offending degree.
+  for (const ScheduleViolation &V : Verdict.Violations)
+    EXPECT_EQ(V.Degree, 4) << V.toString();
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule verifier: mutation tests (one corrupted invariant, one kind)
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleVerifierMutation, ReferenceModelsAreProven) {
+  EXPECT_TRUE(verifyScheduleModel(referenceModel2d(1)).empty());
+  EXPECT_TRUE(verifyScheduleModel(referenceModel2d(2)).empty());
+  EXPECT_TRUE(verifyScheduleModel(referenceModel1d(1)).empty());
+  EXPECT_TRUE(verifyScheduleModel(referenceModel1d(2)).empty());
+}
+
+TEST(ScheduleVerifierMutation, ShallowRingIsClobbered) {
+  ScheduleModel M = referenceModel2d();
+  --M.RingDepth; // 2*rad + 1 -> 2*rad: the consumer's oldest plane is hit.
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_FALSE(Violations.empty());
+  EXPECT_TRUE(hasKind(Violations, ScheduleViolationKind::RingClobber));
+  EXPECT_FALSE(hasKind(Violations, ScheduleViolationKind::HaloViolation));
+}
+
+TEST(ScheduleVerifierMutation, ShrunkTierReachViolatesHalo) {
+  ScheduleModel M = referenceModel2d(); // degree 2: tier 1 reach = rad.
+  --M.Tiers[0].Reach; // Tier 2's taps now escape tier 1's valid region.
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_FALSE(Violations.empty());
+  EXPECT_TRUE(hasKind(Violations, ScheduleViolationKind::HaloViolation));
+}
+
+TEST(ScheduleVerifierMutation, ShrunkLoadSpanViolatesHalo) {
+  ScheduleModel M = referenceModel2d();
+  --M.LoadSpanHalo; // Tier 1's leftmost tap now reads an unloaded lane.
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_FALSE(Violations.empty());
+  EXPECT_TRUE(hasKind(Violations, ScheduleViolationKind::HaloViolation));
+  // The violation names the blocked axis and the offending tap offset.
+  EXPECT_EQ(Violations.front().Axis, 1);
+  EXPECT_EQ(Violations.front().Offset, -1);
+}
+
+TEST(ScheduleVerifierMutation, ShrunkGridHaloViolatesHalo) {
+  ScheduleModel M = referenceModel2d();
+  --M.GridHalo; // radius-1 halo cannot hold radius-1 taps.
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_FALSE(Violations.empty());
+  for (const ScheduleViolation &V : Violations)
+    EXPECT_EQ(V.Kind, ScheduleViolationKind::HaloViolation) << V.toString();
+}
+
+TEST(ScheduleVerifierMutation, SwappedWaveOrderIsCaught) {
+  ScheduleModel M = referenceModel2d(); // degree 2
+  // Tier 1 now runs *after* tier 2 within a streaming step, so tier 2's
+  // same-step read of its producer's newest plane breaks.
+  std::swap(M.Tiers[0].OrderPosition, M.Tiers[1].OrderPosition);
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_FALSE(Violations.empty());
+  EXPECT_TRUE(hasKind(Violations,
+                      ScheduleViolationKind::WaveOrderViolation));
+}
+
+TEST(ScheduleVerifierMutation, SwappedStreamLagsAreCaught) {
+  ScheduleModel M = referenceModel2d(); // degree 2
+  // Tier 2 now runs *ahead* of tier 1 in the stream: it reads planes its
+  // producer has not written.
+  std::swap(M.Tiers[0].StreamLag, M.Tiers[1].StreamLag);
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_FALSE(Violations.empty());
+  EXPECT_TRUE(hasKind(Violations,
+                      ScheduleViolationKind::WaveOrderViolation));
+}
+
+TEST(ScheduleVerifierMutation, OverlappingBlocksAreARace) {
+  ScheduleModel M = referenceModel2d();
+  --M.BlockStride[0]; // Adjacent blocks now share one written lane.
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations.front().Kind, ScheduleViolationKind::RaceOverlap);
+  EXPECT_EQ(Violations.front().Axis, 1);
+  EXPECT_EQ(Violations.front().Offset, 1); // one overlapping cell
+}
+
+TEST(ScheduleVerifierMutation, StretchedBlockStrideLeavesAGap) {
+  ScheduleModel M = referenceModel2d();
+  ++M.BlockStride[0];
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations.front().Kind, ScheduleViolationKind::CoverageGap);
+}
+
+TEST(ScheduleVerifierMutation, WidenedStoreIsARace) {
+  ScheduleModel M = referenceModel2d();
+  ++M.StoreWidth[0]; // Stores one lane into the neighbor's region...
+  auto Violations = verifyScheduleModel(M);
+  EXPECT_TRUE(hasKind(Violations, ScheduleViolationKind::RaceOverlap));
+  // ...which is also a lane the final tier never computed.
+  EXPECT_TRUE(hasKind(Violations, ScheduleViolationKind::HaloViolation));
+}
+
+TEST(ScheduleVerifierMutation, OverlappingChunksAreARace) {
+  ScheduleModel M = referenceModel1d();
+  --M.ChunkStride;
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations.front().Kind, ScheduleViolationKind::RaceOverlap);
+  EXPECT_EQ(Violations.front().Axis, 0); // the streaming axis
+}
+
+TEST(ScheduleVerifierMutation, StretchedChunkStrideLeavesAGap) {
+  ScheduleModel M = referenceModel1d();
+  ++M.ChunkStride;
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations.front().Kind, ScheduleViolationKind::CoverageGap);
+}
+
+TEST(ScheduleVerifierMutation, MissingTierIsATimeScheduleInvariant) {
+  ScheduleModel M = referenceModel2d(); // degree 2, two tiers
+  M.Tiers.pop_back();
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations.front().Kind,
+            ScheduleViolationKind::TimeScheduleInvariant);
+}
+
+TEST(ScheduleVerifierMutation, ExtraBlockedAxisIsAnArityViolation) {
+  ScheduleModel M = referenceModel1d();
+  M.BS.push_back(10); // A 1D stream has no blocked axes.
+  auto Violations = verifyScheduleModel(M);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations.front().Kind, ScheduleViolationKind::ConfigArity);
+}
+
+TEST(ScheduleVerifierMutation, ViolationRendersAsDiagnostic) {
+  ScheduleModel M = referenceModel2d();
+  --M.RingDepth;
+  ScheduleVerifyResult Result;
+  Result.Violations = verifyScheduleModel(M);
+  ASSERT_FALSE(Result.proven());
+  DiagnosticEngine Diags;
+  Result.render(Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), Result.Violations.size());
+  EXPECT_NE(Diags.toString().find("ring-clobber"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Host time-block schedule invariants
+//===----------------------------------------------------------------------===//
+
+TEST(TimeBlockInvariants, GeneratedSchedulesPass) {
+  for (int BT = 1; BT <= 8; ++BT)
+    for (long long Steps = 1; Steps <= 40; ++Steps)
+      EXPECT_EQ(describeTimeBlockScheduleViolation(
+                    scheduleTimeBlocks(Steps, BT), Steps, BT),
+                "")
+          << "BT=" << BT << " steps=" << Steps;
+}
+
+TEST(TimeBlockInvariants, DegreeOutOfBoundsIsNamed) {
+  std::string Broken = describeTimeBlockScheduleViolation({5}, 5, 4);
+  EXPECT_NE(Broken.find("degree 5"), std::string::npos);
+  EXPECT_NE(describeTimeBlockScheduleViolation({0, 5}, 5, 4), "");
+}
+
+TEST(TimeBlockInvariants, StepSumMismatchIsNamed) {
+  std::string Broken = describeTimeBlockScheduleViolation({2, 1}, 5, 2);
+  EXPECT_NE(Broken.find("3"), std::string::npos);
+  EXPECT_NE(Broken.find("5"), std::string::npos);
+}
+
+TEST(TimeBlockInvariants, CallCountParityMismatchIsNamed) {
+  // Two calls of degree 2 cover 4 steps but 5 are required; 2+3 covers 5
+  // with even calls for an odd step count: parity broken.
+  std::string Broken = describeTimeBlockScheduleViolation({2, 3}, 5, 3);
+  EXPECT_NE(Broken.find("parity"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel lint: every generated and golden TU is clean
+//===----------------------------------------------------------------------===//
+
+TEST(KernelLint, AllGeneratedKernelLibrariesAreClean) {
+  for (const std::string &Name : allBuiltinStencils()) {
+    for (ScalarType Type : {ScalarType::Float, ScalarType::Double}) {
+      auto Program = makeBenchmarkStencil(Name, Type);
+      ASSERT_NE(Program, nullptr) << Name;
+      BlockConfig C;
+      C.BT = 2;
+      if (Program->numDims() == 2)
+        C.BS = {64};
+      else if (Program->numDims() == 3)
+        C.BS = {16, 16};
+      C.HS = 128;
+      LintReport Report = lintTranslationUnit(
+          generateCppKernelLibrary(*Program, C), LintTarget::KernelLibrary,
+          Type);
+      EXPECT_TRUE(Report.clean())
+          << Name << " "
+          << (Type == ScalarType::Float ? "float" : "double") << ":\n"
+          << Report.toString();
+    }
+  }
+}
+
+TEST(KernelLint, AllGeneratedCheckProgramsAreClean) {
+  for (const std::string &Name : allBuiltinStencils()) {
+    for (ScalarType Type : {ScalarType::Float, ScalarType::Double}) {
+      auto Program = makeBenchmarkStencil(Name, Type);
+      ASSERT_NE(Program, nullptr) << Name;
+      BlockConfig C;
+      C.BT = 2;
+      int Rad = Program->radius();
+      if (Program->numDims() == 2)
+        C.BS = {4 * Rad + 8};
+      else if (Program->numDims() == 3)
+        C.BS = {4 * Rad + 8, 4 * Rad + 8};
+      C.HS = 8;
+      ProblemSize Problem;
+      Problem.Extents = Program->numDims() == 1
+                            ? std::vector<long long>{95}
+                        : Program->numDims() == 2
+                            ? std::vector<long long>{40, 37}
+                            : std::vector<long long>{14, 12, 11};
+      Problem.TimeSteps = 11;
+      LintReport Report = lintTranslationUnit(
+          generateCppCheckProgram(*Program, C, Problem),
+          LintTarget::CheckProgram, Type);
+      EXPECT_TRUE(Report.clean())
+          << Name << " "
+          << (Type == ScalarType::Float ? "float" : "double") << ":\n"
+          << Report.toString();
+    }
+  }
+}
+
+TEST(KernelLint, GoldenTranslationUnitsAreClean) {
+  struct GoldenCase {
+    const char *File;
+    LintTarget Target;
+    ScalarType Type;
+  } Cases[] = {
+      {"an5d_j2d5pt_omp.cpp.golden", LintTarget::KernelLibrary,
+       ScalarType::Float},
+      {"an5d_star1d1r_omp.cpp.golden", LintTarget::KernelLibrary,
+       ScalarType::Float},
+      {"an5d_j2d5pt_check.cpp.golden", LintTarget::CheckProgram,
+       ScalarType::Float},
+      {"an5d_star1d1r_check.cpp.golden", LintTarget::CheckProgram,
+       ScalarType::Float},
+      {"an5d_star3d1r_check.cpp.golden", LintTarget::CheckProgram,
+       ScalarType::Double},
+      {"an5d_j2d5pt_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
+      {"an5d_star3d1r_bt3.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Double},
+  };
+  for (const GoldenCase &Case : Cases) {
+    LintReport Report =
+        lintTranslationUnit(readGolden(Case.File), Case.Target, Case.Type);
+    EXPECT_TRUE(Report.clean()) << Case.File << ":\n" << Report.toString();
+  }
+}
+
+TEST(KernelLint, GeneratedCudaKernelIsClean) {
+  auto P = makeJacobi3d27pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS = {32, 16};
+  C.HS = 128;
+  GeneratedCuda Cuda = generateCuda(*P, C);
+  LintReport Report = lintTranslationUnit(Cuda.KernelSource,
+                                          LintTarget::CudaKernel,
+                                          ScalarType::Float);
+  EXPECT_TRUE(Report.clean()) << Report.toString();
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel lint: each rule fires on a TU corrupted against it
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The kernel-library source the corruption tests mutate.
+std::string cleanLibrarySource() {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS = {64};
+  C.HS = 128;
+  return generateCppKernelLibrary(*P, C);
+}
+
+/// Replaces the first occurrence of \p From in \p Text with \p To,
+/// asserting it exists (a corruption that fails to apply would silently
+/// test nothing).
+std::string replaceFirst(std::string Text, const std::string &From,
+                         const std::string &To) {
+  size_t Pos = Text.find(From);
+  EXPECT_NE(Pos, std::string::npos) << "corruption target missing: " << From;
+  if (Pos != std::string::npos)
+    Text.replace(Pos, From.size(), To);
+  return Text;
+}
+
+} // namespace
+
+TEST(KernelLintMutation, MissingAbiSymbolIsFlagged) {
+  std::string Source =
+      replaceFirst(cleanLibrarySource(), "an5d_block_time", "an5d_blk_time");
+  LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                          ScalarType::Float);
+  ASSERT_FALSE(Report.clean());
+  EXPECT_TRUE(hasRule(Report, LintRule::MissingSymbol));
+  EXPECT_EQ(Report.Findings.front().Subject, "an5d_block_time");
+}
+
+TEST(KernelLintMutation, MissingExternCIsFlagged) {
+  std::string Source = cleanLibrarySource();
+  // The library may open several extern "C" regions; blank every one.
+  for (size_t Pos; (Pos = Source.find("extern \"C\"")) != std::string::npos;)
+    Source.replace(Pos, 10, "          ");
+  LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                          ScalarType::Float);
+  EXPECT_TRUE(hasRule(Report, LintRule::MissingExternC));
+}
+
+TEST(KernelLintMutation, WrongAbiVersionIsFlagged) {
+  std::string Source = replaceFirst(cleanLibrarySource(),
+                                    "an5d_abi_version(void) { return 1; }",
+                                    "an5d_abi_version(void) { return 7; }");
+  LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                          ScalarType::Float);
+  ASSERT_FALSE(Report.clean());
+  EXPECT_TRUE(hasRule(Report, LintRule::AbiVersionMismatch));
+}
+
+TEST(KernelLintMutation, UnsuffixedFloatLiteralIsFlagged) {
+  // The j2d5pt 5.1 coefficient rounds to float as 5.0999999f; dropping
+  // the suffix makes it evaluate in double precision.
+  std::string Source =
+      replaceFirst(cleanLibrarySource(), "5.0999999f", "5.0999999");
+  LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                          ScalarType::Float);
+  ASSERT_FALSE(Report.clean());
+  ASSERT_TRUE(hasRule(Report, LintRule::FloatLiteralPolicy));
+  EXPECT_EQ(Report.Findings.front().Subject, "5.0999999");
+  EXPECT_GT(Report.Findings.front().Line, 0);
+}
+
+TEST(KernelLintMutation, SuffixedLiteralInDoubleTuIsFlagged) {
+  auto P = makeJacobi2d5pt(ScalarType::Double);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS = {64};
+  C.HS = 128;
+  std::string Source = generateCppKernelLibrary(*P, C);
+  ASSERT_TRUE(lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                  ScalarType::Double)
+                  .clean());
+  Source += "\nstatic const double an5d_lint_probe = 2.5f;\n";
+  LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                          ScalarType::Double);
+  ASSERT_FALSE(Report.clean());
+  EXPECT_TRUE(hasRule(Report, LintRule::FloatLiteralPolicy));
+  EXPECT_EQ(Report.Findings.front().Subject, "2.5f");
+}
+
+TEST(KernelLintMutation, BannedCallIsFlagged) {
+  std::string Source = cleanLibrarySource() +
+                       "\nextern \"C\" void an5d_dbg(void) { "
+                       "printf(\"%d\", 1); }\n";
+  LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                          ScalarType::Float);
+  ASSERT_FALSE(Report.clean());
+  EXPECT_TRUE(hasRule(Report, LintRule::BannedCall));
+  EXPECT_EQ(Report.Findings.front().Subject, "printf");
+}
+
+TEST(KernelLintMutation, BannedCallAppliesToCheckProgramsToo) {
+  // printf is legitimate in a check program (it reports PASS/FAIL), but
+  // process control is banned in every TU flavor.
+  LintReport Clean = lintTranslationUnit(
+      "int main() { printf(\"ok\"); return 0; }", LintTarget::CheckProgram,
+      ScalarType::Float);
+  EXPECT_FALSE(hasRule(Clean, LintRule::BannedCall));
+  LintReport Dirty = lintTranslationUnit(
+      "int main() { system(\"rm\"); return 0; }", LintTarget::CheckProgram,
+      ScalarType::Float);
+  EXPECT_TRUE(hasRule(Dirty, LintRule::BannedCall));
+}
+
+TEST(KernelLintMutation, MissingRestrictIsFlagged) {
+  std::string Source = cleanLibrarySource();
+  // Strip every __restrict__ from the invocation's parameter list.
+  size_t Pos;
+  while ((Pos = Source.find("__restrict__ ")) != std::string::npos)
+    Source.erase(Pos, 13);
+  LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
+                                          ScalarType::Float);
+  ASSERT_FALSE(Report.clean());
+  EXPECT_TRUE(hasRule(Report, LintRule::MissingRestrict));
+  EXPECT_EQ(Report.Findings.front().Subject, "runInvocation");
+}
+
+TEST(KernelLintMutation, CudaWithoutGlobalKernelIsFlagged) {
+  LintReport Report = lintTranslationUnit(
+      "extern \"C\" void not_a_kernel(float *__restrict__ p) { *p = 1.0f; }",
+      LintTarget::CudaKernel, ScalarType::Float);
+  EXPECT_TRUE(hasRule(Report, LintRule::MissingKernelQualifier));
+  EXPECT_FALSE(hasRule(Report, LintRule::MissingExternC));
+  EXPECT_FALSE(hasRule(Report, LintRule::MissingRestrict));
+}
+
+TEST(KernelLintMutation, FindingRendersAsDiagnostic) {
+  LintReport Report = lintTranslationUnit("float x = 1.5;",
+                                          LintTarget::CheckProgram,
+                                          ScalarType::Float);
+  ASSERT_FALSE(Report.clean());
+  DiagnosticEngine Diags;
+  Report.render(Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.toString().find("float-literal-policy"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint internals: the comment/string stripper
+//===----------------------------------------------------------------------===//
+
+TEST(LintStripper, BlanksCommentsAndStringsPreservingLines) {
+  std::string Source = "int a; // trailing 1.5\n"
+                       "/* block 2.5\n"
+                       "   spans lines */ int b;\n"
+                       "const char *s = \"quoted 3.5 \\\" str\";\n"
+                       "char c = '7';\n";
+  std::string Stripped = stripCommentsAndStrings(Source);
+  EXPECT_EQ(std::count(Source.begin(), Source.end(), '\n'),
+            std::count(Stripped.begin(), Stripped.end(), '\n'));
+  EXPECT_EQ(Source.size(), Stripped.size());
+  EXPECT_EQ(Stripped.find("1.5"), std::string::npos);
+  EXPECT_EQ(Stripped.find("2.5"), std::string::npos);
+  EXPECT_EQ(Stripped.find("3.5"), std::string::npos);
+  EXPECT_EQ(Stripped.find('7'), std::string::npos);
+  EXPECT_NE(Stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(Stripped.find("int b;"), std::string::npos);
+}
+
+TEST(LintStripper, LiteralsInCommentsDoNotTripTheFloatPolicy) {
+  // "Section 4.3.1" in a comment must not read as an unsuffixed literal.
+  LintReport Report = lintTranslationUnit(
+      "// Section 4.3.1 halo rule\n"
+      "/* weight 0.25 documented */\n"
+      "float x = 1.5f;\n",
+      LintTarget::CheckProgram, ScalarType::Float);
+  EXPECT_FALSE(hasRule(Report, LintRule::FloatLiteralPolicy));
+}
+
+TEST(LintStripper, ScientificAndSeparatorLiteralsAreParsed) {
+  LintReport Double = lintTranslationUnit(
+      "double a = 1e9; double b = 2.5E-3; double c = 1'000.5;\n"
+      "int i = 0x1F; int j = 1'000'000;\n",
+      LintTarget::CheckProgram, ScalarType::Double);
+  EXPECT_FALSE(hasRule(Double, LintRule::FloatLiteralPolicy));
+  LintReport Float = lintTranslationUnit("float a = 1e9;",
+                                         LintTarget::CheckProgram,
+                                         ScalarType::Float);
+  EXPECT_TRUE(hasRule(Float, LintRule::FloatLiteralPolicy));
+}
+
+//===----------------------------------------------------------------------===//
+// Tuner integration: the verifier never rejects what the model accepts
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierTunerIntegration, SimulatedTuneHasNoVerifierRejections) {
+  auto P = makeJacobi2d5pt(ScalarType::Float);
+  Tuner T(GpuSpec::teslaV100());
+  TuneOutcome Outcome =
+      T.tune(*P, ProblemSize::paperDefault(P->numDims()));
+  ASSERT_TRUE(Outcome.Feasible);
+  EXPECT_EQ(Outcome.VerifierRejections, 0u) << Outcome.FirstRejectionReason;
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel cache: LRU size cap
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string freshCacheDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "an5d-analysis-cache-" + Tag;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// A trivially compilable source whose size (and hash) varies with \p Tag.
+std::string tinySource(const std::string &Tag) {
+  return "extern \"C\" int an5d_tag_" + Tag + "(void) { return " +
+         std::to_string(Tag.size()) + "; }\n";
+}
+
+} // namespace
+
+TEST(KernelCacheLru, DefaultCapComesFromTheEnvironment) {
+  unsetenv("AN5D_KERNEL_CACHE_MAX_MB");
+  EXPECT_EQ(KernelCache::defaultMaxBytes(), 512LL << 20);
+  setenv("AN5D_KERNEL_CACHE_MAX_MB", "64", 1);
+  EXPECT_EQ(KernelCache::defaultMaxBytes(), 64LL << 20);
+  setenv("AN5D_KERNEL_CACHE_MAX_MB", "0", 1);
+  EXPECT_EQ(KernelCache::defaultMaxBytes(), 0);
+  unsetenv("AN5D_KERNEL_CACHE_MAX_MB");
+  KernelCache Cache(freshCacheDir("default-cap"));
+  EXPECT_EQ(Cache.maxBytes(), 512LL << 20);
+}
+
+TEST(KernelCacheLru, EvictsLeastRecentlyUsedOverCap) {
+  NativeCompiler Compiler;
+  if (!Compiler.available())
+    GTEST_SKIP() << "no host compiler";
+  // A cap of one byte keeps nothing but the artifact just built.
+  KernelCache Cache(freshCacheDir("evict"), 1);
+  KernelArtifact A = Cache.getOrBuild(tinySource("a"), Compiler);
+  ASSERT_TRUE(A.Ok) << A.Log;
+  EXPECT_TRUE(std::filesystem::exists(A.LibraryPath));
+
+  KernelArtifact B = Cache.getOrBuild(tinySource("b"), Compiler);
+  ASSERT_TRUE(B.Ok) << B.Log;
+  // B survives (eviction never removes the key just built); A is gone.
+  EXPECT_TRUE(std::filesystem::exists(B.LibraryPath));
+  EXPECT_FALSE(std::filesystem::exists(A.LibraryPath));
+  EXPECT_FALSE(std::filesystem::exists(A.SourcePath));
+  EXPECT_GE(Cache.stats().Evictions, 1u);
+
+  // The evicted kernel self-heals: the next request recompiles it.
+  KernelArtifact A2 = Cache.getOrBuild(tinySource("a"), Compiler);
+  ASSERT_TRUE(A2.Ok) << A2.Log;
+  EXPECT_FALSE(A2.CacheHit);
+}
+
+TEST(KernelCacheLru, HitRefreshesRecency) {
+  NativeCompiler Compiler;
+  if (!Compiler.available())
+    GTEST_SKIP() << "no host compiler";
+  // Generous cap first so three artifacts coexist.
+  std::string Dir = freshCacheDir("touch");
+  KernelArtifact A, B;
+  {
+    KernelCache Warm(Dir, 0);
+    A = Warm.getOrBuild(tinySource("older"), Compiler);
+    ASSERT_TRUE(A.Ok) << A.Log;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    B = Warm.getOrBuild(tinySource("newer"), Compiler);
+    ASSERT_TRUE(B.Ok) << B.Log;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Touch A: a cache hit must refresh its recency, making B the LRU.
+    KernelArtifact Hit = Warm.getOrBuild(tinySource("older"), Compiler);
+    ASSERT_TRUE(Hit.Ok);
+    EXPECT_TRUE(Hit.CacheHit);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Now a capped cache builds a third kernel: B (least recently used)
+  // must go first; A (touched) survives alongside the new artifact.
+  long long Cap = static_cast<long long>(
+      std::filesystem::file_size(A.LibraryPath) +
+      std::filesystem::file_size(A.SourcePath) + 4096);
+  KernelCache Capped(Dir, Cap);
+  KernelArtifact C = Capped.getOrBuild(tinySource("third"), Compiler);
+  ASSERT_TRUE(C.Ok) << C.Log;
+  EXPECT_TRUE(std::filesystem::exists(C.LibraryPath));
+  EXPECT_FALSE(std::filesystem::exists(B.LibraryPath));
+  EXPECT_GE(Capped.stats().Evictions, 1u);
+}
+
+TEST(KernelCacheLru, UnlimitedCacheNeverEvicts) {
+  NativeCompiler Compiler;
+  if (!Compiler.available())
+    GTEST_SKIP() << "no host compiler";
+  KernelCache Cache(freshCacheDir("unlimited"), 0);
+  EXPECT_EQ(Cache.maxBytes(), 0);
+  std::vector<KernelArtifact> Artifacts;
+  for (const char *Tag : {"one", "two", "three"}) {
+    Artifacts.push_back(Cache.getOrBuild(tinySource(Tag), Compiler));
+    ASSERT_TRUE(Artifacts.back().Ok) << Artifacts.back().Log;
+  }
+  for (const KernelArtifact &Artifact : Artifacts)
+    EXPECT_TRUE(std::filesystem::exists(Artifact.LibraryPath));
+  EXPECT_EQ(Cache.stats().Evictions, 0u);
+}

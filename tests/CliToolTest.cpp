@@ -394,3 +394,40 @@ TEST(CliTool, ZeroMeasureRepeatsRejected) {
   EXPECT_NE(Code, 0);
   EXPECT_NE(Output.find("for --measure-repeats"), std::string::npos);
 }
+
+TEST(CliTool, VerifySchedulePrintsProof) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d5pt --bt 4 --bs 128 --hs 256 "
+                "--verify-schedule");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("proven safe"), std::string::npos) << Output;
+  EXPECT_NE(Output.find("4 degree(s)"), std::string::npos) << Output;
+}
+
+TEST(CliTool, VerifyScheduleWorksFor1dStreaming) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark star1d1r --bt 2 --hs 64 --verify-schedule");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("proven safe"), std::string::npos) << Output;
+}
+
+TEST(CliTool, LintReportsCleanGeneratedSources) {
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark star3d1r --type double --bt 2 --bs 16,16 "
+                "--hs 128 --lint");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("lint (kernel library"), std::string::npos)
+      << Output;
+  EXPECT_NE(Output.find("lint (check program"), std::string::npos)
+      << Output;
+  EXPECT_EQ(Output.find("lint failed"), std::string::npos) << Output;
+}
+
+TEST(CliTool, VerifyScheduleComposesWithTune) {
+  // The tuned configuration must itself pass the static proof.
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark j2d5pt --tune --verify-schedule");
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("tuned:"), std::string::npos) << Output;
+  EXPECT_NE(Output.find("proven safe"), std::string::npos) << Output;
+}

@@ -37,6 +37,14 @@
 ///                        and to --run-native
 ///   --print-stencil      show the detected stencil and classification
 ///   --print-model        show the roofline breakdown for the configuration
+///   --verify-schedule    statically prove the configuration's schedule
+///                        safe (halo coverage, ring depth, wavefront
+///                        order, OpenMP write-set disjointness) without
+///                        compiling anything; non-zero exit on violation
+///   --lint               lint the generated kernel-library and
+///                        check-program sources (ABI symbols, exact-float
+///                        literals, banned calls, restrict qualifiers)
+///                        and lint every JIT kernel before compiling it
 ///   --emit-cuda DIR      write <kernel>.cu and <kernel>_host.cpp to DIR
 ///   --emit-check DIR     write the self-checking portable C++ program
 ///   --emit-omp DIR       write the callable OpenMP kernel library source
@@ -49,6 +57,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelLint.h"
+#include "analysis/ScheduleVerifier.h"
 #include "codegen/CppCodegen.h"
 #include "codegen/CudaCodegen.h"
 #include "codegen/LoopTilingCodegen.h"
@@ -101,6 +111,8 @@ struct CliOptions {
   bool DivToMul = false;
   bool Verify = false;
   bool VerifyNative = false;
+  bool VerifySchedule = false;
+  bool Lint = false;
   bool RunNative = false;
   NativeRuntimeOptions NativeOpts;
   CodegenOptions Codegen;
@@ -121,7 +133,8 @@ void printUsage() {
       "  --tune-threads N --tune-topk N --measure simulated|native\n"
       "  --measure-threads N --measure-repeats N\n"
       "  --print-stencil --print-model --report --verify\n"
-      "  --verify-native --run-native --kernel-cache DIR\n"
+      "  --verify-native --verify-schedule --lint\n"
+      "  --run-native --kernel-cache DIR\n"
       "  --simplify --div-to-mul\n"
       "  --no-assoc-opt --no-dafree-opt --vectorized-smem --unroll-inner\n"
       "  --emit-cuda DIR --emit-check DIR --emit-omp DIR "
@@ -270,6 +283,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.NativeOpts.CacheDir = V;
     } else if (Arg == "--verify-native") {
       Options.VerifyNative = true;
+    } else if (Arg == "--verify-schedule") {
+      Options.VerifySchedule = true;
+    } else if (Arg == "--lint") {
+      Options.Lint = true;
+      Options.NativeOpts.LintKernels = true;
     } else if (Arg == "--run-native") {
       Options.RunNative = true;
     } else if (Arg == "--print-stencil") {
@@ -600,6 +618,58 @@ int main(int Argc, char **Argv) {
                    Config.toString().c_str(), Program->radius());
       return 1;
     }
+  }
+
+  if (Options.VerifySchedule) {
+    // Static proof over every temporal degree the host schedule can
+    // issue, plus the Section 4.3.1 host-schedule postconditions for the
+    // problem's step count. Nothing is compiled or executed.
+    ScheduleVerifyResult Verdict = verifySchedule(*Program, Config,
+                                                  &Problem);
+    if (Verdict.proven()) {
+      std::printf("verify-schedule (%s): proven safe (%d degree(s): halo "
+                  "coverage, ring depth, wave order, write-set "
+                  "disjointness)\n",
+                  Config.toString().c_str(), Verdict.DegreesChecked);
+    } else {
+      std::fprintf(stderr, "an5dc: schedule verification failed for %s:\n%s",
+                   Config.toString().c_str(), Verdict.toString().c_str());
+      return 1;
+    }
+  }
+
+  if (Options.Lint) {
+    // Lint the sources --emit-omp and --emit-check would write for this
+    // configuration (JIT candidates are additionally linted through
+    // NativeRuntimeOptions::LintKernels, set alongside this flag).
+    bool Clean = true;
+    auto LintOne = [&](const std::string &Source, LintTarget Target,
+                       const char *Tag) {
+      LintReport Report = lintTranslationUnit(Source, Target,
+                                              Program->elemType());
+      if (Report.clean()) {
+        std::printf("lint (%s, %s): clean\n", Tag,
+                    Config.toString().c_str());
+      } else {
+        std::fprintf(stderr, "an5dc: lint failed for the %s:\n%s", Tag,
+                     Report.toString().c_str());
+        Clean = false;
+      }
+    };
+    LintOne(generateCppKernelLibrary(*Program, Config),
+            LintTarget::KernelLibrary, "kernel library");
+    ProblemSize CheckSize;
+    CheckSize.Extents = Program->numDims() == 1
+                            ? std::vector<long long>{95}
+                        : Program->numDims() == 2
+                            ? std::vector<long long>{40, 37}
+                            : std::vector<long long>{14, 12, 11};
+    CheckSize.TimeSteps = 11;
+    LintOne(generateCppCheckProgram(
+                *Program, verificationConfig(*Program, Config), CheckSize),
+            LintTarget::CheckProgram, "check program");
+    if (!Clean)
+      return 1;
   }
 
   if (Options.Report)
