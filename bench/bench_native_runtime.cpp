@@ -54,9 +54,10 @@ struct Scenario {
   long long Steps;
 };
 
-Scenario makeScenario(const std::string &Name) {
+Scenario makeScenario(const std::string &Name,
+                      ScalarType Type = ScalarType::Float) {
   Scenario S;
-  S.Program = makeBenchmarkStencil(Name, ScalarType::Float);
+  S.Program = makeBenchmarkStencil(Name, Type);
   if (S.Program->numDims() == 1) {
     // Pure streaming: bS stays empty, parallelism comes from hS chunks.
     S.Config.BT = 8;
@@ -81,14 +82,14 @@ Scenario makeScenario(const std::string &Name) {
 }
 
 /// Best-of-3 wall time of one tape-emulator run, for the ratio counter.
-double timeTapeNs(const Scenario &S) {
-  Grid<float> A(S.Extents, S.Program->radius()), B(A);
+template <typename T> double timeTapeNs(const Scenario &S) {
+  Grid<T> A(S.Extents, S.Program->radius()), B(A);
   fillGridDeterministic(A, 1);
   copyGrid(A, B);
   double Best = 0;
   for (int Rep = 0; Rep < 3; ++Rep) {
     auto Start = std::chrono::steady_clock::now();
-    blockedRun<float>(*S.Program, S.Config, {&A, &B}, S.Steps);
+    blockedRun<T>(*S.Program, S.Config, {&A, &B}, S.Steps);
     auto End = std::chrono::steady_clock::now();
     double Ns =
         std::chrono::duration<double, std::nano>(End - Start).count();
@@ -97,21 +98,28 @@ double timeTapeNs(const Scenario &S) {
   return Best;
 }
 
-void runTapeBench(benchmark::State &State, const std::string &Name) {
-  Scenario S = makeScenario(Name);
-  Grid<float> A(S.Extents, S.Program->radius()), B(A);
+template <typename T>
+void runTapeBench(benchmark::State &State, const std::string &Name,
+                  ScalarType Type) {
+  Scenario S = makeScenario(Name, Type);
+  Grid<T> A(S.Extents, S.Program->radius()), B(A);
   fillGridDeterministic(A, 1);
   copyGrid(A, B);
   for (auto _ : State) {
-    blockedRun<float>(*S.Program, S.Config, {&A, &B}, S.Steps);
+    blockedRun<T>(*S.Program, S.Config, {&A, &B}, S.Steps);
     benchmark::DoNotOptimize(A.raw().data());
   }
   State.SetItemsProcessed(State.iterations() * cellSteps(S.Extents, S.Steps));
 }
 
+void runTapeBench(benchmark::State &State, const std::string &Name) {
+  runTapeBench<float>(State, Name, ScalarType::Float);
+}
+
+template <typename T>
 void runNativeBench(benchmark::State &State, const std::string &Name,
-                    int Threads) {
-  Scenario S = makeScenario(Name);
+                    ScalarType Type, int Threads) {
+  Scenario S = makeScenario(Name, Type);
   NativeRuntimeOptions Options;
   Options.Threads = Threads;
   NativeExecutor Executor(*S.Program, S.Config, Options);
@@ -119,11 +127,11 @@ void runNativeBench(benchmark::State &State, const std::string &Name,
     State.SkipWithError(Executor.error().c_str());
     return;
   }
-  Grid<float> A(S.Extents, S.Program->radius()), B(A);
+  Grid<T> A(S.Extents, S.Program->radius()), B(A);
   fillGridDeterministic(A, 1);
   copyGrid(A, B);
   for (auto _ : State) {
-    Executor.run<float>({&A, &B}, S.Steps);
+    Executor.run<T>({&A, &B}, S.Steps);
     benchmark::DoNotOptimize(A.raw().data());
   }
   State.SetItemsProcessed(State.iterations() * cellSteps(S.Extents, S.Steps));
@@ -131,15 +139,20 @@ void runNativeBench(benchmark::State &State, const std::string &Name,
       static_cast<double>(Executor.kernelMaxThreads());
   // Live ratio against the tape emulator: benchmark reports per-iteration
   // time only after the fact, so time one more native run by hand.
-  double TapeNs = timeTapeNs(S);
+  double TapeNs = timeTapeNs<T>(S);
   auto Start = std::chrono::steady_clock::now();
-  Executor.run<float>({&A, &B}, S.Steps);
+  Executor.run<T>({&A, &B}, S.Steps);
   double NativeNs = std::chrono::duration<double, std::nano>(
                         std::chrono::steady_clock::now() - Start)
                         .count();
   State.counters["tape_ns_per_run"] = TapeNs;
   if (NativeNs > 0)
     State.counters["native_vs_tape_x"] = TapeNs / NativeNs;
+}
+
+void runNativeBench(benchmark::State &State, const std::string &Name,
+                    int Threads) {
+  runNativeBench<float>(State, Name, ScalarType::Float, Threads);
 }
 
 } // namespace
@@ -194,6 +207,24 @@ BENCHMARK(BM_NativeOmp_j2d5pt)
     ->ArgName("threads")
     ->Unit(benchmark::kMillisecond);
 
+// Double-precision points: same stencil and schedule, 8-byte elements —
+// BENCH_native.json tracks both element types for the native-vs-tape
+// ratio (bandwidth doubles, the tape's interpretive overhead does not).
+static void BM_TapeBlocked_j2d5pt_double(benchmark::State &State) {
+  runTapeBench<double>(State, "j2d5pt", ScalarType::Double);
+}
+BENCHMARK(BM_TapeBlocked_j2d5pt_double)->Unit(benchmark::kMillisecond);
+
+static void BM_NativeOmp_j2d5pt_double(benchmark::State &State) {
+  runNativeBench<double>(State, "j2d5pt", ScalarType::Double,
+                         static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_NativeOmp_j2d5pt_double)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_TapeBlocked_star2d2r(benchmark::State &State) {
   runTapeBench(State, "star2d2r");
 }
@@ -221,6 +252,21 @@ static void BM_NativeOmp_star3d1r(benchmark::State &State) {
   runNativeBench(State, "star3d1r", static_cast<int>(State.range(0)));
 }
 BENCHMARK(BM_NativeOmp_star3d1r)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_TapeBlocked_star3d1r_double(benchmark::State &State) {
+  runTapeBench<double>(State, "star3d1r", ScalarType::Double);
+}
+BENCHMARK(BM_TapeBlocked_star3d1r_double)->Unit(benchmark::kMillisecond);
+
+static void BM_NativeOmp_star3d1r_double(benchmark::State &State) {
+  runNativeBench<double>(State, "star3d1r", ScalarType::Double,
+                         static_cast<int>(State.range(0)));
+}
+BENCHMARK(BM_NativeOmp_star3d1r_double)
     ->Arg(1)
     ->Arg(4)
     ->ArgName("threads")

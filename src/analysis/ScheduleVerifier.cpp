@@ -127,40 +127,9 @@ void ScheduleVerifyResult::render(DiagnosticEngine &Diags) const {
 ScheduleModel an5d::buildScheduleModel(const StencilProgram &Program,
                                        const BlockConfig &Config,
                                        int Degree) {
-  const long long Rad = Program.radius();
-  ScheduleModel M;
-  M.Name = Program.name() + " " + Config.toString() + " degree " +
-           std::to_string(Degree);
-  M.NumDims = Program.numDims();
-  M.Radius = Program.radius();
-  M.Degree = Degree;
-  M.GridHalo = Rad;
-  M.RingDepth = 2 * Rad + 1;
-  M.LoadSpanHalo = Degree * Rad;
-  M.LoadStreamReach = Degree * Rad;
-  M.LoadOrderPosition = 0;
-  for (int B : Config.BS) {
-    // The emitted kernels recompute the width per invocation degree
-    // (cw = bS - 2*degree*rad), so a partial-degree call has a wider
-    // compute region than the full-bT call.
-    const long long Width = B - 2 * Degree * Rad;
-    M.BS.push_back(B);
-    M.ComputeWidth.push_back(Width);
-    M.BlockStride.push_back(Width);
-    M.StoreWidth.push_back(Width);
-  }
-  M.ChunkLength = Config.HS > 0 ? Config.HS : 0;
-  M.ChunkStride = M.ChunkLength;
-  M.Taps = Program.taps();
-  for (int T = 1; T <= Degree; ++T) {
-    TierModel Tier;
-    Tier.Tier = T;
-    Tier.OrderPosition = T;
-    Tier.StreamLag = static_cast<long long>(T) * Rad;
-    Tier.Reach = static_cast<long long>(Degree - T) * Rad;
-    M.Tiers.push_back(Tier);
-  }
-  return M;
+  // The verifier owns no schedule derivation of its own: the plan it
+  // checks is the one schedule/ScheduleIR lowers for every backend.
+  return lowerInvocation(Program, Config, Degree);
 }
 
 std::vector<ScheduleViolation>
@@ -369,10 +338,10 @@ an5d::verifyScheduleModel(const ScheduleModel &M) {
   return Out;
 }
 
-ScheduleVerifyResult an5d::verifySchedule(const StencilProgram &Program,
-                                          const BlockConfig &Config,
-                                          const ProblemSize *Problem) {
+ScheduleVerifyResult an5d::verifyScheduleIR(const ScheduleIR &IR,
+                                            const ProblemSize *Problem) {
   ScheduleVerifyResult Result;
+  const BlockConfig &Config = IR.Config;
 
   if (Config.BT < 1) {
     addViolation(Result.Violations,
@@ -382,22 +351,22 @@ ScheduleVerifyResult an5d::verifySchedule(const StencilProgram &Program,
                         Config.BT));
     return Result;
   }
-  if (static_cast<int>(Config.BS.size()) != Program.numDims() - 1) {
+  if (static_cast<int>(Config.BS.size()) != IR.NumDims - 1) {
     addViolation(Result.Violations, ScheduleViolationKind::ConfigArity,
                  Config.BT, -1, -1, 0,
                  format("bS carries %zu entr%s but %s has %d non-streaming "
                         "dimension%s",
                         Config.BS.size(), Config.BS.size() == 1 ? "y" : "ies",
-                        Program.name().c_str(), Program.numDims() - 1,
-                        Program.numDims() - 1 == 1 ? "" : "s"));
+                        IR.StencilName.c_str(), IR.NumDims - 1,
+                        IR.NumDims - 1 == 1 ? "" : "s"));
     return Result;
   }
 
   // The host schedule (Section 4.3.1) can issue any degree in [1, bT], so
-  // a config is safe only when every degree's invocation is.
-  for (int Degree = 1; Degree <= Config.BT; ++Degree) {
-    const ScheduleModel Model = buildScheduleModel(Program, Config, Degree);
-    std::vector<ScheduleViolation> V = verifyScheduleModel(Model);
+  // a config is safe only when every degree's invocation is. The IR
+  // carries exactly those invocations — no re-lowering here.
+  for (const InvocationSchedule &Invocation : IR.Invocations) {
+    std::vector<ScheduleViolation> V = verifyScheduleModel(Invocation);
     Result.Violations.insert(Result.Violations.end(),
                              std::make_move_iterator(V.begin()),
                              std::make_move_iterator(V.end()));
@@ -417,4 +386,10 @@ ScheduleVerifyResult an5d::verifySchedule(const StencilProgram &Program,
   }
 
   return Result;
+}
+
+ScheduleVerifyResult an5d::verifySchedule(const StencilProgram &Program,
+                                          const BlockConfig &Config,
+                                          const ProblemSize *Problem) {
+  return verifyScheduleIR(lowerSchedule(Program, Config), Problem);
 }

@@ -5,11 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Interval analysis over the blocked N.5D schedule: given a
-/// (StencilProgram, BlockConfig) pair, build an explicit ScheduleModel of
-/// one temporal-block invocation — ring depth, per-tier stream lag and
-/// spatial reach, work-item write strides — and statically prove, before
-/// any kernel is compiled, that
+/// Interval analysis over the blocked N.5D schedule: given the lowered
+/// schedule/ScheduleIR of a (StencilProgram, BlockConfig) pair — ring
+/// depth, per-tier stream lag and spatial reach, work-item write strides —
+/// statically prove, before any kernel is compiled, that
 ///
 ///   1. every tap read falls inside the allocated halo (the bT x radius
 ///      rule, for the padded global grid, the loaded block span, and each
@@ -23,14 +22,15 @@
 ///      chunk x block worksharing set) are pairwise disjoint and gap-free
 ///      (static race detector for the emitted `omp for`).
 ///
-/// The model mirrors sim/BlockedExecutor.h and the codegen backends: tier
-/// T at streaming step s processes sub-plane p = s - T*radius, holds a
-/// ring of RingDepth sub-planes, and keeps a valid region that shrinks by
-/// radius per tier (reach (bT - T)*radius). Violations carry a structured
-/// kind plus the offending axis, tier and tap offset, and render as
-/// support/Diagnostic errors.
+/// The verifier checks the exact InvocationSchedule object the emulator
+/// and both codegen backends render (tier T at streaming step s processes
+/// sub-plane p = s - T*radius, holds a ring of RingDepth sub-planes, and
+/// keeps a valid region that shrinks by radius per tier, reach
+/// (bT - T)*radius) — so a proof here covers every consumer of the IR.
+/// Violations carry a structured kind plus the offending axis, tier and
+/// tap offset, and render as support/Diagnostic errors.
 ///
-/// The model's fields are deliberately mutable so tests can corrupt one
+/// The IR's fields are deliberately mutable so tests can corrupt one
 /// invariant at a time (shrink a halo, swap a wave, overlap two lanes)
 /// and assert the verifier flags exactly that corruption.
 ///
@@ -41,6 +41,7 @@
 
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
+#include "schedule/ScheduleIR.h"
 #include "support/Diagnostic.h"
 
 #include <string>
@@ -115,77 +116,16 @@ struct ScheduleVerifyResult {
   void render(DiagnosticEngine &Diags) const;
 };
 
-/// One computing tier of the pipeline (tiers 1..degree; the tier-0 load
-/// stage is modeled by the Load* fields of ScheduleModel).
-struct TierModel {
-  int Tier = 1;
-  /// Execution position within one streaming step. The load stage runs at
-  /// LoadOrderPosition; a consumer may read a producer's same-step write
-  /// only if the producer's position is smaller.
-  int OrderPosition = 1;
-  /// Tier T processes sub-plane s - StreamLag at streaming step s.
-  long long StreamLag = 0;
-  /// Half-width of the tier's valid region beyond the compute region, in
-  /// cells, on every axis: (degree - T) * radius by construction.
-  long long Reach = 0;
-};
+/// The verifier operates directly on the schedule IR: the per-degree
+/// invocation plan is schedule/ScheduleIR.h's InvocationSchedule, kept
+/// under its historical verifier-side names for the mutation tests.
+using TierModel = TierSchedule;
+using ScheduleModel = InvocationSchedule;
 
-/// Explicit model of one temporal-block invocation at a fixed degree.
-/// buildScheduleModel derives it from (program, config); every field is a
-/// plain value so tests can corrupt single invariants.
-struct ScheduleModel {
-  std::string Name; ///< "<stencil> <config> degree <d>" for messages.
-  int NumDims = 1;  ///< Spatial dimensions (streaming dim included).
-  int Radius = 1;
-  int Degree = 1;
-
-  /// Halo cells allocated per side of every axis of the global padded
-  /// buffers (Grid layout: radius).
-  long long GridHalo = 0;
-
-  /// Sub-planes per tier ring (2*radius + 1 by construction).
-  long long RingDepth = 0;
-
-  /// Loaded block span per blocked axis (bS_i), and the span's left halo:
-  /// lanes [-LoadSpanHalo, BS_i - LoadSpanHalo) relative to the block
-  /// origin (degree * radius by construction).
-  std::vector<long long> BS;
-  long long LoadSpanHalo = 0;
-
-  /// Stream-direction reach of the tier-0 load beyond the chunk bounds
-  /// (degree * radius by construction).
-  long long LoadStreamReach = 0;
-
-  /// Execution position of the tier-0 load within one streaming step.
-  int LoadOrderPosition = 0;
-
-  /// Compute-region width per blocked axis (bS_i - 2*degree*radius).
-  std::vector<long long> ComputeWidth;
-
-  /// Origin stride between adjacent blocks per blocked axis (compute
-  /// width by construction: block b owns [b*Stride, b*Stride + Store)).
-  std::vector<long long> BlockStride;
-
-  /// Cells the final tier stores per blocked axis from each block
-  /// (compute width by construction).
-  std::vector<long long> StoreWidth;
-
-  /// Stream-chunk length and the stride between adjacent chunk starts
-  /// (hS and hS; 0 disables chunking — one chunk spans the extent and
-  /// the streaming axis carries no concurrency).
-  long long ChunkLength = 0;
-  long long ChunkStride = 0;
-
-  /// Deduplicated tap offsets (streaming component first).
-  std::vector<std::vector<int>> Taps;
-
-  /// Computing tiers 1..degree in pipeline order.
-  std::vector<TierModel> Tiers;
-};
-
-/// Derives the ScheduleModel the emulator and both codegen backends
-/// implement for \p Config at temporal degree \p Degree (1 <= Degree <=
-/// Config.BT; the host schedule can issue any such degree).
+/// Derives the per-degree invocation plan (1 <= Degree <= Config.BT; the
+/// host schedule can issue any such degree). Thin alias over
+/// schedule/ScheduleIR.h's lowerInvocation — the verifier checks exactly
+/// what the backends render.
 ScheduleModel buildScheduleModel(const StencilProgram &Program,
                                  const BlockConfig &Config, int Degree);
 
@@ -193,12 +133,18 @@ ScheduleModel buildScheduleModel(const StencilProgram &Program,
 /// (empty means statically proven safe at Model.Degree).
 std::vector<ScheduleViolation> verifyScheduleModel(const ScheduleModel &Model);
 
-/// Verifies \p Config for \p Program across every temporal degree in
-/// [1, Config.BT] (the host-side scheduler can issue any of them). When
-/// \p Problem is non-null, additionally validates the Section 4.3.1
+/// Verifies a lowered \p IR across every invocation degree it carries.
+/// When \p Problem is non-null, additionally validates the Section 4.3.1
 /// host-schedule postconditions for Problem->TimeSteps. Thread caps are
 /// deliberately out of scope: they are a hardware resource limit, not a
-/// schedule-safety property (see BlockConfig::isFeasible).
+/// schedule-safety property (see BlockConfig::isFeasible). This is the
+/// core entry point: the emulator, codegens, and tuner verify the same
+/// IR object they render.
+ScheduleVerifyResult verifyScheduleIR(const ScheduleIR &IR,
+                                      const ProblemSize *Problem = nullptr);
+
+/// Convenience wrapper: lowers (\p Program, \p Config) with lowerSchedule
+/// and verifies the resulting IR.
 ScheduleVerifyResult verifySchedule(const StencilProgram &Program,
                                     const BlockConfig &Config,
                                     const ProblemSize *Problem = nullptr);

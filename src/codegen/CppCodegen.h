@@ -38,20 +38,34 @@
 
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
+#include "schedule/ScheduleIR.h"
 
 #include <string>
 
 namespace an5d {
 
-/// Generates the self-checking C++ program. \p Problem fixes the grid
-/// extents and time-step count baked into the program.
+/// Renders the self-checking C++ program from a lowered schedule.
+/// \p Problem fixes the grid extents and time-step count baked into the
+/// program.
+std::string generateCppCheckProgram(const StencilProgram &Program,
+                                    const ScheduleIR &Schedule,
+                                    const ProblemSize &Problem);
+
+/// Convenience wrapper: lowers \p Config with lowerSchedule and renders
+/// the resulting IR.
 std::string generateCppCheckProgram(const StencilProgram &Program,
                                     const BlockConfig &Config,
                                     const ProblemSize &Problem);
 
-/// Generates the callable OpenMP kernel library for \p Config: the
-/// translation unit the native runtime compiles into a shared object.
-/// Extents and time-steps are parameters of the exported `an5d_run`.
+/// Renders the callable OpenMP kernel library from a lowered schedule:
+/// the translation unit the native runtime compiles into a shared
+/// object. Extents and time-steps are parameters of the exported
+/// `an5d_run`.
+std::string generateCppKernelLibrary(const StencilProgram &Program,
+                                     const ScheduleIR &Schedule);
+
+/// Convenience wrapper: lowers \p Config with lowerSchedule and renders
+/// the resulting IR.
 std::string generateCppKernelLibrary(const StencilProgram &Program,
                                      const BlockConfig &Config);
 

@@ -15,33 +15,36 @@ namespace an5d {
 
 namespace {
 
-/// Shared state for one kernel-generation run.
+/// Shared state for one kernel-generation run: a renderer over the
+/// lowered ScheduleIR (ring depth, halo policy, compute widths and chunk
+/// plan all come from the IR, never re-derived here).
 struct CudaEmitter {
   const StencilProgram &Program;
-  const BlockConfig &Config;
+  const ScheduleIR &IR;
+  const BlockConfig &Config; ///< IR.Config, for the tunable knobs.
   const CodegenOptions &Options;
 
   int Rad;
-  int RingDepth;       ///< 2*rad+1 register planes per tier.
-  int NumBlockedDims;  ///< 1 (2D) or 2 (3D).
+  int RingDepth;       ///< IR.RingDepth register planes per tier.
+  int NumBlockedDims;  ///< 0 (1D pure streaming), 1 (2D) or 2 (3D).
   bool UseDaFree;      ///< Star optimization active.
   bool UseAssociative; ///< Partial-summation optimization active.
   std::string RealT;
   std::string KernelName;
 
-  CudaEmitter(const StencilProgram &Program, const BlockConfig &Config,
+  CudaEmitter(const StencilProgram &Program, const ScheduleIR &IR,
               const CodegenOptions &Options)
-      : Program(Program), Config(Config), Options(Options),
-        Rad(Program.radius()), RingDepth(2 * Program.radius() + 1),
-        NumBlockedDims(Program.numDims() - 1),
+      : Program(Program), IR(IR), Config(IR.Config), Options(Options),
+        Rad(IR.Radius), RingDepth(static_cast<int>(IR.RingDepth)),
+        NumBlockedDims(IR.NumDims - 1),
         UseDaFree(Options.EnableDiagonalAccessFreeOpt &&
                   Program.shape() == StencilShape::Star),
         UseAssociative(Options.EnableAssociativeOpt &&
                        Program.shape() != StencilShape::Star &&
                        Program.isAssociative()),
         RealT(scalarTypeName(Program.elemType())),
-        KernelName("an5d_" + sanitize(Program.name()) + "_bt" +
-                   std::to_string(Config.BT)) {}
+        KernelName("an5d_" + sanitize(IR.StencilName) + "_bt" +
+                   std::to_string(IR.Config.BT)) {}
 
   static std::string sanitize(std::string Name) {
     for (char &C : Name)
@@ -99,9 +102,14 @@ struct CudaEmitter {
     return emitExpr(Program.update(), Emit);
   }
 
-  /// Register parameter list s0..s{2rad} of a CALC macro.
+  /// Register parameter list s0..s{2rad} of a CALC macro. The 1D
+  /// pure-streaming schedule has no shared memory, so no read-buffer
+  /// selector either.
   std::string calcParams() const {
-    std::vector<std::string> Params = {"dst", "sb", "s_idx"};
+    std::vector<std::string> Params = {"dst"};
+    if (NumBlockedDims > 0)
+      Params.push_back("sb");
+    Params.push_back("s_idx");
     for (int M = 0; M < RingDepth; ++M)
       Params.push_back("s" + std::to_string(M));
     return join(Params, ", ");
@@ -115,7 +123,8 @@ struct CudaEmitter {
                        const std::string &StreamIdx) const {
     std::vector<std::string> Args;
     Args.push_back(regName(Tier, Rotation % RingDepth));
-    Args.push_back(std::to_string((Tier + 1) % 2)); // read-buffer selector
+    if (NumBlockedDims > 0)
+      Args.push_back(std::to_string((Tier + 1) % 2)); // read-buffer selector
     Args.push_back(StreamIdx);
     for (int M = 0; M < RingDepth; ++M)
       Args.push_back(regName(Tier - 1, (Rotation + 1 + M) % RingDepth));
@@ -146,39 +155,49 @@ std::string CudaEmitter::emitMacros() const {
   Out += "// ---- generated macros: one sub-plane of one time-step each ----\n";
 
   // Global-memory indexing.
-  if (NumBlockedDims == 1) {
+  if (NumBlockedDims == 0) {
+    Out += "#define GIDX(s) ((long long)(s) + RAD)\n";
+  } else if (NumBlockedDims == 1) {
     Out += "#define GIDX(s, x) ((long long)(s) * (I_S1 + 2 * RAD) + (x))\n";
   } else {
     Out += "#define GIDX(s, y, x) (((long long)(s) * (I_S2 + 2 * RAD) + "
            "(y)) * (I_S1 + 2 * RAD) + (x))\n";
   }
 
-  // LOAD: tier-0 global read plus shared staging.
+  // LOAD: tier-0 global read, plus shared staging when a spatial tile
+  // exists (2D/3D).
   Out += "#define LOAD(dst, s_idx) do { \\\n";
   Out += "    if (InsideInput(s_idx)) { \\\n";
-  if (NumBlockedDims == 1)
+  if (NumBlockedDims == 0)
+    Out += "      (dst) = input[GIDX(s_idx)]; \\\n";
+  else if (NumBlockedDims == 1)
     Out += "      (dst) = input[GIDX((s_idx) + RAD, gx)]; \\\n";
   else
     Out += "      (dst) = input[GIDX((s_idx) + RAD, gy, gx)]; \\\n";
   Out += "    } \\\n";
-  Out += "    SM_STAGE(0, dst); \\\n";
+  if (NumBlockedDims > 0)
+    Out += "    SM_STAGE(0, dst); \\\n";
   Out += "  } while (0)\n\n";
 
   // SM_STAGE: every thread stores, out-of-bound threads included, to avoid
-  // divergent branches (Section 4.1).
+  // divergent branches (Section 4.1). The 1D schedule has no tile and
+  // therefore no shared memory.
   if (NumBlockedDims == 1)
     Out += "#define SM_STAGE(sb, v) (sm[sb][tx] = (v))\n\n";
-  else
+  else if (NumBlockedDims == 2)
     Out += "#define SM_STAGE(sb, v) (sm[sb][ty][tx] = (v))\n\n";
 
   // CALC tiers 1..bT-1: compute one sub-plane, keep it in the fixed
   // destination register and stage it for the next tier (Fig. 5 generates
   // CALC1..CALC3 for bT = 4; the final tier lives in STORE).
+  const bool PinBoundary =
+      IR.HaloPolicy == ScheduleHaloPolicy::PinBoundaryOnly;
   std::string Expr = calcExpression("sb");
   for (int Tier = 1; Tier < Config.BT; ++Tier) {
     Out += "#define CALC" + std::to_string(Tier) + "(" + calcParams() +
            ") do { \\\n";
-    Out += "    __syncthreads(); \\\n";
+    if (NumBlockedDims > 0)
+      Out += "    __syncthreads(); \\\n";
     Out += "    if (InsideBlockT" + std::to_string(Tier) +
            "(s_idx)) { \\\n";
     if (UseAssociative) {
@@ -187,12 +206,19 @@ std::string CudaEmitter::emitMacros() const {
     }
     Out += "      " + RealT + " __r = " + Expr + "; \\\n";
     Out += "      (dst) = __r; \\\n";
-    Out += "      SM_STAGE((sb) ^ 1, __r); \\\n";
+    if (NumBlockedDims > 0)
+      Out += "      SM_STAGE((sb) ^ 1, __r); \\\n";
     Out += "    } else { \\\n";
-    Out += "      /* halo overwrite: carry the previous tier's value "
-           "forward */ \\\n";
-    Out += "      (dst) = (s" + std::to_string(Rad) + "); \\\n";
-    Out += "      SM_STAGE((sb) ^ 1, (dst)); \\\n";
+    if (PinBoundary) {
+      Out += "      /* boundary pinning: outside the input the sub-plane "
+             "keeps input values */ \\\n";
+      Out += "      (dst) = input[GIDX(s_idx)]; \\\n";
+    } else {
+      Out += "      /* halo overwrite: carry the previous tier's value "
+             "forward */ \\\n";
+      Out += "      (dst) = (s" + std::to_string(Rad) + "); \\\n";
+      Out += "      SM_STAGE((sb) ^ 1, (dst)); \\\n";
+    }
     Out += "    } \\\n";
     Out += "  } while (0)\n\n";
   }
@@ -205,10 +231,13 @@ std::string CudaEmitter::emitMacros() const {
   for (int M = 0; M < RingDepth; ++M)
     Out += ", s" + std::to_string(M);
   Out += ") do { \\\n";
-  Out += "    __syncthreads(); \\\n";
+  if (NumBlockedDims > 0)
+    Out += "    __syncthreads(); \\\n";
   Out += "    if (InsideComputeRegion(s_idx)) { \\\n";
   Out += "      " + RealT + " __r = " + StoreExpr + "; \\\n";
-  if (NumBlockedDims == 1)
+  if (NumBlockedDims == 0)
+    Out += "      output[GIDX(s_idx)] = __r; \\\n";
+  else if (NumBlockedDims == 1)
     Out += "      output[GIDX((s_idx) + RAD, gx)] = __r; \\\n";
   else
     Out += "      output[GIDX((s_idx) + RAD, gy, gx)] = __r; \\\n";
@@ -225,29 +254,42 @@ std::string CudaEmitter::emitMainKernel() const {
   Out += "extern \"C\" __global__ void " + KernelName + "(\n";
   Out += "    const " + RealT + " *__restrict__ input, " + RealT +
          " *__restrict__ output,\n";
-  if (NumBlockedDims == 1)
+  if (NumBlockedDims == 0)
+    Out += "    int I_S1, int n_chunks, int chunk_len) {\n";
+  else if (NumBlockedDims == 1)
     Out += "    int I_S2, int I_S1, int stream_lo, int stream_hi) {\n";
   else
     Out += "    int I_S3, int I_S2, int I_S1, int stream_lo, "
            "int stream_hi) {\n";
 
-  // Thread/block coordinates.
-  Out += "  const int tx = threadIdx.x;\n";
-  if (NumBlockedDims == 2)
-    Out += "  const int ty = threadIdx.y;\n";
-  Out += "  const int gx = blockIdx.x * (BS_X - 2 * BT * RAD) + tx;\n";
-  if (NumBlockedDims == 2)
-    Out += "  const int gy = blockIdx.y * (BS_Y - 2 * BT * RAD) + ty;\n";
+  if (NumBlockedDims == 0) {
+    // 1D pure streaming: no spatial tile, so each stream chunk of the
+    // hS division (Section 4.2.3) is one fully independent thread that
+    // holds only its register rings.
+    Out += "  const int cid = blockIdx.x * blockDim.x + threadIdx.x;\n";
+    Out += "  if (cid >= n_chunks) return;\n";
+    Out += "  const long long c0 = (long long)cid * chunk_len;\n";
+    Out += "  const long long c1 = c0 + chunk_len < I_S1 ? c0 + chunk_len "
+           ": I_S1;\n";
+  } else {
+    // Thread/block coordinates.
+    Out += "  const int tx = threadIdx.x;\n";
+    if (NumBlockedDims == 2)
+      Out += "  const int ty = threadIdx.y;\n";
+    Out += "  const int gx = blockIdx.x * (BS_X - 2 * BT * RAD) + tx;\n";
+    if (NumBlockedDims == 2)
+      Out += "  const int gy = blockIdx.y * (BS_Y - 2 * BT * RAD) + ty;\n";
 
-  // Shared memory: double buffered (Section 4.2.2); general stencils hold
-  // 1+2*rad sub-planes per buffer (Table 1).
-  std::string SmDims;
-  if (!UseDaFree && !UseAssociative)
-    SmDims += "[2 * RAD + 1]";
-  if (NumBlockedDims == 2)
-    SmDims += "[BS_Y]";
-  SmDims += "[BS_X]";
-  Out += "  __shared__ " + RealT + " sm[2]" + SmDims + ";\n";
+    // Shared memory: double buffered (Section 4.2.2); general stencils
+    // hold 1+2*rad sub-planes per buffer (Table 1).
+    std::string SmDims;
+    if (!UseDaFree && !UseAssociative)
+      SmDims += "[2 * RAD + 1]";
+    if (NumBlockedDims == 2)
+      SmDims += "[BS_Y]";
+    SmDims += "[BS_X]";
+    Out += "  __shared__ " + RealT + " sm[2]" + SmDims + ";\n";
+  }
 
   // Fixed register sets: RingDepth registers per tier (Fig. 3b).
   for (int Tier = 0; Tier < BT; ++Tier) {
@@ -261,10 +303,14 @@ std::string CudaEmitter::emitMainKernel() const {
   }
   Out += "\n  // ---- head phase (statically generated; loops would raise "
          "register pressure) ----\n";
-  Out += "  int s = stream_lo - BT * RAD;\n";
+  if (NumBlockedDims == 0)
+    Out += "  long long s = c0 - BT * RAD;\n";
+  else
+    Out += "  int s = stream_lo - BT * RAD;\n";
   // Head: fill the pipeline. Step k performs LOAD + the CALCs whose inputs
-  // are ready, mirroring the Lowermost_Block sequence of Fig. 5.
-  int HeadSteps = 2 * Rad * BT; // pipeline depth in planes
+  // are ready, mirroring the Lowermost_Block sequence of Fig. 5. The
+  // pipeline depth in planes is twice the full invocation's stream reach.
+  int HeadSteps = 2 * static_cast<int>(IR.full().LoadStreamReach);
   for (int K = 0; K < HeadSteps; ++K) {
     Out += "  LOAD(" + loadArgs(K, "s") + ");";
     for (int Tier = 1; Tier < BT; ++Tier) {
@@ -277,13 +323,13 @@ std::string CudaEmitter::emitMainKernel() const {
     Out += " ++s;\n";
   }
 
+  std::string StreamHi = NumBlockedDims == 0 ? "c1" : "stream_hi";
   Out += "\n  // ---- inner phase (rolled; unrolling hurts instruction "
          "fetch) ----\n";
   if (Options.UnrollInnerLoop)
     Out += "#pragma unroll\n";
-  Out += "  for (; s + " + std::to_string(RingDepth) +
-         " <= stream_hi + BT * RAD; s += " + std::to_string(RingDepth) +
-         ") {\n";
+  Out += "  for (; s + " + std::to_string(RingDepth) + " <= " + StreamHi +
+         " + BT * RAD; s += " + std::to_string(RingDepth) + ") {\n";
   for (int R = 0; R < RingDepth; ++R) {
     std::string Si = "s + " + std::to_string(R);
     Out += "    LOAD(" + loadArgs(HeadSteps + R, Si) + ");";
@@ -299,7 +345,7 @@ std::string CudaEmitter::emitMainKernel() const {
 
   Out += "\n  // ---- tail phase (statically generated) ----\n";
   for (int K = 0; K < RingDepth; ++K) {
-    Out += "  if (s > stream_hi + BT * RAD) return;\n";
+    Out += "  if (s > " + StreamHi + " + BT * RAD) return;\n";
     std::string Si = "s";
     Out += "  LOAD(" + loadArgs(HeadSteps + K, Si) + ");";
     for (int Tier = 1; Tier < BT; ++Tier)
@@ -323,17 +369,23 @@ std::string CudaEmitter::emitGenericKernel() const {
   Out += "__global__ void " + KernelName + "_rem(\n";
   Out += "    const " + RealT + " *__restrict__ input, " + RealT +
          " *__restrict__ output,\n";
-  if (NumBlockedDims == 1)
-    Out += "    int I_S2, int I_S1, int stream_lo, int stream_hi);\n";
-  else
-    Out += "    int I_S3, int I_S2, int I_S1, int stream_lo, "
-           "int stream_hi);\n";
+  std::string SizeSig, SizeInts;
+  if (NumBlockedDims == 0) {
+    SizeSig = "    int I_S1, int n_chunks, int chunk_len);\n";
+    SizeInts = "int, int, int";
+  } else if (NumBlockedDims == 1) {
+    SizeSig = "    int I_S2, int I_S1, int stream_lo, int stream_hi);\n";
+    SizeInts = "int, int, int, int";
+  } else {
+    SizeSig = "    int I_S3, int I_S2, int I_S1, int stream_lo, "
+              "int stream_hi);\n";
+    SizeInts = "int, int, int, int, int";
+  }
+  Out += SizeSig;
   for (int D = 1; D < Config.BT; ++D)
     Out += "template __global__ void " + KernelName + "_rem<" +
            std::to_string(D) + ">(const " + RealT + " *__restrict__, " +
-           RealT + " *__restrict__, int, int, int" +
-           std::string(NumBlockedDims == 2 ? ", int, int" : ", int") +
-           ");\n";
+           RealT + " *__restrict__, " + SizeInts + ");\n";
   return Out;
 }
 
@@ -351,13 +403,15 @@ std::string CudaEmitter::emitKernelSource() const {
 
   Out += "#define RAD " + std::to_string(Rad) + "\n";
   Out += "#define BT " + std::to_string(Config.BT) + "\n";
-  Out += "#define BS_X " +
-         std::to_string(Config.BS[NumBlockedDims == 2 ? 1 : 0]) + "\n";
-  if (NumBlockedDims == 2)
-    Out += "#define BS_Y " + std::to_string(Config.BS[0]) + "\n";
+  if (NumBlockedDims > 0) {
+    Out += "#define BS_X " +
+           std::to_string(Config.BS[NumBlockedDims == 2 ? 1 : 0]) + "\n";
+    if (NumBlockedDims == 2)
+      Out += "#define BS_Y " + std::to_string(Config.BS[0]) + "\n";
+  }
   Out += "\n";
 
-  if (Options.DisableVectorizedSmemAccess) {
+  if (NumBlockedDims > 0 && Options.DisableVectorizedSmemAccess) {
     Out += "// Shared-memory loads go through a device function so nvcc "
            "does not\n// vectorize them (saves registers, Section 4.3.2).\n";
     Out += "static __device__ __forceinline__ " + RealT +
@@ -366,15 +420,24 @@ std::string CudaEmitter::emitKernelSource() const {
   }
 
   // Guard predicates; left as macros so the generated code stays legible.
-  Out += "#define InsideInput(s_idx) an5d_inside_input(s_idx, gx" +
-         std::string(NumBlockedDims == 2 ? ", gy" : "") + ")\n";
+  // The 1D pure-streaming kernel guards on the chunk bounds instead of the
+  // spatial tile coordinates.
+  std::string InputArgs =
+      NumBlockedDims == 0
+          ? "c0, c1"
+          : "gx" + std::string(NumBlockedDims == 2 ? ", gy" : "");
+  std::string TileArgs =
+      NumBlockedDims == 0
+          ? "c0, c1"
+          : "tx" + std::string(NumBlockedDims == 2 ? ", ty" : "");
+  Out += "#define InsideInput(s_idx) an5d_inside_input(s_idx, " + InputArgs +
+         ")\n";
   for (int Tier = 1; Tier < Config.BT; ++Tier)
     Out += "#define InsideBlockT" + std::to_string(Tier) +
            "(s_idx) an5d_inside_tier(" + std::to_string(Tier) +
-           ", s_idx, tx" + std::string(NumBlockedDims == 2 ? ", ty" : "") +
-           ")\n";
-  Out += "#define InsideComputeRegion(s_idx) an5d_inside_store(s_idx, tx" +
-         std::string(NumBlockedDims == 2 ? ", ty" : "") + ")\n\n";
+           ", s_idx, " + TileArgs + ")\n";
+  Out += "#define InsideComputeRegion(s_idx) an5d_inside_store(s_idx, " +
+         TileArgs + ")\n\n";
 
   Out += emitMacros();
   Out += emitMainKernel();
@@ -393,9 +456,11 @@ std::string CudaEmitter::emitHostSource() const {
   Out += "#include <cuda_runtime.h>\n#include <cstdio>\n\n";
   Out += "#define BT_DEGREE " + std::to_string(BT) + "\n\n";
 
+  std::string SizeInts = NumBlockedDims == 0   ? "int, int, int"
+                         : NumBlockedDims == 1 ? "int, int, int, int"
+                                               : "int, int, int, int, int";
   Out += "extern \"C\" __global__ void " + KernelName + "(const " + RealT +
-         " *, " + RealT + " *, int, int, int" +
-         std::string(NumBlockedDims == 2 ? ", int, int" : ", int") + ");\n\n";
+         " *, " + RealT + " *, " + SizeInts + ");\n\n";
 
   Out += "// Temporal block schedule: degrees sum to I_T and the call count\n"
          "// is congruent to I_T mod 2 so the result lands in buffer "
@@ -423,16 +488,20 @@ std::string CudaEmitter::emitHostSource() const {
   Out += "  return n;\n";
   Out += "}\n\n";
 
-  std::string SizeParams = NumBlockedDims == 1
+  std::string SizeParams = NumBlockedDims == 0
+                               ? "long long I_S1"
+                           : NumBlockedDims == 1
                                ? "long long I_S2, long long I_S1"
                                : "long long I_S3, long long I_S2, "
                                  "long long I_S1";
-  Out += "extern \"C\" void an5d_" + CudaEmitter::sanitize(Program.name()) +
+  Out += "extern \"C\" void an5d_" + CudaEmitter::sanitize(IR.StencilName) +
          "_run(" + RealT + " *host_a0, " + RealT + " *host_a1, " +
          SizeParams + ", long long I_T) {\n";
   Out += "  " + RealT + " *dev[2];\n";
   std::string CellCount =
-      NumBlockedDims == 1
+      NumBlockedDims == 0
+          ? "(I_S1 + 2 * " + std::to_string(Rad) + ")"
+      : NumBlockedDims == 1
           ? "(I_S2 + 2 * " + std::to_string(Rad) + ") * (I_S1 + 2 * " +
                 std::to_string(Rad) + ")"
           : "(I_S3 + 2 * " + std::to_string(Rad) + ") * (I_S2 + 2 * " +
@@ -447,50 +516,75 @@ std::string CudaEmitter::emitHostSource() const {
   Out += "  int calls = an5d_schedule(I_T, degrees);\n";
   Out += "  int in = 0;\n";
 
-  std::string Grid;
-  if (NumBlockedDims == 1)
-    Grid = "dim3 grid((unsigned)((I_S1 + CW - 1) / CW), 1, 1);\n"
-           "  dim3 block(BS, 1, 1);\n";
-  else
-    Grid = "dim3 grid((unsigned)((I_S1 + CWX - 1) / CWX), "
-           "(unsigned)((I_S2 + CWY - 1) / CWY), 1);\n"
-           "  dim3 block(BSX, BSY, 1);\n";
-  long long CwInner = Config.computeWidth(NumBlockedDims == 2 ? 1 : 0, Rad);
-  if (NumBlockedDims == 1) {
-    Out += "  const long long CW = " + std::to_string(CwInner) + ";\n";
-    Out += "  const int BS = " + std::to_string(Config.BS[0]) + ";\n";
+  const InvocationSchedule &Full = IR.full();
+  if (NumBlockedDims == 0) {
+    // 1D pure streaming: one thread per hS chunk, one launch per temporal
+    // block — the chunk division (Section 4.2.3) IS the parallel axis.
+    std::string ChunkLen =
+        Full.ChunkLength > 0 ? std::to_string(Full.ChunkLength) : "I_S1";
+    Out += "  // division of the streaming dimension (Section 4.2.3):\n";
+    Out += "  // each chunk runs as one independent CUDA thread\n";
+    Out += "  const long long chunk = " + ChunkLen + ";\n";
+    Out += "  const long long nchunks = (I_S1 + chunk - 1) / chunk;\n";
+    Out += "  dim3 block(256, 1, 1);\n";
+    Out += "  dim3 grid((unsigned)((nchunks + 255) / 256), 1, 1);\n";
+    Out += "  for (int c = 0; c < calls; ++c) {\n";
+    Out += "    if (degrees[c] == BT_DEGREE)\n";
+    Out += "      " + KernelName + "<<<grid, block>>>(dev[in], "
+           "dev[in ^ 1], (int)I_S1, (int)nchunks, (int)chunk);\n";
+    Out += "    else\n";
+    Out += "      /* statically generated remainder branch chain */\n";
+    Out += "      an5d_launch_remainder(degrees[c], dev[in], dev[in ^ 1], "
+           "(int)I_S1, (int)nchunks, (int)chunk);\n";
+    Out += "    in ^= 1;\n";
+    Out += "  }\n";
   } else {
-    Out += "  const long long CWX = " + std::to_string(CwInner) + ";\n";
-    Out += "  const long long CWY = " +
-           std::to_string(Config.computeWidth(0, Rad)) + ";\n";
-    Out += "  const int BSX = " + std::to_string(Config.BS[1]) +
-           ", BSY = " + std::to_string(Config.BS[0]) + ";\n";
-  }
-  Out += "  " + Grid;
+    std::string Grid;
+    if (NumBlockedDims == 1)
+      Grid = "dim3 grid((unsigned)((I_S1 + CW - 1) / CW), 1, 1);\n"
+             "  dim3 block(BS, 1, 1);\n";
+    else
+      Grid = "dim3 grid((unsigned)((I_S1 + CWX - 1) / CWX), "
+             "(unsigned)((I_S2 + CWY - 1) / CWY), 1);\n"
+             "  dim3 block(BSX, BSY, 1);\n";
+    long long CwInner = Full.ComputeWidth[NumBlockedDims == 2 ? 1 : 0];
+    if (NumBlockedDims == 1) {
+      Out += "  const long long CW = " + std::to_string(CwInner) + ";\n";
+      Out += "  const int BS = " + std::to_string(Config.BS[0]) + ";\n";
+    } else {
+      Out += "  const long long CWX = " + std::to_string(CwInner) + ";\n";
+      Out += "  const long long CWY = " +
+             std::to_string(Full.ComputeWidth[0]) + ";\n";
+      Out += "  const int BSX = " + std::to_string(Config.BS[1]) +
+             ", BSY = " + std::to_string(Config.BS[0]) + ";\n";
+    }
+    Out += "  " + Grid;
 
-  std::string StreamExtent = NumBlockedDims == 1 ? "I_S2" : "I_S3";
-  std::string ChunkLen = Config.HS > 0 ? std::to_string(Config.HS)
-                                       : StreamExtent;
-  Out += "  const long long chunk = " + ChunkLen + ";\n";
-  Out += "  for (int c = 0; c < calls; ++c) {\n";
-  Out += "    // division of the streaming dimension (Section 4.2.3)\n";
-  Out += "    for (long long lo = 0; lo < " + StreamExtent +
-         "; lo += chunk) {\n";
-  Out += "      long long hi = lo + chunk < " + StreamExtent +
-         " ? lo + chunk : " + StreamExtent + ";\n";
-  Out += "      if (degrees[c] == BT_DEGREE)\n";
-  std::string SizeArgs = NumBlockedDims == 1 ? "(int)I_S2, (int)I_S1"
-                                             : "(int)I_S3, (int)I_S2, "
-                                               "(int)I_S1";
-  Out += "        " + KernelName + "<<<grid, block>>>(dev[in], "
-         "dev[in ^ 1], " + SizeArgs + ", (int)lo, (int)hi);\n";
-  Out += "      else\n";
-  Out += "        /* statically generated remainder branch chain */\n";
-  Out += "        an5d_launch_remainder(degrees[c], dev[in], dev[in ^ 1], " +
-         SizeArgs + ", (int)lo, (int)hi);\n";
-  Out += "    }\n";
-  Out += "    in ^= 1;\n";
-  Out += "  }\n";
+    std::string StreamExtent = NumBlockedDims == 1 ? "I_S2" : "I_S3";
+    std::string ChunkLen = Full.ChunkLength > 0
+                               ? std::to_string(Full.ChunkLength)
+                               : StreamExtent;
+    Out += "  const long long chunk = " + ChunkLen + ";\n";
+    Out += "  for (int c = 0; c < calls; ++c) {\n";
+    Out += "    // division of the streaming dimension (Section 4.2.3)\n";
+    Out += "    for (long long lo = 0; lo < " + StreamExtent +
+           "; lo += chunk) {\n";
+    Out += "      long long hi = lo + chunk < " + StreamExtent +
+           " ? lo + chunk : " + StreamExtent + ";\n";
+    Out += "      if (degrees[c] == BT_DEGREE)\n";
+    std::string SizeArgs = NumBlockedDims == 1 ? "(int)I_S2, (int)I_S1"
+                                               : "(int)I_S3, (int)I_S2, "
+                                                 "(int)I_S1";
+    Out += "        " + KernelName + "<<<grid, block>>>(dev[in], "
+           "dev[in ^ 1], " + SizeArgs + ", (int)lo, (int)hi);\n";
+    Out += "      else\n";
+    Out += "        /* statically generated remainder branch chain */\n";
+    Out += "        an5d_launch_remainder(degrees[c], dev[in], "
+           "dev[in ^ 1], " + SizeArgs + ", (int)lo, (int)hi);\n";
+    Out += "    }\n";
+    Out += "    in ^= 1;\n";
+    Out += "  }\n";
+  }
   Out += "  cudaMemcpy(host_a0, dev[I_T % 2 == 0 ? in : in ^ 1], bytes, "
          "cudaMemcpyDeviceToHost);\n";
   Out += "  cudaMemcpy(host_a1, dev[I_T % 2 == 0 ? in ^ 1 : in], bytes, "
@@ -503,16 +597,26 @@ std::string CudaEmitter::emitHostSource() const {
 } // namespace
 
 GeneratedCuda generateCuda(const StencilProgram &Program,
-                           const BlockConfig &Config,
+                           const ScheduleIR &Schedule,
                            const CodegenOptions &Options) {
-  assert(Config.isFeasible(Program.radius()) &&
+  assert(Schedule.NumDims == Program.numDims() &&
+         "schedule was lowered from a different program");
+  assert(Schedule.Config.isFeasible(Schedule.Radius) &&
          "codegen requires a feasible configuration");
-  CudaEmitter Emitter(Program, Config, Options);
+  assert(!Schedule.Invocations.empty() &&
+         "codegen requires a schedule with bT >= 1");
+  CudaEmitter Emitter(Program, Schedule, Options);
   GeneratedCuda Out;
   Out.KernelName = Emitter.KernelName;
   Out.KernelSource = Emitter.emitKernelSource();
   Out.HostSource = Emitter.emitHostSource();
   return Out;
+}
+
+GeneratedCuda generateCuda(const StencilProgram &Program,
+                           const BlockConfig &Config,
+                           const CodegenOptions &Options) {
+  return generateCuda(Program, lowerSchedule(Program, Config), Options);
 }
 
 } // namespace an5d

@@ -5,22 +5,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Generates the CUDA host and kernel code of Section 4.3 for a stencil
-/// and a blocking configuration:
+/// Renders the CUDA host and kernel code of Section 4.3 from a lowered
+/// schedule/ScheduleIR:
 ///
 ///  * a kernel built from LOAD / CALC1..CALCbT / STORE macro invocations,
 ///    statically unrolled head and tail phases and a rolled inner loop of
 ///    2*rad+1 rotations encoding the fixed register allocation as macro
 ///    argument sequences (Fig. 5);
-///  * double-buffered shared memory with one __syncthreads() per tier;
+///  * double-buffered shared memory with one __syncthreads() per tier
+///    (2D/3D; the 1D pure-streaming schedule needs neither — each chunk
+///    is one independent thread holding only its register rings);
 ///  * a __device__ wrapper around shared-memory loads to suppress NVCC's
 ///    vectorization (Section 4.3.2);
 ///  * host code issuing one kernel call per temporal block, with the
 ///    statically generated remainder/parity branches of Section 4.3.1.
 ///
 /// The output targets nvcc; on this GPU-less machine it is validated
-/// structurally (tests) and semantically via the equivalent portable C++
-/// backend (CppCodegen), which compiles and runs the same schedule.
+/// structurally (tests, KernelLint, goldens) and semantically via the
+/// equivalent portable C++ backend (CppCodegen), which compiles and runs
+/// the same schedule IR.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +32,7 @@
 
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
+#include "schedule/ScheduleIR.h"
 
 #include <string>
 
@@ -55,7 +59,13 @@ struct GeneratedCuda {
   std::string HostSource;   ///< host driver with the time-block loop.
 };
 
-/// Generates CUDA for \p Program under \p Config.
+/// Renders CUDA for \p Program from a lowered schedule.
+GeneratedCuda generateCuda(const StencilProgram &Program,
+                           const ScheduleIR &Schedule,
+                           const CodegenOptions &Options = {});
+
+/// Convenience wrapper: lowers \p Config with lowerSchedule and renders
+/// the resulting IR.
 GeneratedCuda generateCuda(const StencilProgram &Program,
                            const BlockConfig &Config,
                            const CodegenOptions &Options = {});

@@ -28,7 +28,15 @@ NativeExecutor::NativeExecutor(const StencilProgram &Program,
                                const BlockConfig &Config,
                                const NativeRuntimeOptions &Options,
                                KernelCache *SharedCache)
+    : NativeExecutor(Program, lowerSchedule(Program, Config), Options,
+                     SharedCache) {}
+
+NativeExecutor::NativeExecutor(const StencilProgram &Program,
+                               const ScheduleIR &Schedule,
+                               const NativeRuntimeOptions &Options,
+                               KernelCache *SharedCache)
     : Threads(Options.Threads) {
+  const BlockConfig &Config = Schedule.Config;
   if (Program.numDims() < 1 || Program.numDims() > 3) {
     Error = "the native runtime supports 1D, 2D and 3D stencils (got " +
             std::to_string(Program.numDims()) + "D)";
@@ -52,7 +60,7 @@ NativeExecutor::NativeExecutor(const StencilProgram &Program,
     Cache = OwnedCache.get();
   }
 
-  std::string Source = generateCppKernelLibrary(Program, Config);
+  std::string Source = generateCppKernelLibrary(Program, Schedule);
   if (Options.LintKernels || lintRequestedByEnvironment()) {
     LintReport Report = lintTranslationUnit(Source, LintTarget::KernelLibrary,
                                             Program.elemType());

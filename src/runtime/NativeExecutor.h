@@ -45,6 +45,7 @@
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
 #include "runtime/DynamicKernel.h"
+#include "schedule/ScheduleIR.h"
 #include "runtime/KernelCache.h"
 #include "sim/Grid.h"
 
@@ -95,9 +96,17 @@ struct NativeRuntimeOptions {
 /// nothing); distinct kernels run concurrently without contention.
 class NativeExecutor {
 public:
+  /// Builds the kernel from an already lowered schedule (the tuner's
+  /// native sweep lowers once per candidate and hands the IR down here).
   /// \p SharedCache lets many executors (a tuning sweep, a test suite)
   /// share one cache and its statistics; when null a private cache over
   /// Options.CacheDir is created.
+  NativeExecutor(const StencilProgram &Program, const ScheduleIR &Schedule,
+                 const NativeRuntimeOptions &Options = {},
+                 KernelCache *SharedCache = nullptr);
+
+  /// Convenience wrapper: lowers \p Config with lowerSchedule and builds
+  /// from the resulting IR.
   NativeExecutor(const StencilProgram &Program, const BlockConfig &Config,
                  const NativeRuntimeOptions &Options = {},
                  KernelCache *SharedCache = nullptr);

@@ -14,6 +14,7 @@
 #include <cassert>
 #include <chrono>
 #include <limits>
+#include <map>
 #include <memory>
 #include <thread>
 
@@ -37,7 +38,7 @@ ProblemSize nativeMeasurementProblem(int NumDims) {
 template <typename T>
 KernelTiming timeNativeKernel(const NativeExecutor &Executor,
                               const ProblemSize &Problem, int Radius,
-                              int Repeats, int Threads) {
+                              int Repeats, int Threads, bool SkipWarmup) {
   // Pin explicitly: with no request (Threads == 0) pin to the machine's
   // hardware concurrency, not to the kernel's current default — the
   // latter is whatever ambient OMP_NUM_THREADS initialized the pool to,
@@ -68,7 +69,7 @@ KernelTiming timeNativeKernel(const NativeExecutor &Executor,
   fillGridDeterministic(Pristine, 42);
   Grid<T> Buf0 = Pristine, Buf1 = Pristine;
   double Best = std::numeric_limits<double>::infinity();
-  for (int Rep = -1; Rep < std::max(1, Repeats); ++Rep) {
+  for (int Rep = SkipWarmup ? 0 : -1; Rep < std::max(1, Repeats); ++Rep) {
     copyGrid(Pristine, Buf0);
     copyGrid(Pristine, Buf1);
     auto Start = std::chrono::steady_clock::now();
@@ -93,10 +94,10 @@ KernelTiming timeNativeKernel(const NativeExecutor &Executor,
 
 template KernelTiming timeNativeKernel<float>(const NativeExecutor &,
                                               const ProblemSize &, int, int,
-                                              int);
+                                              int, bool);
 template KernelTiming timeNativeKernel<double>(const NativeExecutor &,
                                                const ProblemSize &, int, int,
-                                               int);
+                                               int, bool);
 
 std::vector<MeasuredResult>
 nativeMeasuredSweep(const StencilProgram &Program,
@@ -113,6 +114,25 @@ nativeMeasuredSweep(const StencilProgram &Program,
     Cache = OwnedCache.get();
   }
 
+  // Lower each candidate exactly once (unless the caller — the tuner —
+  // already did and handed the IR down): the verifier, the kernel codegen
+  // and the timing stage below all consume this one schedule.
+  std::vector<ScheduleIR> Lowered(Candidates.size());
+  std::vector<const ScheduleIR *> Schedules(Candidates.size());
+  for (std::size_t I = 0; I < Candidates.size(); ++I) {
+    // A lowered IR always names its stencil; a default-constructed
+    // SweepCandidate::Schedule does not.
+    if (!Candidates[I].Schedule.StencilName.empty()) {
+      assert(Candidates[I].Schedule.Config.toString() ==
+                 Candidates[I].Config.toString() &&
+             "pre-lowered schedule does not match the candidate config");
+      Schedules[I] = &Candidates[I].Schedule;
+    } else {
+      Lowered[I] = lowerSchedule(Program, Candidates[I].Config);
+      Schedules[I] = &Lowered[I];
+    }
+  }
+
   // Stage 0: static schedule verification, before any compiler runs. A
   // candidate the interval analysis cannot prove safe is rejected here —
   // no JIT time spent — with the verdict as its failure reason. Only
@@ -125,7 +145,7 @@ nativeMeasuredSweep(const StencilProgram &Program,
       if (!Config.matchesDimensionality(Program.numDims()) ||
           !Config.isFeasible(Program.radius()))
         continue;
-      ScheduleVerifyResult Verdict = verifySchedule(Program, Config);
+      ScheduleVerifyResult Verdict = verifyScheduleIR(*Schedules[I]);
       if (!Verdict.proven())
         Results[I].FailureReason = "schedule verifier rejected " +
                                    Config.toString() + ": " +
@@ -133,8 +153,22 @@ nativeMeasuredSweep(const StencilProgram &Program,
     }
   }
 
-  // Stage 1: compile every candidate's kernel across the pool. Executors
-  // land in their own pre-allocated slot, so the stage is race-free; the
+  // Candidates sharing one configuration — the same top-K config timed
+  // against several problem sizes — share one compiled executor: the
+  // kernel bakes in the configuration, not the extents, so there is
+  // nothing problem-specific to rebuild. Each candidate maps to the slot
+  // of the first candidate with its configuration.
+  std::vector<std::size_t> KernelSlot(Candidates.size());
+  {
+    std::map<std::string, std::size_t> SlotByConfig;
+    for (std::size_t I = 0; I < Candidates.size(); ++I)
+      KernelSlot[I] =
+          SlotByConfig.try_emplace(Candidates[I].Config.toString(), I)
+              .first->second;
+  }
+
+  // Stage 1: compile every unique kernel across the pool. Executors land
+  // in their own pre-allocated slot, so the stage is race-free; the
   // shared cache deduplicates identical sources (e.g. register-cap
   // variants) behind its own lock.
   std::vector<std::unique_ptr<NativeExecutor>> Executors(Candidates.size());
@@ -145,8 +179,10 @@ nativeMeasuredSweep(const StencilProgram &Program,
          Candidates.size();) {
       if (!Results[Item].FailureReason.empty())
         continue; // verifier-rejected: never build
+      if (KernelSlot[Item] != Item)
+        continue; // another slot owns this configuration's kernel
       Executors[Item] = std::make_unique<NativeExecutor>(
-          Program, Candidates[Item].Config, Options.Runtime, Cache);
+          Program, *Schedules[Item], Options.Runtime, Cache);
     }
   };
   int NumWorkers = static_cast<int>(std::min<std::size_t>(
@@ -165,17 +201,23 @@ nativeMeasuredSweep(const StencilProgram &Program,
   }
 
   // Stage 2: serial timing, one kernel at a time (measurements must not
-  // contend with each other for cores).
+  // contend with each other for cores). A shared executor warms up on its
+  // first timed candidate only: the warmup pages in the kernel code and
+  // spins up its thread pool, neither of which depends on the extents, so
+  // later problem sizes of the same kernel skip it.
   double FlopsPerCell =
       static_cast<double>(Program.flopsPerCell().total());
+  std::vector<bool> Warmed(Candidates.size(), false);
   for (std::size_t I = 0; I < Candidates.size(); ++I) {
     if (!Results[I].FailureReason.empty())
       continue; // verifier-rejected in stage 0
-    if (!Executors[I] || !Executors[I]->ok()) {
+    std::size_t Slot = KernelSlot[I];
+    NativeExecutor *Executor = Executors[Slot].get();
+    if (!Executor || !Executor->ok()) {
       // Not an infeasible configuration: record why the kernel never ran
       // so the tuner can surface compile failures distinctly.
       Results[I].FailureReason =
-          Executors[I] ? Executors[I]->error() : "kernel was never built";
+          Executor ? Executor->error() : "kernel was never built";
       continue;
     }
     assert(Candidates[I].ProblemIndex < Problems.size() &&
@@ -183,17 +225,19 @@ nativeMeasuredSweep(const StencilProgram &Program,
     const ProblemSize &Problem = Problems[Candidates[I].ProblemIndex];
     KernelTiming Timing =
         Program.elemType() == ScalarType::Float
-            ? timeNativeKernel<float>(*Executors[I], Problem,
-                                      Program.radius(), Options.Repeats,
-                                      Options.Runtime.Threads)
-            : timeNativeKernel<double>(*Executors[I], Problem,
-                                       Program.radius(), Options.Repeats,
-                                       Options.Runtime.Threads);
+            ? timeNativeKernel<float>(*Executor, Problem, Program.radius(),
+                                      Options.Repeats,
+                                      Options.Runtime.Threads, Warmed[Slot])
+            : timeNativeKernel<double>(*Executor, Problem, Program.radius(),
+                                       Options.Repeats,
+                                       Options.Runtime.Threads,
+                                       Warmed[Slot]);
     if (Timing.Rc != 0) {
       Results[I].FailureReason = "kernel rejected the run (code " +
                                  std::to_string(Timing.Rc) + ")";
       continue;
     }
+    Warmed[Slot] = true;
     MeasuredResult &Out = Results[I];
     Out.Feasible = true;
     Out.MeasuredTimeSeconds = Timing.Seconds;

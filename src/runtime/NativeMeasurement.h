@@ -45,9 +45,11 @@ struct NativeMeasureOptions {
   int CompileThreads = 0;
 
   /// Timed repetitions per candidate; the fastest is kept (compensates
-  /// for scheduler noise on a busy host). Every candidate additionally
-  /// runs one untimed warmup before the timed repeats (an5dc
-  /// --measure-repeats sets the timed count).
+  /// for scheduler noise on a busy host). Each compiled kernel
+  /// additionally runs one untimed warmup before its first timed repeats;
+  /// candidates sharing the kernel (the same configuration timed against
+  /// several problem sizes) reuse that warmup (an5dc --measure-repeats
+  /// sets the timed count).
   int Repeats = 2;
 
   /// Statically verify each candidate's schedule
@@ -88,27 +90,35 @@ constexpr double MinMeasurableSeconds = 1e-7;
 /// and restores the previous pool size on exit, fills pristine double
 /// buffers, runs one untimed warmup, then keeps the fastest of \p Repeats
 /// timed `an5d_run` invocations. T must match the kernel's element type.
+/// \p SkipWarmup drops the untimed run — for a kernel that already ran in
+/// this process (the sweep reuses one warmup across the problem sizes a
+/// candidate is timed against; the buffers are freshly touched either
+/// way).
 template <typename T>
 KernelTiming timeNativeKernel(const NativeExecutor &Executor,
                               const ProblemSize &Problem, int Radius,
-                              int Repeats, int Threads);
+                              int Repeats, int Threads,
+                              bool SkipWarmup = false);
 
 extern template KernelTiming
 timeNativeKernel<float>(const NativeExecutor &, const ProblemSize &, int,
-                        int, int);
+                        int, int, bool);
 extern template KernelTiming
 timeNativeKernel<double>(const NativeExecutor &, const ProblemSize &, int,
-                         int, int);
+                         int, int, bool);
 
-/// Runs every candidate through a compiled kernel: compilation in
-/// parallel across \p Options.CompileThreads workers (deduplicated by the
-/// kernel cache — candidates differing only in RegisterCap share one
-/// artifact), timing serially in candidate order. Results are indexed
-/// exactly like \p Candidates; infeasible or failed-to-build candidates
-/// come back with Feasible == false, and candidates whose kernel failed
-/// to build or rejected the run carry the reason in
-/// MeasuredResult::FailureReason. \p Cache may be null (a private cache
-/// over Options.Runtime.CacheDir is used).
+/// Runs every candidate through a compiled kernel: each candidate is
+/// lowered to its ScheduleIR exactly once (or reuses the IR the tuner
+/// handed down in SweepCandidate::Schedule), compilation fans out across
+/// \p Options.CompileThreads workers (candidates sharing a configuration
+/// — the same config timed against several problem sizes, or register-cap
+/// variants — share one executor and its warmup), timing runs serially in
+/// candidate order. Results are indexed exactly like \p Candidates;
+/// infeasible or failed-to-build candidates come back with
+/// Feasible == false, and candidates whose kernel failed to build or
+/// rejected the run carry the reason in MeasuredResult::FailureReason.
+/// \p Cache may be null (a private cache over Options.Runtime.CacheDir is
+/// used).
 std::vector<MeasuredResult>
 nativeMeasuredSweep(const StencilProgram &Program,
                     const std::vector<SweepCandidate> &Candidates,

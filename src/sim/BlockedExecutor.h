@@ -6,7 +6,9 @@
 ///
 /// \file
 /// A CPU emulation of the exact execution model AN5D's generated CUDA
-/// kernels implement (Section 4.1):
+/// kernels implement (Section 4.1), rendered from the lowered
+/// schedule/ScheduleIR — the executor consumes the same schedule object
+/// the codegen backends print and the verifier proves:
 ///
 ///  * one thread-block per spatial block of bS lanes (compute region
 ///    bS - 2*bT*rad plus halo), streaming over dimension 0;
@@ -47,6 +49,7 @@
 #include "ir/ExprPlan.h"
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
+#include "schedule/ScheduleIR.h"
 #include "sim/Grid.h"
 #include "sim/TimeBlockScheduler.h"
 #include "support/Support.h"
@@ -83,12 +86,14 @@ struct BlockedExecOptions {
 /// Emulates AN5D's blocked execution of one stencil.
 template <typename T> class BlockedExecutor {
 public:
-  BlockedExecutor(const StencilProgram &Program, const BlockConfig &Config,
+  /// Renders a pre-lowered schedule (callers that already lowered — the
+  /// tuner, the sweep — hand the IR down instead of re-lowering).
+  BlockedExecutor(const StencilProgram &Program, ScheduleIR Schedule,
                   BlockedExecOptions Options = {})
-      : Program(Program), Config(Config), Options(Options),
-        Radius(Program.radius()),
-        RingDepth(2 * Program.radius() + 1),
+      : Program(Program), IR(std::move(Schedule)), Options(Options),
+        Radius(IR.Radius), RingDepth(static_cast<int>(IR.RingDepth)),
         Tape(Program.plan()) {
+    const BlockConfig &Config = IR.Config;
     assert(Config.isFeasible(Radius) && "infeasible block configuration");
     assert(static_cast<int>(Config.BS.size()) == Program.numDims() - 1 &&
            "one block size per non-streaming dimension required");
@@ -115,12 +120,21 @@ public:
     TapOffsets.assign(Taps.size(), 0);
   }
 
+  /// Lowers (\p Program, \p Config) through the shared lowerSchedule
+  /// entry point and renders the resulting IR.
+  BlockedExecutor(const StencilProgram &Program, const BlockConfig &Config,
+                  BlockedExecOptions Options = {})
+      : BlockedExecutor(Program, lowerSchedule(Program, Config), Options) {}
+
+  /// The lowered schedule this executor renders.
+  const ScheduleIR &schedule() const { return IR; }
+
   /// Advances \p TimeSteps steps. \p Buffers[0] holds the input at t=0; on
   /// return the result is in Buffers[TimeSteps % 2], exactly as the
   /// original double-buffered loop would leave it.
   void run(std::array<Grid<T> *, 2> Buffers, long long TimeSteps) {
     int InputIndex = 0;
-    for (int Degree : scheduleTimeBlocks(TimeSteps, Config.BT)) {
+    for (int Degree : scheduleTimeBlocks(TimeSteps, IR.Config.BT)) {
       runInvocation(*Buffers[InputIndex], *Buffers[1 - InputIndex], Degree);
       InputIndex = 1 - InputIndex;
     }
@@ -134,7 +148,10 @@ public:
 
 private:
   const StencilProgram &Program;
-  const BlockConfig &Config;
+  /// The lowered schedule; every structural quantity the executor uses
+  /// (ring depth, compute widths, chunking, tier lags and reaches) is
+  /// read from here, never re-derived.
+  ScheduleIR IR;
   BlockedExecOptions Options;
   int Radius;
   int RingDepth;
@@ -152,34 +169,38 @@ private:
   }
 
   /// One kernel call: one temporal block of \p Degree steps over the whole
-  /// grid, reading \p In and writing \p Out.
+  /// grid, reading \p In and writing \p Out. The per-degree plan —
+  /// compute widths, block strides, chunk decomposition — comes straight
+  /// from the lowered IR.
   void runInvocation(const Grid<T> &In, Grid<T> &Out, int Degree) {
+    const InvocationSchedule &Inv = IR.at(Degree);
     const std::vector<long long> &Extents = In.extents();
     long long StreamExtent = Extents[0];
-    int NumBlockedDims = static_cast<int>(Config.BS.size());
+    int NumBlockedDims = static_cast<int>(Inv.BS.size());
 
-    // Compute-region widths for this invocation's degree.
-    std::vector<long long> ComputeWidth(NumBlockedDims);
     std::vector<long long> NumBlocks(NumBlockedDims);
     for (int D = 0; D < NumBlockedDims; ++D) {
-      ComputeWidth[D] = Config.BS[static_cast<std::size_t>(D)] -
-                        2LL * Degree * Radius;
-      assert(ComputeWidth[D] >= 1 && "degree too large for block size");
-      NumBlocks[D] = ceilDiv(Extents[static_cast<std::size_t>(D) + 1],
-                             ComputeWidth[D]);
+      assert(Inv.ComputeWidth[static_cast<std::size_t>(D)] >= 1 &&
+             "degree too large for block size");
+      NumBlocks[D] =
+          ceilDiv(Extents[static_cast<std::size_t>(D) + 1],
+                  Inv.BlockStride[static_cast<std::size_t>(D)]);
     }
 
     long long ChunkLength =
-        Config.HS > 0 ? static_cast<long long>(Config.HS) : StreamExtent;
-    long long NumChunks = ceilDiv(StreamExtent, ChunkLength);
+        Inv.ChunkLength > 0 ? Inv.ChunkLength : StreamExtent;
+    long long ChunkStride =
+        Inv.ChunkStride > 0 ? Inv.ChunkStride : StreamExtent;
+    long long NumChunks = ceilDiv(StreamExtent, ChunkStride);
 
     Rings.resize(static_cast<std::size_t>(Degree));
 
-    // Iterate all (chunk, block-tuple) pairs; blocks are independent.
+    // Iterate the worksharing decomposition the IR describes: all
+    // (chunk, block-tuple) pairs; blocks are independent.
     std::vector<long long> BlockIndex(static_cast<std::size_t>(NumBlockedDims),
                                       0);
     for (long long Chunk = 0; Chunk < NumChunks; ++Chunk) {
-      long long ChunkLo = Chunk * ChunkLength;
+      long long ChunkLo = Chunk * ChunkStride;
       long long ChunkHi = std::min(ChunkLo + ChunkLength, StreamExtent);
       std::fill(BlockIndex.begin(), BlockIndex.end(), 0);
       while (true) {
@@ -187,8 +208,9 @@ private:
             NumBlockedDims));
         for (int D = 0; D < NumBlockedDims; ++D)
           Origins[static_cast<std::size_t>(D)] =
-              BlockIndex[static_cast<std::size_t>(D)] * ComputeWidth[D];
-        runBlock(In, Out, Degree, ChunkLo, ChunkHi, Origins, ComputeWidth);
+              BlockIndex[static_cast<std::size_t>(D)] *
+              Inv.BlockStride[static_cast<std::size_t>(D)];
+        runBlock(In, Out, Inv, ChunkLo, ChunkHi, Origins);
 
         int D = NumBlockedDims - 1;
         while (D >= 0) {
@@ -204,14 +226,13 @@ private:
   }
 
   /// Streams one thread-block through one chunk.
-  void runBlock(const Grid<T> &In, Grid<T> &Out, int Degree,
-                long long ChunkLo, long long ChunkHi,
-                const std::vector<long long> &Origins,
-                const std::vector<long long> &ComputeWidth) {
+  void runBlock(const Grid<T> &In, Grid<T> &Out,
+                const InvocationSchedule &Inv, long long ChunkLo,
+                long long ChunkHi, const std::vector<long long> &Origins) {
     if (Options.Strategy == EvalStrategy::CompiledTape)
-      runBlockTape(In, Out, Degree, ChunkLo, ChunkHi, Origins, ComputeWidth);
+      runBlockTape(In, Out, Inv, ChunkLo, ChunkHi, Origins);
     else
-      runBlockTree(In, Out, Degree, ChunkLo, ChunkHi, Origins, ComputeWidth);
+      runBlockTree(In, Out, Inv, ChunkLo, ChunkHi, Origins);
   }
 
   /// A maximal run of span positions of one blocked dimension over which
@@ -257,20 +278,22 @@ private:
   /// all per-lane work beyond the tape evaluation itself is hoisted:
   /// loads/carries become contiguous row copies and evaluations run over
   /// precomputed lane ranges.
-  void runBlockTape(const Grid<T> &In, Grid<T> &Out, int Degree,
-                    long long ChunkLo, long long ChunkHi,
-                    const std::vector<long long> &Origins,
-                    const std::vector<long long> &ComputeWidth) {
+  void runBlockTape(const Grid<T> &In, Grid<T> &Out,
+                    const InvocationSchedule &Inv, long long ChunkLo,
+                    long long ChunkHi,
+                    const std::vector<long long> &Origins) {
+    const int Degree = Inv.Degree;
+    const std::vector<long long> &ComputeWidth = Inv.ComputeWidth;
     const std::vector<long long> &Extents = In.extents();
     long long StreamExtent = Extents[0];
-    int NumBlockedDims = static_cast<int>(Config.BS.size());
+    int NumBlockedDims = static_cast<int>(Inv.BS.size());
     int Halo = In.halo();
     const T *GridIn = In.data();
     T *GridOut = Out.data();
     const T Fill = Options.PoisonHalos ? poisonValue() : T(0);
 
     long long LaneCount = 1;
-    for (int B : Config.BS)
+    for (long long B : Inv.BS)
       LaneCount *= B;
 
     // Normalize to exactly two loop dimensions (outer, inner). Missing
@@ -284,9 +307,8 @@ private:
     };
     LoopDim Outer, Inner;
     auto BindDim = [&](LoopDim &LD, int BD) {
-      LD.BS = Config.BS[static_cast<std::size_t>(BD)];
-      LD.SpanLo = Origins[static_cast<std::size_t>(BD)] -
-                  static_cast<long long>(Degree) * Radius;
+      LD.BS = Inv.BS[static_cast<std::size_t>(BD)];
+      LD.SpanLo = Origins[static_cast<std::size_t>(BD)] - Inv.LoadSpanHalo;
       LD.Extent = Extents[static_cast<std::size_t>(BD) + 1];
       LD.Origin = Origins[static_cast<std::size_t>(BD)];
       LD.Width = ComputeWidth[static_cast<std::size_t>(BD)];
@@ -304,7 +326,10 @@ private:
     std::vector<std::vector<LaneSeg>> InnerSegs(
         static_cast<std::size_t>(Degree) + 1);
     for (int Tier = 0; Tier <= Degree; ++Tier) {
-      long long Reach = static_cast<long long>(Degree - Tier) * Radius;
+      long long Reach = Tier == 0
+                            ? Inv.LoadSpanHalo
+                            : Inv.Tiers[static_cast<std::size_t>(Tier) - 1]
+                                  .Reach;
       OuterSegs[static_cast<std::size_t>(Tier)] =
           classifySpan(Outer.BS, Outer.SpanLo, Outer.Extent, Outer.Origin,
                        Outer.Width, Reach);
@@ -347,16 +372,17 @@ private:
             TapLane[K];
     };
 
-    long long Tier0Lo =
-        std::max(ChunkLo - static_cast<long long>(Degree) * Radius,
-                 -static_cast<long long>(Radius));
-    long long Tier0Hi =
-        std::min(ChunkHi - 1 + static_cast<long long>(Degree) * Radius,
-                 StreamExtent - 1 + Radius);
+    long long Tier0Lo = std::max(ChunkLo - Inv.LoadStreamReach,
+                                 -static_cast<long long>(Inv.GridHalo));
+    long long Tier0Hi = std::min(ChunkHi - 1 + Inv.LoadStreamReach,
+                                 StreamExtent - 1 + Inv.GridHalo);
 
-    // Streaming schedule: at step s, tier T processes plane s - T*rad.
-    long long SBegin = ChunkLo - static_cast<long long>(Degree) * Radius;
-    long long SEnd = ChunkHi - 1 + static_cast<long long>(Degree) * Radius;
+    // Streaming schedule: at step s, tier T processes plane
+    // s - StreamLag_T (the IR's per-tier lags). The window opens early
+    // enough for the tier-0 preload and closes once the final tier has
+    // drained its lag.
+    long long SBegin = ChunkLo - Inv.LoadStreamReach;
+    long long SEnd = ChunkHi - 1 + Inv.Tiers.back().StreamLag;
     for (long long S = SBegin; S <= SEnd; ++S) {
       // Tier 0: load plane S from global memory into the tier-0 ring.
       if (S >= Tier0Lo && S <= Tier0Hi && Degree >= 1) {
@@ -379,14 +405,14 @@ private:
           }
       }
 
-      // Tiers 1..Degree.
-      for (int Tier = 1; Tier <= Degree; ++Tier) {
-        long long Plane = S - static_cast<long long>(Tier) * Radius;
-        long long Reach = static_cast<long long>(Degree - Tier) * Radius;
-        long long NeedLo = std::max(ChunkLo - Reach,
-                                    -static_cast<long long>(Radius));
+      // Tiers 1..Degree, each with the lag and reach the IR assigns.
+      for (const TierSchedule &TS : Inv.Tiers) {
+        const int Tier = TS.Tier;
+        long long Plane = S - TS.StreamLag;
+        long long Reach = TS.Reach;
+        long long NeedLo = std::max(ChunkLo - Reach, -Inv.GridHalo);
         long long NeedHi =
-            std::min(ChunkHi - 1 + Reach, StreamExtent - 1 + Radius);
+            std::min(ChunkHi - 1 + Reach, StreamExtent - 1 + Inv.GridHalo);
         if (Plane < NeedLo || Plane > NeedHi)
           continue;
 
@@ -462,24 +488,25 @@ private:
 
   /// Per-lane streaming of one thread-block through the recursive
   /// evalExpr oracle (EvalStrategy::TreeWalk).
-  void runBlockTree(const Grid<T> &In, Grid<T> &Out, int Degree,
-                    long long ChunkLo, long long ChunkHi,
-                    const std::vector<long long> &Origins,
-                    const std::vector<long long> &ComputeWidth) {
+  void runBlockTree(const Grid<T> &In, Grid<T> &Out,
+                    const InvocationSchedule &Inv, long long ChunkLo,
+                    long long ChunkHi,
+                    const std::vector<long long> &Origins) {
+    const int Degree = Inv.Degree;
+    const std::vector<long long> &ComputeWidth = Inv.ComputeWidth;
     const std::vector<long long> &Extents = In.extents();
     long long StreamExtent = Extents[0];
-    int NumBlockedDims = static_cast<int>(Config.BS.size());
+    int NumBlockedDims = static_cast<int>(Inv.BS.size());
 
     // Lane bookkeeping: lane l decomposes into per-dimension positions
-    // within the block span [Origin - Degree*rad, ... + bS).
+    // within the block span [Origin - LoadSpanHalo, ... + bS).
     long long LaneCount = 1;
-    for (int B : Config.BS)
+    for (long long B : Inv.BS)
       LaneCount *= B;
     std::vector<long long> SpanLo(static_cast<std::size_t>(NumBlockedDims));
     for (int D = 0; D < NumBlockedDims; ++D)
       SpanLo[static_cast<std::size_t>(D)] =
-          Origins[static_cast<std::size_t>(D)] -
-          static_cast<long long>(Degree) * Radius;
+          Origins[static_cast<std::size_t>(D)] - Inv.LoadSpanHalo;
 
     // Register-window rings for tiers 0..Degree-1, zeroed per block (the
     // vectors keep their capacity across blocks and invocations).
@@ -503,7 +530,7 @@ private:
         Coords[static_cast<std::size_t>(D)] =
             SpanLo[static_cast<std::size_t>(D)] +
             (Lane / LaneStride[static_cast<std::size_t>(D)]) %
-                Config.BS[static_cast<std::size_t>(D)];
+                Inv.BS[static_cast<std::size_t>(D)];
     };
 
     auto CellExists = [&](const std::vector<long long> &C) {
@@ -523,7 +550,7 @@ private:
       return true;
     };
     auto InTierValidRegion = [&](const std::vector<long long> &C, int Tier) {
-      long long Reach = static_cast<long long>(Degree - Tier) * Radius;
+      long long Reach = Inv.Tiers[static_cast<std::size_t>(Tier) - 1].Reach;
       for (int D = 0; D < NumBlockedDims; ++D) {
         long long Lo = Origins[static_cast<std::size_t>(D)] - Reach;
         long long Hi = Origins[static_cast<std::size_t>(D)] +
@@ -568,18 +595,17 @@ private:
       return evalExpr<T>(Program.update(), Read, Coef);
     };
 
-    // Streaming schedule: at step s, tier T processes plane s - T*rad.
-    long long SBegin = ChunkLo - static_cast<long long>(Degree) * Radius;
-    long long SEnd = ChunkHi - 1 + static_cast<long long>(Degree) * Radius;
+    // Streaming schedule: at step s, tier T processes plane
+    // s - StreamLag_T (the IR's per-tier lags).
+    long long SBegin = ChunkLo - Inv.LoadStreamReach;
+    long long SEnd = ChunkHi - 1 + Inv.Tiers.back().StreamLag;
     for (long long S = SBegin; S <= SEnd; ++S) {
       // Tier 0: load plane S from global memory into the tier-0 ring.
       {
         long long NeedLo =
-            std::max(ChunkLo - static_cast<long long>(Degree) * Radius,
-                     -static_cast<long long>(Radius));
-        long long NeedHi =
-            std::min(ChunkHi - 1 + static_cast<long long>(Degree) * Radius,
-                     StreamExtent - 1 + Radius);
+            std::max(ChunkLo - Inv.LoadStreamReach, -Inv.GridHalo);
+        long long NeedHi = std::min(ChunkHi - 1 + Inv.LoadStreamReach,
+                                    StreamExtent - 1 + Inv.GridHalo);
         if (S >= NeedLo && S <= NeedHi && Degree >= 1) {
           for (long long Lane = 0; Lane < LaneCount; ++Lane) {
             DecodeLane(Lane);
@@ -596,14 +622,14 @@ private:
         }
       }
 
-      // Tiers 1..Degree.
-      for (int Tier = 1; Tier <= Degree; ++Tier) {
-        long long Plane = S - static_cast<long long>(Tier) * Radius;
-        long long Reach = static_cast<long long>(Degree - Tier) * Radius;
-        long long NeedLo = std::max(ChunkLo - Reach,
-                                    -static_cast<long long>(Radius));
+      // Tiers 1..Degree, each with the lag and reach the IR assigns.
+      for (const TierSchedule &TS : Inv.Tiers) {
+        const int Tier = TS.Tier;
+        long long Plane = S - TS.StreamLag;
+        long long Reach = TS.Reach;
+        long long NeedLo = std::max(ChunkLo - Reach, -Inv.GridHalo);
         long long NeedHi =
-            std::min(ChunkHi - 1 + Reach, StreamExtent - 1 + Radius);
+            std::min(ChunkHi - 1 + Reach, StreamExtent - 1 + Inv.GridHalo);
         if (Plane < NeedLo || Plane > NeedHi)
           continue;
 

@@ -25,6 +25,7 @@
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
 #include "model/GpuSpec.h"
+#include "schedule/ScheduleIR.h"
 #include "sim/MeasuredSimulator.h"
 
 #include <cstddef>
@@ -38,6 +39,14 @@ namespace an5d {
 struct SweepCandidate {
   BlockConfig Config;
   std::size_t ProblemIndex = 0;
+
+  /// The candidate's lowered schedule, when the producer already lowered
+  /// it (the tuner lowers once per candidate and hands the IR down to the
+  /// verifier and the native backend). Left default-constructed — an
+  /// empty StencilName marks it absent — by callers that only fill
+  /// Config; consumers that need the IR lower it themselves then. When
+  /// set, Schedule.Config must equal Config.
+  ScheduleIR Schedule;
 };
 
 /// Which measurement source the tuning flow's second stage runs the

@@ -162,13 +162,16 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
   for (std::size_t P = 0; P < Problems.size(); ++P) {
     Outcomes[P].TopByModel = rankByModel(Program, Problems[P], Options.TopK);
     for (const RankedConfig &Candidate : Outcomes[P].TopByModel) {
+      // Lower once; the verifier checks this IR and the sweep candidates
+      // carry it down to the native backend, so nothing re-derives the
+      // schedule from the raw configuration.
+      ScheduleIR Lowered = lowerSchedule(Program, Candidate.Config);
       // Static schedule verification gates the sweep: a candidate the
       // interval analysis cannot prove safe never reaches the compiler.
       // rankByModel only emits feasibility-pruned configs, so a rejection
       // here means the model and the verifier disagree — worth surfacing
       // loudly rather than timing a kernel with a latent race.
-      ScheduleVerifyResult Verdict =
-          verifySchedule(Program, Candidate.Config, &Problems[P]);
+      ScheduleVerifyResult Verdict = verifyScheduleIR(Lowered, &Problems[P]);
       if (!Verdict.proven()) {
         ++Outcomes[P].VerifierRejections;
         if (Outcomes[P].FirstRejectionReason.empty())
@@ -181,6 +184,8 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
         SweepCandidate Item;
         Item.Config = Candidate.Config;
         Item.Config.RegisterCap = Cap;
+        Item.Schedule = Lowered;
+        Item.Schedule.Config.RegisterCap = Cap;
         Item.ProblemIndex = P;
         Candidates.push_back(std::move(Item));
       }

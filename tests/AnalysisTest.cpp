@@ -433,6 +433,26 @@ TEST(KernelLint, GoldenTranslationUnitsAreClean) {
        ScalarType::Float},
       {"an5d_star3d1r_bt3.cu.golden", LintTarget::CudaKernel,
        ScalarType::Double},
+      // 1D pure-streaming CUDA kernels (one golden per 1D builtin;
+      // star1d2r doubles as the double-precision point).
+      {"an5d_star1d1r_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
+      {"an5d_star1d2r_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Double},
+      {"an5d_star1d3r_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
+      {"an5d_star1d4r_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
+      {"an5d_box1d1r_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
+      {"an5d_box1d2r_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
+      {"an5d_box1d3r_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
+      {"an5d_box1d4r_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
+      {"an5d_j1d3pt_bt2.cu.golden", LintTarget::CudaKernel,
+       ScalarType::Float},
   };
   for (const GoldenCase &Case : Cases) {
     LintReport Report =

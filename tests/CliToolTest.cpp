@@ -347,12 +347,32 @@ TEST(CliTool, BrokenCompilerSurfacesFailureCountNotInfeasible) {
       << "the warning must carry the failure cause";
 }
 
-TEST(CliTool, CudaEmissionStillRejectedFor1dStencils) {
+TEST(CliTool, CudaEmissionSupports1dStencils) {
   std::string Dir = ::testing::TempDir() + "/an5dc_cuda1d_out";
   auto [Code, Output] = runCommand(
       an5dc() + " --benchmark star1d1r --bt 2 --hs 32 --emit-cuda " + Dir);
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("wrote"), std::string::npos) << Output;
+  std::ifstream Kernel(Dir + "/an5d_star1d1r_bt2.cu");
+  ASSERT_TRUE(Kernel.good());
+  std::string Source((std::istreambuf_iterator<char>(Kernel)),
+                     std::istreambuf_iterator<char>());
+  // 1D pure streaming: thread-per-chunk, register rings only — no tile,
+  // no shared memory, no synchronization.
+  EXPECT_NE(Source.find("extern \"C\" __global__"), std::string::npos);
+  EXPECT_NE(Source.find("int n_chunks"), std::string::npos);
+  EXPECT_EQ(Source.find("__shared__"), std::string::npos);
+  EXPECT_EQ(Source.find("__syncthreads"), std::string::npos);
+}
+
+TEST(CliTool, LoopTilingBaselineStillRejectedFor1dStencils) {
+  std::string Dir = ::testing::TempDir() + "/an5dc_tiling1d_out";
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark star1d1r --bt 2 --hs 32 "
+                           "--emit-loop-tiling " +
+                 Dir);
   EXPECT_NE(Code, 0);
-  EXPECT_NE(Output.find("CUDA code generation for 1D"), std::string::npos);
+  EXPECT_NE(Output.find("loop-tiling"), std::string::npos);
 }
 
 TEST(CliTool, MeasureThreadsAppliesToRunNative) {

@@ -98,6 +98,52 @@ TEST(GoldenCuda, Star3d1rDoubleKernel) {
                          "star3d1r kernel");
 }
 
+TEST(GoldenCuda, Every1dBuiltinKernel) {
+  // The 1D pure-streaming schedule renders through the same ScheduleIR as
+  // the blocked kernels: one golden per 1D builtin pins the thread-per-
+  // chunk kernel shape (register rings only — no shared memory, no
+  // __syncthreads). star1d2r is the double-precision point.
+  struct OneDCase {
+    const char *Name;
+    ScalarType Type;
+  } Cases[] = {
+      {"star1d1r", ScalarType::Float}, {"star1d2r", ScalarType::Double},
+      {"star1d3r", ScalarType::Float}, {"star1d4r", ScalarType::Float},
+      {"box1d1r", ScalarType::Float},  {"box1d2r", ScalarType::Float},
+      {"box1d3r", ScalarType::Float},  {"box1d4r", ScalarType::Float},
+      {"j1d3pt", ScalarType::Float},
+  };
+  for (const OneDCase &Case : Cases) {
+    auto P = makeBenchmarkStencil(Case.Name, Case.Type);
+    ASSERT_NE(P, nullptr) << Case.Name;
+    BlockConfig C;
+    C.BT = 2;
+    C.BS.clear(); // 1D pure streaming: no blocked dimensions
+    C.HS = 32;
+    GeneratedCuda Code = generateCuda(*P, C);
+    expectEqualWithContext(Code.KernelSource,
+                           readGolden(std::string("an5d_") + Case.Name +
+                                      "_bt2.cu.golden"),
+                           std::string(Case.Name) + " kernel");
+    EXPECT_EQ(Code.KernelSource.find("__shared__"), std::string::npos)
+        << Case.Name;
+    EXPECT_EQ(Code.KernelSource.find("__syncthreads"), std::string::npos)
+        << Case.Name;
+  }
+}
+
+TEST(GoldenCuda, Star1d1rHost) {
+  auto P = makeStarStencil(1, 1, ScalarType::Float);
+  BlockConfig C;
+  C.BT = 2;
+  C.BS.clear();
+  C.HS = 32;
+  GeneratedCuda Code = generateCuda(*P, C);
+  expectEqualWithContext(Code.HostSource,
+                         readGolden("an5d_star1d1r_bt2_host.cpp.golden"),
+                         "star1d1r host");
+}
+
 TEST(GoldenCuda, GenerationIsDeterministic) {
   auto P = makeJacobi2d9ptGol(ScalarType::Float);
   BlockConfig C;

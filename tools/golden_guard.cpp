@@ -1,0 +1,213 @@
+//===- golden_guard.cpp - Golden-file drift guard ----------------------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-emits every checked-in golden translation unit (tests/golden/) from
+/// the current ScheduleIR lowering + codegen path and compares byte for
+/// byte. Run as a ctest (`golden_drift_guard`) so a schedule or codegen
+/// edit can never silently desync the goldens from what the compiler
+/// actually emits — the gtest golden suites pin a *subset* per backend;
+/// this tool walks the complete table.
+///
+///   golden_guard <golden-dir>          check (exit 1 on drift)
+///   golden_guard <golden-dir> --write  regenerate in place
+///
+/// --write is the deliberate regeneration step tests/golden/README.md
+/// describes: run it after an intentional codegen change, then review the
+/// diff like any compiler change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppCodegen.h"
+#include "codegen/CudaCodegen.h"
+#include "schedule/ScheduleIR.h"
+#include "stencils/Benchmarks.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace an5d;
+
+namespace {
+
+/// Which generator an artifact comes out of.
+enum class ArtifactKind {
+  CudaKernel, ///< generateCuda(...).KernelSource
+  CudaHost,   ///< generateCuda(...).HostSource
+  CppCheck,   ///< generateCppCheckProgram (needs a problem size)
+  CppKernel,  ///< generateCppKernelLibrary
+};
+
+/// One golden file: the (stencil, type, config[, problem]) point that
+/// produced it. This table is the single complete list of goldens; the
+/// gtest suites (GoldenCudaTest/GoldenCppTest) pin representative entries
+/// with first-diff context, the AnalysisTest lint pass reads the same
+/// files, and this guard re-emits all of them.
+struct GoldenSpec {
+  const char *File;
+  ArtifactKind Kind;
+  const char *Stencil;
+  ScalarType Type;
+  int BT;
+  std::vector<int> BS;
+  int HS;
+  std::vector<long long> Extents; ///< CppCheck only.
+  long long TimeSteps = 0;        ///< CppCheck only.
+};
+
+std::vector<GoldenSpec> goldenTable() {
+  std::vector<GoldenSpec> Table = {
+      // CUDA backend (GoldenCudaTest configs).
+      {"an5d_j2d5pt_bt2.cu.golden", ArtifactKind::CudaKernel, "j2d5pt",
+       ScalarType::Float, 2, {128}, 128},
+      {"an5d_j2d5pt_bt2_host.cpp.golden", ArtifactKind::CudaHost, "j2d5pt",
+       ScalarType::Float, 2, {128}, 128},
+      {"an5d_star3d1r_bt3.cu.golden", ArtifactKind::CudaKernel, "star3d1r",
+       ScalarType::Double, 3, {32, 16}, 128},
+      // 1D pure-streaming CUDA kernels: every 1D builtin emits through the
+      // same schedule IR the native runtime executes (star1d2r doubles as
+      // the double-precision coverage point).
+      {"an5d_star1d1r_bt2_host.cpp.golden", ArtifactKind::CudaHost,
+       "star1d1r", ScalarType::Float, 2, {}, 32},
+      // C++ backend (GoldenCppTest configs).
+      {"an5d_j2d5pt_check.cpp.golden", ArtifactKind::CppCheck, "j2d5pt",
+       ScalarType::Float, 2, {32}, 8, {40, 37}, 11},
+      {"an5d_star3d1r_check.cpp.golden", ArtifactKind::CppCheck, "star3d1r",
+       ScalarType::Double, 2, {12, 10}, 6, {14, 12, 11}, 11},
+      {"an5d_star1d1r_check.cpp.golden", ArtifactKind::CppCheck, "star1d1r",
+       ScalarType::Float, 2, {}, 8, {95}, 11},
+      {"an5d_j2d5pt_omp.cpp.golden", ArtifactKind::CppKernel, "j2d5pt",
+       ScalarType::Float, 2, {128}, 128},
+      {"an5d_star1d1r_omp.cpp.golden", ArtifactKind::CppKernel, "star1d1r",
+       ScalarType::Float, 2, {}, 128},
+  };
+  for (const char *Name : {"star1d1r", "star1d2r", "star1d3r", "star1d4r",
+                           "box1d1r", "box1d2r", "box1d3r", "box1d4r",
+                           "j1d3pt"}) {
+    ScalarType Type = std::string(Name) == "star1d2r" ? ScalarType::Double
+                                                      : ScalarType::Float;
+    Table.push_back({nullptr, ArtifactKind::CudaKernel, Name, Type, 2, {},
+                     32});
+  }
+  return Table;
+}
+
+std::string fileNameFor(const GoldenSpec &Spec) {
+  if (Spec.File)
+    return Spec.File;
+  return std::string("an5d_") + Spec.Stencil + "_bt" +
+         std::to_string(Spec.BT) + ".cu.golden";
+}
+
+std::string emit(const GoldenSpec &Spec) {
+  auto Program = makeBenchmarkStencil(Spec.Stencil, Spec.Type);
+  if (!Program)
+    return {};
+  BlockConfig Config;
+  Config.BT = Spec.BT;
+  Config.BS = Spec.BS;
+  Config.HS = Spec.HS;
+  // Lower explicitly: the guard exercises the same one-IR path every
+  // backend renders.
+  ScheduleIR Schedule = lowerSchedule(*Program, Config);
+  switch (Spec.Kind) {
+  case ArtifactKind::CudaKernel:
+    return generateCuda(*Program, Schedule).KernelSource;
+  case ArtifactKind::CudaHost:
+    return generateCuda(*Program, Schedule).HostSource;
+  case ArtifactKind::CppCheck: {
+    ProblemSize Problem;
+    Problem.Extents = Spec.Extents;
+    Problem.TimeSteps = Spec.TimeSteps;
+    return generateCppCheckProgram(*Program, Schedule, Problem);
+  }
+  case ArtifactKind::CppKernel:
+    return generateCppKernelLibrary(*Program, Schedule);
+  }
+  return {};
+}
+
+std::string readFile(const std::string &Path, bool &Ok) {
+  std::ifstream In(Path);
+  Ok = In.good();
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// The first line where \p A and \p B part ways (1-based; 0 if equal).
+int firstDifferingLine(const std::string &A, const std::string &B) {
+  std::stringstream SA(A), SB(B);
+  std::string LA, LB;
+  int Line = 0;
+  while (true) {
+    ++Line;
+    bool OkA = static_cast<bool>(std::getline(SA, LA));
+    bool OkB = static_cast<bool>(std::getline(SB, LB));
+    if (!OkA && !OkB)
+      return 0;
+    if (OkA != OkB || LA != LB)
+      return Line;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "usage: golden_guard <golden-dir> [--write]\n");
+    return 2;
+  }
+  std::string Dir = Argv[1];
+  bool Write = Argc > 2 && std::string(Argv[2]) == "--write";
+
+  int Drifted = 0;
+  for (const GoldenSpec &Spec : goldenTable()) {
+    std::string File = fileNameFor(Spec);
+    std::string Path = Dir + "/" + File;
+    std::string Generated = emit(Spec);
+    if (Generated.empty()) {
+      std::fprintf(stderr, "golden_guard: cannot emit %s (unknown stencil "
+                           "%s?)\n",
+                   File.c_str(), Spec.Stencil);
+      ++Drifted;
+      continue;
+    }
+    if (Write) {
+      std::ofstream Out(Path, std::ios::trunc);
+      Out << Generated;
+      std::printf("wrote %s (%zu bytes)\n", Path.c_str(), Generated.size());
+      continue;
+    }
+    bool Ok = false;
+    std::string Checked = readFile(Path, Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "golden_guard: missing golden %s\n",
+                   Path.c_str());
+      ++Drifted;
+      continue;
+    }
+    if (Checked != Generated) {
+      std::fprintf(stderr,
+                   "golden_guard: %s drifted (first difference at line %d; "
+                   "regenerate with --write and review the diff)\n",
+                   File.c_str(), firstDifferingLine(Generated, Checked));
+      ++Drifted;
+    }
+  }
+  if (!Write) {
+    if (Drifted) {
+      std::fprintf(stderr, "golden_guard: %d golden file(s) out of sync\n",
+                   Drifted);
+      return 1;
+    }
+    std::printf("golden_guard: all goldens match the current emitters\n");
+  }
+  return 0;
+}
