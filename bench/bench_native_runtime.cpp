@@ -24,6 +24,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "runtime/NativeExecutor.h"
 #include "sim/BlockedExecutor.h"
 #include "sim/Grid.h"
@@ -285,5 +286,44 @@ BENCHMARK(BM_NativeOmp_j3d27pt)
     ->Arg(4)
     ->ArgName("threads")
     ->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Observability guard: the disabled-span fast path
+//===----------------------------------------------------------------------===//
+
+// The native hot paths (runtime/NativeMeasurement.cpp, NativeExecutor)
+// carry AN5D_TRACE_SPAN instrumentation that must be free when tracing is
+// off — one relaxed atomic load and a branch, no clock read, no lock.
+// This guard pins that cost at the nanosecond scale so a regression (an
+// accidental clock read or allocation on the disabled path) shows up in
+// BENCH_native.json even though kernel throughput would not move.
+static void BM_ObsDisabledSpan(benchmark::State &State) {
+  obs::TraceRecorder::global().disable();
+  for (auto _ : State) {
+    AN5D_TRACE_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsDisabledSpan);
+
+// The enabled cost for contrast: clock reads plus a striped-lock append.
+// The buffer is dropped in batches outside the span itself so memory stays
+// bounded; the amortized clear is part of the reported cost.
+static void BM_ObsEnabledSpan(benchmark::State &State) {
+  obs::TraceRecorder &Recorder = obs::TraceRecorder::global();
+  Recorder.clear();
+  Recorder.enable();
+  std::size_t SinceClear = 0;
+  for (auto _ : State) {
+    { AN5D_TRACE_SPAN("bench.enabled"); }
+    if (++SinceClear == 8192) {
+      Recorder.clear();
+      SinceClear = 0;
+    }
+  }
+  Recorder.disable();
+  Recorder.clear();
+}
+BENCHMARK(BM_ObsEnabledSpan);
 
 BENCHMARK_MAIN();

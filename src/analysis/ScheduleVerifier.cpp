@@ -6,6 +6,7 @@
 
 #include "analysis/ScheduleVerifier.h"
 
+#include "obs/Metrics.h"
 #include "sim/TimeBlockScheduler.h"
 
 #include <algorithm>
@@ -338,8 +339,10 @@ an5d::verifyScheduleModel(const ScheduleModel &M) {
   return Out;
 }
 
-ScheduleVerifyResult an5d::verifyScheduleIR(const ScheduleIR &IR,
-                                            const ProblemSize *Problem) {
+namespace {
+
+ScheduleVerifyResult verifyScheduleIRImpl(const ScheduleIR &IR,
+                                          const ProblemSize *Problem) {
   ScheduleVerifyResult Result;
   const BlockConfig &Config = IR.Config;
 
@@ -385,6 +388,17 @@ ScheduleVerifyResult an5d::verifyScheduleIR(const ScheduleIR &IR,
                    -1, -1, 0, Broken);
   }
 
+  return Result;
+}
+
+} // namespace
+
+ScheduleVerifyResult an5d::verifyScheduleIR(const ScheduleIR &IR,
+                                            const ProblemSize *Problem) {
+  ScheduleVerifyResult Result = verifyScheduleIRImpl(IR, Problem);
+  obs::count("verifier.checks");
+  if (!Result.proven())
+    obs::count("verifier.rejections");
   return Result;
 }
 

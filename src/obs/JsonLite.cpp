@@ -1,0 +1,280 @@
+//===- JsonLite.cpp - Minimal JSON parse/escape for telemetry export ---------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/JsonLite.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace an5d {
+namespace obs {
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &Member : Members)
+    if (Member.first == Key)
+      return &Member.second;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a borrowed text buffer. Depth is capped:
+/// the exporters nest four levels at most, and a cap turns a corrupt
+/// input into a diagnostic instead of a stack overflow.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  std::optional<JsonValue> parse(std::string *Error) {
+    std::optional<JsonValue> Value = parseValue(0);
+    if (Value) {
+      skipWhitespace();
+      if (Pos != Text.size())
+        Value = fail("trailing characters after the JSON document");
+    }
+    if (!Value && Error)
+      *Error = Message + " at offset " + std::to_string(Pos);
+    return Value;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  std::optional<JsonValue> fail(const char *Why) {
+    if (Message.empty())
+      Message = Why;
+    return std::nullopt;
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    std::size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  std::optional<JsonValue> parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWhitespace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Depth);
+    if (C == '[')
+      return parseArray(Depth);
+    if (C == '"')
+      return parseString();
+    if (C == 't' || C == 'f')
+      return parseBool();
+    if (C == 'n') {
+      if (!literal("null"))
+        return fail("invalid literal");
+      return JsonValue{};
+    }
+    return parseNumber();
+  }
+
+  std::optional<JsonValue> parseBool() {
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Bool;
+    if (literal("true")) {
+      Value.Bool = true;
+      return Value;
+    }
+    if (literal("false")) {
+      Value.Bool = false;
+      return Value;
+    }
+    return fail("invalid literal");
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    const char *Start = Text.c_str() + Pos;
+    char *End = nullptr;
+    double Number = std::strtod(Start, &End);
+    if (End == Start)
+      return fail("invalid number");
+    Pos += static_cast<std::size_t>(End - Start);
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Number;
+    Value.Number = Number;
+    return Value;
+  }
+
+  /// Decodes one \uXXXX escape into \p Out as UTF-8 (BMP only; surrogate
+  /// pairs collapse to U+FFFD — the exporters never emit them).
+  bool decodeUnicodeEscape(std::string &Out) {
+    if (Pos + 4 > Text.size())
+      return false;
+    unsigned Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + static_cast<std::size_t>(I)];
+      Code <<= 4;
+      if (C >= '0' && C <= '9')
+        Code |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Code |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Code |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return false;
+    }
+    Pos += 4;
+    if (Code >= 0xD800 && Code <= 0xDFFF)
+      Code = 0xFFFD;
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+    return true;
+  }
+
+  std::optional<JsonValue> parseString() {
+    if (!consume('"'))
+      return fail("expected '\"'");
+    JsonValue Value;
+    Value.K = JsonValue::Kind::String;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Value;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Value.String += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char Escape = Text[Pos++];
+      switch (Escape) {
+      case '"': Value.String += '"'; break;
+      case '\\': Value.String += '\\'; break;
+      case '/': Value.String += '/'; break;
+      case 'b': Value.String += '\b'; break;
+      case 'f': Value.String += '\f'; break;
+      case 'n': Value.String += '\n'; break;
+      case 'r': Value.String += '\r'; break;
+      case 't': Value.String += '\t'; break;
+      case 'u':
+        if (!decodeUnicodeEscape(Value.String))
+          return fail("invalid \\u escape");
+        break;
+      default:
+        return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::optional<JsonValue> parseArray(int Depth) {
+    consume('[');
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Array;
+    if (consume(']'))
+      return Value;
+    while (true) {
+      std::optional<JsonValue> Item = parseValue(Depth + 1);
+      if (!Item)
+        return std::nullopt;
+      Value.Items.push_back(std::move(*Item));
+      if (consume(']'))
+        return Value;
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<JsonValue> parseObject(int Depth) {
+    consume('{');
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Object;
+    if (consume('}'))
+      return Value;
+    while (true) {
+      skipWhitespace();
+      std::optional<JsonValue> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      std::optional<JsonValue> Member = parseValue(Depth + 1);
+      if (!Member)
+        return std::nullopt;
+      Value.Members.emplace_back(std::move(Key->String), std::move(*Member));
+      if (consume('}'))
+        return Value;
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string &Text;
+  std::size_t Pos = 0;
+  std::string Message;
+};
+
+} // namespace
+
+std::optional<JsonValue> parseJson(const std::string &Text,
+                                   std::string *Error) {
+  return Parser(Text).parse(Error);
+}
+
+void appendJsonString(std::string &Out, const std::string &Text) {
+  Out += '"';
+  for (unsigned char C : Text) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\b': Out += "\\b"; break;
+    case '\f': Out += "\\f"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (C < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Out += Buffer;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+}
+
+} // namespace obs
+} // namespace an5d

@@ -1,0 +1,68 @@
+//===- JsonLite.h - Minimal JSON parse/escape for telemetry export -*-C++-*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON value model with a recursive-descent parser
+/// and a string-escape writer, shared by the observability exporters
+/// (obs/Trace.h, obs/Metrics.h), the trace-schema guard (tools/obs_guard)
+/// and the ObsTest parse-back assertions. It exists so the telemetry the
+/// framework emits can be *validated by the framework itself* — no
+/// external JSON dependency, no drift between writer and checker.
+///
+/// Scope: RFC 8259 minus extras the exporters never produce — numbers
+/// parse through strtod (so exponents work), \uXXXX escapes decode basic
+/// multilingual plane code points to UTF-8, objects keep member order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_OBS_JSONLITE_H
+#define AN5D_OBS_JSONLITE_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace an5d {
+namespace obs {
+
+/// One parsed JSON value (a tagged union over the seven JSON kinds,
+/// with objects as ordered member lists).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+
+  bool Bool = false;
+  double Number = 0;
+  std::string String;
+  std::vector<JsonValue> Items;                                ///< arrays
+  std::vector<std::pair<std::string, JsonValue>> Members;      ///< objects
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// First member named \p Key (objects only); null when absent.
+  const JsonValue *find(const std::string &Key) const;
+};
+
+/// Parses \p Text as one JSON document (trailing garbage is an error).
+/// On failure returns nullopt and, when \p Error is non-null, a
+/// line/column diagnostic.
+std::optional<JsonValue> parseJson(const std::string &Text,
+                                   std::string *Error = nullptr);
+
+/// Appends \p Text to \p Out as a quoted JSON string (escapes quotes,
+/// backslashes and control characters).
+void appendJsonString(std::string &Out, const std::string &Text);
+
+} // namespace obs
+} // namespace an5d
+
+#endif // AN5D_OBS_JSONLITE_H

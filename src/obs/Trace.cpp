@@ -1,0 +1,199 @@
+//===- Trace.cpp - Hierarchical trace spans (Perfetto-ready) -----------------===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/JsonLite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace an5d {
+namespace obs {
+
+std::atomic<bool> TraceRecorder::Enabled{false};
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder Instance;
+  return Instance;
+}
+
+namespace {
+
+/// steady_clock nanoseconds since the first call in this process — small
+/// positive timestamps, so microsecond conversion in the export never
+/// loses precision to a huge epoch offset.
+long long steadyNowNs() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+} // namespace
+
+void TraceRecorder::setClock(ClockFn NewClock) {
+  Clock.store(NewClock, std::memory_order_relaxed);
+}
+
+long long TraceRecorder::now() const {
+  ClockFn Fn = Clock.load(std::memory_order_relaxed);
+  return Fn ? Fn() : steadyNowNs();
+}
+
+unsigned TraceRecorder::currentThreadId() {
+  static std::atomic<unsigned> NextId{0};
+  thread_local unsigned Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+void TraceRecorder::record(SpanRecord &&Record) {
+  Stripe &S = Stripes[Record.ThreadId % NumStripes];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Spans.push_back(std::move(Record));
+}
+
+std::vector<SpanRecord> TraceRecorder::snapshot() const {
+  std::vector<SpanRecord> All;
+  for (const Stripe &S : Stripes) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    All.insert(All.end(), S.Spans.begin(), S.Spans.end());
+  }
+  // Per-thread tracks, outermost span before its children: spans are
+  // recorded at *end* time, so a parent lands after its children in the
+  // stripe; sorting by start (longest first on ties) restores tree order.
+  std::stable_sort(All.begin(), All.end(),
+                   [](const SpanRecord &A, const SpanRecord &B) {
+                     if (A.ThreadId != B.ThreadId)
+                       return A.ThreadId < B.ThreadId;
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     return A.DurationNs > B.DurationNs;
+                   });
+  return All;
+}
+
+void TraceRecorder::clear() {
+  for (Stripe &S : Stripes) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Spans.clear();
+  }
+}
+
+std::map<std::string, SpanAggregate> TraceRecorder::aggregate() const {
+  std::map<std::string, SpanAggregate> Aggregates;
+  for (const SpanRecord &Span : snapshot()) {
+    SpanAggregate &Agg = Aggregates[Span.Name];
+    if (Agg.Count == 0) {
+      Agg.MinNs = Span.DurationNs;
+      Agg.MaxNs = Span.DurationNs;
+    } else {
+      Agg.MinNs = std::min(Agg.MinNs, Span.DurationNs);
+      Agg.MaxNs = std::max(Agg.MaxNs, Span.DurationNs);
+    }
+    ++Agg.Count;
+    Agg.TotalNs += Span.DurationNs;
+  }
+  return Aggregates;
+}
+
+std::string TraceRecorder::toChromeTraceJson() const {
+  // Chrome trace-event format, "X" (complete) events: nesting is implied
+  // by timestamp containment within one (pid, tid) track, which is
+  // exactly how the spans were recorded. ts/dur are microseconds.
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  char Buffer[64];
+  for (const SpanRecord &Span : snapshot()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n{\"name\":";
+    appendJsonString(Out, Span.Name);
+    Out += ",\"cat\":\"an5d\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(Buffer, sizeof(Buffer), "%u", Span.ThreadId);
+    Out += Buffer;
+    std::snprintf(Buffer, sizeof(Buffer), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(Span.StartNs) / 1e3,
+                  static_cast<double>(Span.DurationNs) / 1e3);
+    Out += Buffer;
+    if (!Span.Attrs.empty()) {
+      Out += ",\"args\":{";
+      bool FirstAttr = true;
+      for (const SpanAttr &Attr : Span.Attrs) {
+        if (!FirstAttr)
+          Out += ",";
+        FirstAttr = false;
+        appendJsonString(Out, Attr.Key);
+        Out += ":";
+        appendJsonString(Out, Attr.Value);
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string TraceRecorder::summaryTable() const {
+  std::map<std::string, SpanAggregate> Aggregates = aggregate();
+
+  // Widest first: the span dominating wall clock heads the table.
+  std::vector<std::pair<std::string, SpanAggregate>> Rows(
+      Aggregates.begin(), Aggregates.end());
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second.TotalNs > B.second.TotalNs;
+                   });
+
+  std::size_t NameWidth = 4;
+  for (const auto &Row : Rows)
+    NameWidth = std::max(NameWidth, Row.first.size());
+
+  char Line[256];
+  std::string Out;
+  std::snprintf(Line, sizeof(Line),
+                "%-*s %8s %12s %10s %10s %10s\n",
+                static_cast<int>(NameWidth), "span", "count", "total ms",
+                "mean ms", "min ms", "max ms");
+  Out += Line;
+  for (const auto &Row : Rows) {
+    const SpanAggregate &Agg = Row.second;
+    std::snprintf(Line, sizeof(Line),
+                  "%-*s %8zu %12.3f %10.3f %10.3f %10.3f\n",
+                  static_cast<int>(NameWidth), Row.first.c_str(), Agg.Count,
+                  static_cast<double>(Agg.TotalNs) / 1e6,
+                  static_cast<double>(Agg.TotalNs) / 1e6 /
+                      static_cast<double>(Agg.Count),
+                  static_cast<double>(Agg.MinNs) / 1e6,
+                  static_cast<double>(Agg.MaxNs) / 1e6);
+    Out += Line;
+  }
+  return Out;
+}
+
+void TraceSpan::begin(const char *SpanName) {
+  Active = true;
+  Name = SpanName;
+  StartNs = TraceRecorder::global().now();
+}
+
+void TraceSpan::end() {
+  TraceRecorder &Recorder = TraceRecorder::global();
+  SpanRecord Record;
+  Record.Name = Name;
+  Record.StartNs = StartNs;
+  Record.DurationNs = std::max(0LL, Recorder.now() - StartNs);
+  Record.ThreadId = TraceRecorder::currentThreadId();
+  Record.Attrs = std::move(Attributes);
+  Recorder.record(std::move(Record));
+}
+
+} // namespace obs
+} // namespace an5d

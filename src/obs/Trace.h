@@ -1,0 +1,194 @@
+//===- Trace.h - Hierarchical trace spans (Perfetto-ready) ------*- C++ -*-===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock trace spans for the whole pipeline — one `AN5D_TRACE_SPAN`
+/// at the top of a scope records begin/end, the recording thread, and
+/// optional key/value attributes into a process-global, lock-striped
+/// buffer. The buffer exports as Chrome trace-event JSON (open the file in
+/// Perfetto / chrome://tracing: spans nest per thread track by time
+/// containment) and as a human-readable aggregated summary table.
+///
+/// The load-bearing property is the *disabled* cost: tracing defaults to
+/// off, and a disabled span is one relaxed atomic load plus a branch — no
+/// clock read, no allocation, no lock — so instrumenting the measured
+/// tuning hot path (runtime/NativeMeasurement.h) does not perturb the
+/// numbers the tuner ranks on (bench_native_runtime's BM_ObsDisabledSpan
+/// pins the per-span cost). Attribute values are only worth computing when
+/// a span is live; in hot code, guard them:
+///
+///   obs::TraceSpan Span("tune.candidate");
+///   if (Span.active())
+///     Span.attr("config", Config.toString());
+///
+/// The brace form `AN5D_TRACE_SPAN("x", {{"k", v()}})` is fine in cold
+/// code but evaluates v() even when tracing is off.
+///
+/// The clock is injectable (TraceRecorder::setClock) so tests assert
+/// byte-deterministic output; the default is steady_clock nanoseconds
+/// since the first use in the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AN5D_OBS_TRACE_H
+#define AN5D_OBS_TRACE_H
+
+#include <atomic>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace an5d {
+namespace obs {
+
+/// One key/value span attribute ("args" in the Chrome trace format).
+struct SpanAttr {
+  std::string Key;
+  std::string Value;
+};
+
+/// One finished span as stored in the recorder.
+struct SpanRecord {
+  std::string Name;
+  long long StartNs = 0;    ///< Clock value at construction.
+  long long DurationNs = 0; ///< End minus start (>= 0).
+  unsigned ThreadId = 0;    ///< Dense per-process thread id (0, 1, ...).
+  std::vector<SpanAttr> Attrs;
+};
+
+/// Aggregated statistics for all spans sharing one name.
+struct SpanAggregate {
+  std::size_t Count = 0;
+  long long TotalNs = 0;
+  long long MinNs = 0;
+  long long MaxNs = 0;
+};
+
+/// Monotonic nanosecond clock; injectable for deterministic tests.
+using ClockFn = long long (*)();
+
+/// The process-global span sink. Recording is lock-striped by thread id,
+/// so concurrent spans from a compile pool contend only within a stripe;
+/// export merges and sorts the stripes.
+class TraceRecorder {
+public:
+  static TraceRecorder &global();
+
+  /// The enabled check every span constructor performs. Kept static so
+  /// the disabled fast path is a single relaxed atomic load — no
+  /// singleton-access function call.
+  static bool enabled() { return Enabled.load(std::memory_order_relaxed); }
+
+  void enable() { Enabled.store(true, std::memory_order_relaxed); }
+  void disable() { Enabled.store(false, std::memory_order_relaxed); }
+
+  /// Overrides the clock (nullptr restores steady_clock). Set this before
+  /// any concurrent recording starts; spans read it on construction.
+  void setClock(ClockFn Clock);
+
+  /// Current clock value in nanoseconds.
+  long long now() const;
+
+  /// Appends one finished span (called by ~TraceSpan).
+  void record(SpanRecord &&Record);
+
+  /// All spans recorded so far, sorted by (thread, start, longest-first) —
+  /// the order Chrome trace viewers expect for nesting.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Drops every recorded span (tests; does not change enablement).
+  void clear();
+
+  /// Per-name aggregates (count/total/min/max) over the current buffer.
+  std::map<std::string, SpanAggregate> aggregate() const;
+
+  /// The Chrome trace-event JSON document ("X" complete events,
+  /// microsecond timestamps) — loads directly in Perfetto.
+  std::string toChromeTraceJson() const;
+
+  /// Human-readable per-name summary table, widest total first.
+  std::string summaryTable() const;
+
+  /// The dense id of the calling thread (assigned on first use).
+  static unsigned currentThreadId();
+
+private:
+  TraceRecorder() = default;
+
+  static std::atomic<bool> Enabled;
+
+  std::atomic<ClockFn> Clock{nullptr};
+
+  static constexpr std::size_t NumStripes = 16;
+  struct Stripe {
+    mutable std::mutex Mutex;
+    std::vector<SpanRecord> Spans;
+  };
+  Stripe Stripes[NumStripes];
+};
+
+/// RAII span: records itself into TraceRecorder::global() on destruction.
+/// When tracing is disabled, construction and destruction are a relaxed
+/// atomic load and a branch.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name) {
+    if (TraceRecorder::enabled())
+      begin(Name);
+  }
+
+  TraceSpan(const char *Name, std::initializer_list<SpanAttr> Attrs) {
+    if (TraceRecorder::enabled()) {
+      begin(Name);
+      for (const SpanAttr &Attr : Attrs)
+        Attributes.push_back(Attr);
+    }
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  ~TraceSpan() {
+    if (Active)
+      end();
+  }
+
+  /// True when this span is live (tracing was enabled at construction).
+  bool active() const { return Active; }
+
+  /// Attaches an attribute; no-op on an inactive span, so callers can
+  /// compute values under `if (span.active())` only.
+  void attr(std::string Key, std::string Value) {
+    if (Active)
+      Attributes.push_back({std::move(Key), std::move(Value)});
+  }
+
+private:
+  void begin(const char *SpanName);
+  void end();
+
+  bool Active = false;
+  const char *Name = nullptr;
+  long long StartNs = 0;
+  std::vector<SpanAttr> Attributes;
+};
+
+#define AN5D_OBS_CONCAT_IMPL(A, B) A##B
+#define AN5D_OBS_CONCAT(A, B) AN5D_OBS_CONCAT_IMPL(A, B)
+
+/// Declares an RAII trace span for the rest of the enclosing scope:
+///   AN5D_TRACE_SPAN("tune.candidate", {{"config", Config.toString()}});
+#define AN5D_TRACE_SPAN(...)                                                 \
+  ::an5d::obs::TraceSpan AN5D_OBS_CONCAT(An5dTraceSpan_,                     \
+                                         __LINE__)(__VA_ARGS__)
+
+} // namespace obs
+} // namespace an5d
+
+#endif // AN5D_OBS_TRACE_H

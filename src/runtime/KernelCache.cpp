@@ -6,6 +6,9 @@
 
 #include "runtime/KernelCache.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -82,6 +85,10 @@ KernelArtifact KernelCache::getOrBuild(
   Artifact.SourcePath = Base.string() + ".cpp";
   Artifact.LibraryPath = Base.string() + ".so";
 
+  obs::TraceSpan Span("cache.get_or_build");
+  if (Span.active())
+    Span.attr("key", Artifact.Key);
+
   std::error_code Ec;
   // Serialize same-key builds within this process: the exists-check runs
   // under the key's lock, so a worker that waited out a sibling's build
@@ -104,10 +111,13 @@ KernelArtifact KernelCache::getOrBuild(
     // build time (a hot kernel hit daily must outlive a one-off build).
     fs::last_write_time(Artifact.LibraryPath,
                         fs::file_time_type::clock::now(), Ec);
+    Span.attr("hit", "true");
+    obs::count("kernel_cache.hits");
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.Hits;
     return Artifact;
   }
+  Span.attr("hit", "false");
 
   // Everything below works on per-build temporaries renamed into place:
   // concurrent builders of the same key — sibling processes *or* sibling
@@ -135,6 +145,7 @@ KernelArtifact KernelCache::getOrBuild(
     if (!Out) {
       Artifact.Log = "cannot write " + TempSourcePath;
       fs::remove(TempSourcePath, Ec);
+      obs::count("kernel_cache.failures");
       std::lock_guard<std::mutex> Lock(Mutex);
       ++Stats.Failures;
       return Artifact;
@@ -142,8 +153,12 @@ KernelArtifact KernelCache::getOrBuild(
   }
 
   std::string TempPath = Artifact.LibraryPath + Suffix;
-  CompileOutcome Outcome =
-      Compiler.compileSharedLibrary(TempSourcePath, TempPath, ExtraFlags);
+  CompileOutcome Outcome;
+  {
+    AN5D_TRACE_SPAN("cache.compile");
+    Outcome =
+        Compiler.compileSharedLibrary(TempSourcePath, TempPath, ExtraFlags);
+  }
   fs::rename(TempSourcePath, Artifact.SourcePath, Ec);
   if (Ec)
     fs::remove(TempSourcePath, Ec); // canonical copy is best-effort only
@@ -152,6 +167,7 @@ KernelArtifact KernelCache::getOrBuild(
   if (!Outcome.Success) {
     Artifact.Log = "compile failed: " + Outcome.Command + "\n" + Outcome.Log;
     fs::remove(TempPath, Ec);
+    obs::count("kernel_cache.failures");
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.Failures;
     return Artifact;
@@ -160,12 +176,16 @@ KernelArtifact KernelCache::getOrBuild(
   if (Ec) {
     Artifact.Log = "cannot move " + TempPath + " into place: " + Ec.message();
     fs::remove(TempPath, Ec);
+    obs::count("kernel_cache.failures");
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.Failures;
     return Artifact;
   }
 
   Artifact.Ok = true;
+  obs::count("kernel_cache.misses");
+  obs::observe("kernel_cache.compile_seconds", Outcome.Seconds,
+               obs::compileSecondsBuckets());
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.Misses;
@@ -235,6 +255,7 @@ void KernelCache::evictOverCap(const std::string &KeepKey) {
     ++Evicted;
   }
   if (Evicted > 0) {
+    obs::count("kernel_cache.evictions", static_cast<long long>(Evicted));
     std::lock_guard<std::mutex> Lock(Mutex);
     Stats.Evictions += Evicted;
   }

@@ -8,9 +8,13 @@
 
 #include "analysis/KernelLint.h"
 #include "codegen/CppCodegen.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "runtime/NativeCompiler.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <string>
 
 namespace an5d {
 
@@ -109,6 +113,11 @@ NativeExecutor::NativeExecutor(const StencilProgram &Program,
   NumDims = Dims();
   Radius = Rad();
   ElemSize = Elem();
+  // Optional metadata (present since ABI v1, but nothing below depends on
+  // it): the baked-in temporal tile, which the traced run path uses to
+  // report per-temporal-block progress.
+  if (auto *BlockTimeFn = Library->fn<IntFn>("an5d_block_time"))
+    BlockTime = BlockTimeFn();
   if (NumDims != Program.numDims() || Radius != Program.radius() ||
       ElemSize != Program.wordSize()) {
     Error = "kernel metadata does not match the stencil program "
@@ -134,7 +143,49 @@ int NativeExecutor::runRaw(void *Buf0, void *Buf1, const long long *Extents,
     return -1;
   if (Threads > 0)
     SetThreads(Threads);
+  // The profiled path is behind the one relaxed atomic load every span
+  // performs anyway: with tracing off, a raw run costs exactly what it
+  // did before the observability layer existed.
+  if (obs::TraceRecorder::enabled())
+    return runTraced(Buf0, Buf1, Extents, TimeSteps);
   return Run(Buf0, Buf1, Extents, TimeSteps);
+}
+
+int NativeExecutor::runTraced(void *Buf0, void *Buf1,
+                              const long long *Extents,
+                              long long TimeSteps) const {
+  obs::TraceSpan Span("native.run");
+  if (Span.active()) {
+    Span.attr("steps", std::to_string(TimeSteps));
+    Span.attr("kernel", Artifact.Key);
+  }
+  obs::count("native.runs");
+  if (BlockTime <= 0 || TimeSteps <= BlockTime)
+    return Run(Buf0, Buf1, Extents, TimeSteps);
+
+  // Per-temporal-block progress: invoke the kernel one bT-sized tile at a
+  // time. Each invocation follows the ABI's double-buffer contract — S
+  // steps from the buffer holding the current state land the result in
+  // argument index S % 2 — so after all chunks the result sits in
+  // Buf{TimeSteps % 2}, exactly where one whole-sweep invocation puts it,
+  // and every chunk is the same bit-exact kernel, so decomposition does
+  // not change the numbers.
+  void *Bufs[2] = {Buf0, Buf1};
+  int Current = 0;
+  for (long long Done = 0; Done < TimeSteps;) {
+    long long Steps = std::min<long long>(BlockTime, TimeSteps - Done);
+    obs::TraceSpan BlockSpan("native.block");
+    if (BlockSpan.active()) {
+      BlockSpan.attr("t0", std::to_string(Done));
+      BlockSpan.attr("steps", std::to_string(Steps));
+    }
+    int Rc = Run(Bufs[Current], Bufs[1 - Current], Extents, Steps);
+    if (Rc != 0)
+      return Rc;
+    Current ^= static_cast<int>(Steps & 1);
+    Done += Steps;
+  }
+  return 0;
 }
 
 } // namespace an5d

@@ -126,6 +126,12 @@ public:
   /// built without OpenMP). 0 if the executor failed.
   int kernelMaxThreads() const;
 
+  /// The temporal tile (bT) baked into the loaded kernel, from its
+  /// `an5d_block_time` metadata; 0 if the executor failed or the symbol
+  /// is absent. The traced run path chunks long sweeps by this to report
+  /// per-temporal-block progress.
+  int blockTime() const { return BlockTime; }
+
   /// Pins the kernel's OpenMP pool to \p N threads via `an5d_set_threads`
   /// (no-op for N <= 0 or a failed executor). The measurement path calls
   /// this before timing so results do not float with the ambient
@@ -165,6 +171,13 @@ public:
              int NumExtents, long long TimeSteps) const;
 
 private:
+  /// The runRaw body when tracing is enabled: wraps the invocation in a
+  /// `native.run` span and, for sweeps longer than the kernel's temporal
+  /// tile, emits one `native.block` child span per bT-sized chunk
+  /// (bit-exact with the single whole-sweep invocation).
+  int runTraced(void *Buf0, void *Buf1, const long long *Extents,
+                long long TimeSteps) const;
+
   std::string Error;
   KernelArtifact Artifact;
   std::unique_ptr<KernelCache> OwnedCache;
@@ -174,6 +187,7 @@ private:
   int Radius = 0;
   int ElemSize = 0;
   int Threads = 0;
+  int BlockTime = 0;
 
   using RunFn = int(void *, void *, const long long *, long long);
   using IntFn = int();

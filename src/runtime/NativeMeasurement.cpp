@@ -7,6 +7,8 @@
 #include "runtime/NativeMeasurement.h"
 
 #include "analysis/ScheduleVerifier.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sim/Grid.h"
 
 #include <algorithm>
@@ -69,9 +71,13 @@ KernelTiming timeNativeKernel(const NativeExecutor &Executor,
   fillGridDeterministic(Pristine, 42);
   Grid<T> Buf0 = Pristine, Buf1 = Pristine;
   double Best = std::numeric_limits<double>::infinity();
-  for (int Rep = SkipWarmup ? 0 : -1; Rep < std::max(1, Repeats); ++Rep) {
+  int TimedRepeats = std::max(1, Repeats);
+  for (int Rep = SkipWarmup ? 0 : -1; Rep < TimedRepeats; ++Rep) {
     copyGrid(Pristine, Buf0);
     copyGrid(Pristine, Buf1);
+    // The span's clock reads happen strictly outside the Start..now
+    // window below, so enabling tracing widens the span, not the number.
+    obs::TraceSpan RepSpan(Rep < 0 ? "measure.warmup" : "measure.repeat");
     auto Start = std::chrono::steady_clock::now();
     int Rc = Executor.runRaw(Buf0.data(), Buf1.data(),
                              Problem.Extents.data(),
@@ -88,7 +94,16 @@ KernelTiming timeNativeKernel(const NativeExecutor &Executor,
       continue; // warmup run: correct but untimed
     Best = std::min(Best, Seconds);
   }
+  // Metric bumps live after the timed loop — one batch per call, never
+  // inside a measured window.
+  if (!SkipWarmup)
+    obs::count("measure.warmups");
+  obs::count("measure.repeats", TimedRepeats);
+  if (Best < MinMeasurableSeconds)
+    obs::count("measure.clamps");
   Timing.Seconds = std::max(Best, MinMeasurableSeconds);
+  obs::observe("measure.run_seconds", Timing.Seconds,
+               obs::runSecondsBuckets());
   return Timing;
 }
 
@@ -107,6 +122,7 @@ nativeMeasuredSweep(const StencilProgram &Program,
   std::vector<MeasuredResult> Results(Candidates.size());
   if (Candidates.empty())
     return Results;
+  obs::count("sweep.candidates", static_cast<long long>(Candidates.size()));
 
   std::unique_ptr<KernelCache> OwnedCache;
   if (!Cache) {
@@ -140,16 +156,19 @@ nativeMeasuredSweep(const StencilProgram &Program,
   // genuinely infeasible candidates keep their established "infeasible"
   // diagnostics from the build path below.
   if (Options.VerifySchedule) {
+    AN5D_TRACE_SPAN("sweep.verify");
     for (std::size_t I = 0; I < Candidates.size(); ++I) {
       const BlockConfig &Config = Candidates[I].Config;
       if (!Config.matchesDimensionality(Program.numDims()) ||
           !Config.isFeasible(Program.radius()))
         continue;
       ScheduleVerifyResult Verdict = verifyScheduleIR(*Schedules[I]);
-      if (!Verdict.proven())
+      if (!Verdict.proven()) {
         Results[I].FailureReason = "schedule verifier rejected " +
                                    Config.toString() + ": " +
                                    Verdict.Violations.front().toString();
+        Results[I].FailureKind = MeasureFailureKind::VerifierRejected;
+      }
     }
   }
 
@@ -177,10 +196,17 @@ nativeMeasuredSweep(const StencilProgram &Program,
     for (std::size_t Item;
          (Item = NextItem.fetch_add(1, std::memory_order_relaxed)) <
          Candidates.size();) {
+      obs::gaugeSet("sweep.queue_depth",
+                    static_cast<long long>(
+                        Candidates.size() -
+                        std::min(Item + 1, Candidates.size())));
       if (!Results[Item].FailureReason.empty())
         continue; // verifier-rejected: never build
       if (KernelSlot[Item] != Item)
         continue; // another slot owns this configuration's kernel
+      obs::TraceSpan Span("sweep.compile");
+      if (Span.active())
+        Span.attr("config", Candidates[Item].Config.toString());
       Executors[Item] = std::make_unique<NativeExecutor>(
           Program, *Schedules[Item], Options.Runtime, Cache);
     }
@@ -218,11 +244,19 @@ nativeMeasuredSweep(const StencilProgram &Program,
       // so the tuner can surface compile failures distinctly.
       Results[I].FailureReason =
           Executor ? Executor->error() : "kernel was never built";
+      Results[I].FailureKind = Executor ? MeasureFailureKind::BuildFailed
+                                        : MeasureFailureKind::NeverBuilt;
       continue;
     }
     assert(Candidates[I].ProblemIndex < Problems.size() &&
            "candidate addresses a problem size outside the sweep");
     const ProblemSize &Problem = Problems[Candidates[I].ProblemIndex];
+    obs::TraceSpan CandidateSpan("measure.candidate");
+    if (CandidateSpan.active()) {
+      CandidateSpan.attr("config", Candidates[I].Config.toString());
+      CandidateSpan.attr("problem",
+                         std::to_string(Candidates[I].ProblemIndex));
+    }
     KernelTiming Timing =
         Program.elemType() == ScalarType::Float
             ? timeNativeKernel<float>(*Executor, Problem, Program.radius(),
@@ -235,6 +269,7 @@ nativeMeasuredSweep(const StencilProgram &Program,
     if (Timing.Rc != 0) {
       Results[I].FailureReason = "kernel rejected the run (code " +
                                  std::to_string(Timing.Rc) + ")";
+      Results[I].FailureKind = MeasureFailureKind::RunRejected;
       continue;
     }
     Warmed[Slot] = true;
@@ -245,6 +280,13 @@ nativeMeasuredSweep(const StencilProgram &Program,
                          static_cast<double>(Problem.TimeSteps);
     Out.MeasuredGflops = FlopsPerCell * CellUpdates / Timing.Seconds / 1e9;
   }
+
+  // One failure-kind counter bump per failed result, in one place: the
+  // metrics exactly mirror what the tuner's reduction will count into
+  // TuneOutcome::MeasurementFailures.
+  for (const MeasuredResult &Result : Results)
+    if (Result.FailureKind != MeasureFailureKind::None)
+      obs::count(measureFailureMetricName(Result.FailureKind));
   return Results;
 }
 

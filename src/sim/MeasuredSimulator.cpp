@@ -13,6 +13,29 @@
 
 namespace an5d {
 
+const char *measureFailureKindLabel(MeasureFailureKind Kind) {
+  switch (Kind) {
+  case MeasureFailureKind::None:
+    return "";
+  case MeasureFailureKind::VerifierRejected:
+    return "verifier_rejected";
+  case MeasureFailureKind::BuildFailed:
+    return "build_failed";
+  case MeasureFailureKind::NeverBuilt:
+    return "never_built";
+  case MeasureFailureKind::RunRejected:
+    return "run_rejected";
+  }
+  return "";
+}
+
+std::string measureFailureMetricName(MeasureFailureKind Kind) {
+  const char *Label = measureFailureKindLabel(Kind);
+  if (!*Label)
+    return std::string();
+  return std::string("measure.failures.") + Label;
+}
+
 /// Slowdown of double-precision constant division relative to the fast-math
 /// multiply the model assumes (Section 7.1 reports up to ~2x end-to-end
 /// degradation versus same-shaped division-free stencils).

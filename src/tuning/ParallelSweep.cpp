@@ -6,6 +6,8 @@
 
 #include "tuning/ParallelSweep.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -29,6 +31,7 @@ parallelMeasuredSweep(const StencilProgram &Program, const GpuSpec &Spec,
   std::vector<MeasuredResult> Results(Candidates.size());
   if (Candidates.empty())
     return Results;
+  obs::count("sweep.candidates", static_cast<long long>(Candidates.size()));
 
   std::atomic<std::size_t> NextItem{0};
   auto Worker = [&]() {

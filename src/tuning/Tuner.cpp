@@ -8,6 +8,8 @@
 
 #include "analysis/ScheduleVerifier.h"
 #include "model/RegisterModel.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "tuning/ParallelSweep.h"
 
 #include <algorithm>
@@ -146,6 +148,13 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
                           const TuneOptions &Options) const {
   std::vector<TuneOutcome> Outcomes(Problems.size());
 
+  obs::TraceSpan TuneSpan("tune");
+  if (TuneSpan.active()) {
+    TuneSpan.attr("stencil", Program.name());
+    TuneSpan.attr("problems", std::to_string(Problems.size()));
+  }
+  obs::count("tuner.tunes");
+
   // The native backend times real CPU kernels (all dimensionalities —
   // 1D streams through the chunk-parallel kernel): register caps are a
   // CUDA knob the kernel source does not encode, so cap variants would
@@ -160,20 +169,36 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
   // problem sizes — for one shared sweep.
   std::vector<SweepCandidate> Candidates;
   for (std::size_t P = 0; P < Problems.size(); ++P) {
-    Outcomes[P].TopByModel = rankByModel(Program, Problems[P], Options.TopK);
+    {
+      AN5D_TRACE_SPAN("tune.rank");
+      Outcomes[P].TopByModel =
+          rankByModel(Program, Problems[P], Options.TopK);
+    }
+    obs::count("tuner.candidates_ranked",
+               static_cast<long long>(Outcomes[P].TopByModel.size()));
     for (const RankedConfig &Candidate : Outcomes[P].TopByModel) {
+      obs::TraceSpan CandidateSpan("tune.candidate");
+      if (CandidateSpan.active())
+        CandidateSpan.attr("config", Candidate.Config.toString());
       // Lower once; the verifier checks this IR and the sweep candidates
       // carry it down to the native backend, so nothing re-derives the
       // schedule from the raw configuration.
-      ScheduleIR Lowered = lowerSchedule(Program, Candidate.Config);
+      ScheduleIR Lowered = [&] {
+        AN5D_TRACE_SPAN("tune.lower");
+        return lowerSchedule(Program, Candidate.Config);
+      }();
       // Static schedule verification gates the sweep: a candidate the
       // interval analysis cannot prove safe never reaches the compiler.
       // rankByModel only emits feasibility-pruned configs, so a rejection
       // here means the model and the verifier disagree — worth surfacing
       // loudly rather than timing a kernel with a latent race.
-      ScheduleVerifyResult Verdict = verifyScheduleIR(Lowered, &Problems[P]);
+      ScheduleVerifyResult Verdict = [&] {
+        AN5D_TRACE_SPAN("tune.verify");
+        return verifyScheduleIR(Lowered, &Problems[P]);
+      }();
       if (!Verdict.proven()) {
         ++Outcomes[P].VerifierRejections;
+        obs::count("tuner.verifier_rejections");
         if (Outcomes[P].FirstRejectionReason.empty())
           Outcomes[P].FirstRejectionReason =
               Candidate.Config.toString() + ": " +
@@ -200,11 +225,17 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
   NativeMeasureOptions NativeOptions = Options.Native;
   if (NativeOptions.CompileThreads == 0)
     NativeOptions.CompileThreads = Options.Threads;
-  std::vector<MeasuredResult> Results =
-      UseNative ? nativeMeasuredSweep(Program, Candidates, Problems,
-                                      NativeOptions)
-                : parallelMeasuredSweep(Program, Spec, Candidates, Problems,
-                                        Options.Threads);
+  std::vector<MeasuredResult> Results = [&] {
+    obs::TraceSpan SweepSpan("tune.sweep");
+    if (SweepSpan.active()) {
+      SweepSpan.attr("backend", UseNative ? "native" : "simulated");
+      SweepSpan.attr("candidates", std::to_string(Candidates.size()));
+    }
+    return UseNative ? nativeMeasuredSweep(Program, Candidates, Problems,
+                                           NativeOptions)
+                     : parallelMeasuredSweep(Program, Spec, Candidates,
+                                             Problems, Options.Threads);
+  }();
   for (std::size_t I = 0; I < Candidates.size(); ++I) {
     const MeasuredResult &Measured = Results[I];
     TuneOutcome &Outcome = Outcomes[Candidates[I].ProblemIndex];
@@ -214,8 +245,10 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
       // infeasible ones so the caller can warn about a broken toolchain.
       if (!Measured.FailureReason.empty()) {
         ++Outcome.MeasurementFailures;
-        if (Outcome.FirstFailureReason.empty())
+        if (Outcome.FirstFailureReason.empty()) {
           Outcome.FirstFailureReason = Measured.FailureReason;
+          Outcome.FirstFailureKind = Measured.FailureKind;
+        }
       }
       continue;
     }

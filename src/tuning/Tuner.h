@@ -70,6 +70,10 @@ struct TuneOutcome {
   std::size_t MeasurementFailures = 0;
   std::string FirstFailureReason; ///< Representative failure (e.g. the
                                   ///< compiler log of the first one).
+  /// Normalized classification of FirstFailureReason (None when no
+  /// measurement failed); an5dc renders the warning label from this
+  /// instead of re-parsing the free-form string.
+  MeasureFailureKind FirstFailureKind = MeasureFailureKind::None;
 
   /// Model-ranked candidates the schedule verifier
   /// (analysis/ScheduleVerifier.h) statically rejected before any kernel

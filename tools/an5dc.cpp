@@ -54,6 +54,15 @@
 ///   --run-native         compile (or fetch from cache), load and time the
 ///                        native kernel on a CPU-sized problem
 ///   --kernel-cache DIR   kernel-cache directory (default: see README)
+///   --trace FILE         record trace spans across the whole run and write
+///                        them as Chrome trace-event JSON (open in
+///                        Perfetto); AN5D_TRACE in the environment is the
+///                        flagless equivalent
+///   --metrics FILE       write the metrics-registry export (counters,
+///                        gauges, histograms, span aggregates) as JSON;
+///                        AN5D_METRICS is the flagless equivalent
+///   --obs-summary        print the aggregated span table and the non-zero
+///                        metrics on exit (implies span recording)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,6 +72,8 @@
 #include "codegen/CudaCodegen.h"
 #include "codegen/LoopTilingCodegen.h"
 #include "frontend/StencilExtractor.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "report/ScheduleReport.h"
 #include "runtime/NativeExecutor.h"
 #include "runtime/NativeMeasurement.h"
@@ -114,6 +125,9 @@ struct CliOptions {
   bool VerifySchedule = false;
   bool Lint = false;
   bool RunNative = false;
+  std::string TracePath;   ///< --trace / AN5D_TRACE; empty = off
+  std::string MetricsPath; ///< --metrics / AN5D_METRICS; empty = off
+  bool ObsSummary = false; ///< --obs-summary
   NativeRuntimeOptions NativeOpts;
   CodegenOptions Codegen;
   std::string EmitCudaDir;
@@ -135,6 +149,7 @@ void printUsage() {
       "  --print-stencil --print-model --report --verify\n"
       "  --verify-native --verify-schedule --lint\n"
       "  --run-native --kernel-cache DIR\n"
+      "  --trace FILE --metrics FILE --obs-summary\n"
       "  --simplify --div-to-mul\n"
       "  --no-assoc-opt --no-dafree-opt --vectorized-smem --unroll-inner\n"
       "  --emit-cuda DIR --emit-check DIR --emit-omp DIR "
@@ -281,6 +296,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.NativeOpts.CacheDir = V;
+    } else if (Arg == "--trace") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.TracePath = V;
+    } else if (Arg == "--metrics") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.MetricsPath = V;
+    } else if (Arg == "--obs-summary") {
+      Options.ObsSummary = true;
     } else if (Arg == "--verify-native") {
       Options.VerifyNative = true;
     } else if (Arg == "--verify-schedule") {
@@ -444,6 +471,70 @@ bool runNativeTimed(const StencilProgram &Program, const BlockConfig &Config,
   return true;
 }
 
+/// Flushes the observability outputs on every exit path: installed right
+/// after argument parsing, so a tune that fails halfway still leaves its
+/// partial trace and metrics behind for diagnosis.
+struct ObsFlushGuard {
+  const CliOptions &Options;
+
+  explicit ObsFlushGuard(const CliOptions &Options) : Options(Options) {
+    if (!Options.TracePath.empty() || Options.ObsSummary)
+      obs::TraceRecorder::global().enable();
+  }
+
+  ~ObsFlushGuard() {
+    obs::TraceRecorder &Recorder = obs::TraceRecorder::global();
+    obs::MetricsRegistry &Registry = obs::MetricsRegistry::global();
+
+    if (!Options.TracePath.empty()) {
+      std::ofstream Out(Options.TracePath);
+      Out << Recorder.toChromeTraceJson();
+      if (Out)
+        std::printf("wrote trace %s (load it in Perfetto or "
+                    "chrome://tracing)\n",
+                    Options.TracePath.c_str());
+      else
+        std::fprintf(stderr, "an5dc: cannot write trace file %s\n",
+                     Options.TracePath.c_str());
+    }
+
+    if (!Options.MetricsPath.empty()) {
+      std::ofstream Out(Options.MetricsPath);
+      Out << Registry.toJson(&Recorder);
+      if (Out)
+        std::printf("wrote metrics %s\n", Options.MetricsPath.c_str());
+      else
+        std::fprintf(stderr, "an5dc: cannot write metrics file %s\n",
+                     Options.MetricsPath.c_str());
+    }
+
+    if (Options.ObsSummary) {
+      std::string Spans = Recorder.summaryTable();
+      if (!Spans.empty())
+        std::printf("--- span summary ---\n%s", Spans.c_str());
+      std::string Metrics = Registry.summaryTable();
+      if (!Metrics.empty())
+        std::printf("--- metrics ---\n%s", Metrics.c_str());
+    }
+
+    // The kernel-cache scoreboard prints whenever this run touched the
+    // cache at all — cheap visibility into whether a tune re-used or
+    // re-built its kernels, no flag needed.
+    long long Hits = Registry.counterValue("kernel_cache.hits");
+    long long Misses = Registry.counterValue("kernel_cache.misses");
+    long long Failures = Registry.counterValue("kernel_cache.failures");
+    long long Evictions = Registry.counterValue("kernel_cache.evictions");
+    if (Hits + Misses + Failures > 0)
+      std::printf("kernel cache: %lld hit(s), %lld miss(es), %lld "
+                  "failure(s), %lld eviction(s), %.0f%% hit rate\n",
+                  Hits, Misses, Failures, Evictions,
+                  Hits + Misses > 0
+                      ? 100.0 * static_cast<double>(Hits) /
+                            static_cast<double>(Hits + Misses)
+                      : 0.0);
+  }
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -452,6 +543,17 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 2;
   }
+
+  // Flagless observability for wrapped invocations (CI, bench scripts):
+  // the environment supplies the paths the flags would.
+  if (Options.TracePath.empty())
+    if (const char *Env = std::getenv("AN5D_TRACE"); Env && *Env)
+      Options.TracePath = Env;
+  if (Options.MetricsPath.empty())
+    if (const char *Env = std::getenv("AN5D_METRICS"); Env && *Env)
+      Options.MetricsPath = Env;
+  // Every return below flows through the guard's flush.
+  ObsFlushGuard ObsFlush(Options);
 
   if (Options.ListBenchmarks) {
     for (const std::string &Name : benchmarkStencilNames())
@@ -574,10 +676,15 @@ int main(int Argc, char **Argv) {
           C = ' ';
       if (Outcome.FirstFailureReason.size() > 300)
         Reason += "...";
+      // The kind label is the same vocabulary the metrics counters use
+      // (measure.failures.<label>), so the warning, the metrics export
+      // and TuneOutcome all classify a failure identically.
       std::fprintf(stderr,
                    "an5dc: warning: %zu candidate kernel(s) failed to "
-                   "compile or run (first: %s)\n",
-                   Outcome.MeasurementFailures, Reason.c_str());
+                   "compile or run (first [%s]: %s)\n",
+                   Outcome.MeasurementFailures,
+                   measureFailureKindLabel(Outcome.FirstFailureKind),
+                   Reason.c_str());
     }
     if (!Outcome.Feasible) {
       std::fprintf(stderr, "an5dc: tuning found no feasible config\n");

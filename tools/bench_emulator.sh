@@ -7,7 +7,14 @@
 # bench_tuner_throughput and bench_native_runtime — and dumps the results
 # to BENCH_emulator.json, BENCH_tuner.json and BENCH_native.json so the
 # emulator's, the measured sweep's and the native kernel's performance
-# trajectories can be tracked PR over PR. Build the benches first:
+# trajectories can be tracked PR over PR. A fourth artifact,
+# BENCH_obs.json, is the metrics+spans export of one traced native tune
+# (an5dc --tune --measure native --metrics): the tuner phase-time
+# breakdown (tune/tune.sweep/cache.compile/measure.repeat span
+# aggregates) and the kernel-cache hit/miss counters, so compile-time
+# regressions show up even when kernel throughput does not move. Every
+# BENCH_*.json is checked non-empty before the script succeeds — an
+# empty record must fail loudly, not get committed. Build first:
 #
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 #
@@ -44,6 +51,8 @@ else
 fi
 TUNER_OUT="$OUT_DIR/BENCH_tuner.json"
 NATIVE_OUT="$OUT_DIR/BENCH_native.json"
+OBS_OUT="$OUT_DIR/BENCH_obs.json"
+OBS_TRACE_OUT="$OUT_DIR/BENCH_obs_trace.json"
 
 fail_missing() {
   echo "error: $1 not found or not executable." >&2
@@ -55,10 +64,22 @@ fail_missing() {
 EMULATOR_BIN="$BUILD_DIR/bench/bench_emulator_throughput"
 TUNER_BIN="$BUILD_DIR/bench/bench_tuner_throughput"
 NATIVE_BIN="$BUILD_DIR/bench/bench_native_runtime"
+AN5DC_BIN="$BUILD_DIR/tools/an5dc"
 
 [ -x "$EMULATOR_BIN" ] || fail_missing "$EMULATOR_BIN"
 [ -x "$TUNER_BIN" ] || fail_missing "$TUNER_BIN"
 [ -x "$NATIVE_BIN" ] || fail_missing "$NATIVE_BIN"
+[ -x "$AN5DC_BIN" ] || fail_missing "$AN5DC_BIN"
+
+# An empty or truncated record must fail the run: grep for the key every
+# well-formed file of that kind carries.
+check_artifact() {
+  local file="$1" key="$2"
+  if [ ! -s "$file" ] || ! grep -q "$key" "$file"; then
+    echo "error: $file is empty or lacks $key — refusing to record it." >&2
+    exit 1
+  fi
+}
 
 "$EMULATOR_BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
 echo "wrote $OUT"
@@ -68,3 +89,17 @@ echo "wrote $TUNER_OUT"
 
 "$NATIVE_BIN" --benchmark_out="$NATIVE_OUT" --benchmark_out_format=json "$@"
 echo "wrote $NATIVE_OUT"
+
+# One traced native tune: the metrics export (counters + histograms +
+# span aggregates) is the observability record; the trace file rides
+# along for Perfetto.
+"$AN5DC_BIN" --benchmark j2d5pt --tune --measure native \
+  --tune-topk 2 --measure-repeats 2 \
+  --trace "$OBS_TRACE_OUT" --metrics "$OBS_OUT" >/dev/null
+echo "wrote $OBS_OUT"
+
+check_artifact "$OUT" '"benchmarks"'
+check_artifact "$TUNER_OUT" '"benchmarks"'
+check_artifact "$NATIVE_OUT" '"benchmarks"'
+check_artifact "$OBS_OUT" '"counters"'
+check_artifact "$OBS_TRACE_OUT" '"traceEvents"'

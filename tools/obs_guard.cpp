@@ -1,0 +1,219 @@
+//===- obs_guard.cpp - Schema & drift guard for the observability exports ----===//
+//
+// Part of the AN5D reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the files an5dc --metrics / --trace write:
+///
+///   obs_guard metrics.json [trace.json]
+///
+/// The metrics file must parse, carry the counters/gauges/histograms (and
+/// optional spans) sections with the right shapes, and use only metric
+/// names from the canonical glossary (obs::knownMetricNames) — so a
+/// producer that invents a name without extending the glossary (and the
+/// README) fails CI instead of silently drifting. The trace file must be a
+/// well-formed Chrome trace-event document of "X" complete events.
+///
+/// Exit status: 0 when everything validates, 1 otherwise (first problem
+/// printed to stderr), 2 for usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/JsonLite.h"
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace an5d;
+
+namespace {
+
+bool Failed = false;
+
+void fail(const std::string &File, const std::string &Why) {
+  std::fprintf(stderr, "obs_guard: %s: %s\n", File.c_str(), Why.c_str());
+  Failed = true;
+}
+
+bool knownName(const std::string &Name) {
+  const std::vector<std::string> &Known = obs::knownMetricNames();
+  return std::find(Known.begin(), Known.end(), Name) != Known.end();
+}
+
+/// Counters and gauges: every member a number, every name in the glossary.
+void checkScalarSection(const std::string &File, const obs::JsonValue &Root,
+                        const char *Section) {
+  const obs::JsonValue *Value = Root.find(Section);
+  if (!Value || !Value->isObject()) {
+    fail(File, std::string("missing or non-object \"") + Section +
+                   "\" section");
+    return;
+  }
+  for (const auto &Member : Value->Members) {
+    if (!Member.second.isNumber())
+      fail(File, std::string(Section) + "." + Member.first +
+                     " is not a number");
+    if (!knownName(Member.first))
+      fail(File, std::string(Section) + "." + Member.first +
+                     " is not in the metric glossary "
+                     "(obs::knownMetricNames)");
+  }
+}
+
+void checkHistograms(const std::string &File, const obs::JsonValue &Root) {
+  const obs::JsonValue *Section = Root.find("histograms");
+  if (!Section || !Section->isObject()) {
+    fail(File, "missing or non-object \"histograms\" section");
+    return;
+  }
+  for (const auto &Member : Section->Members) {
+    const std::string Prefix = "histograms." + Member.first;
+    if (!knownName(Member.first))
+      fail(File, Prefix + " is not in the metric glossary "
+                          "(obs::knownMetricNames)");
+    const obs::JsonValue &H = Member.second;
+    const obs::JsonValue *Count = H.find("count");
+    const obs::JsonValue *Sum = H.find("sum");
+    const obs::JsonValue *Buckets = H.find("buckets");
+    if (!H.isObject() || !Count || !Count->isNumber() || !Sum ||
+        !Sum->isNumber() || !Buckets || !Buckets->isArray()) {
+      fail(File, Prefix + " lacks the {count, sum, buckets[]} shape");
+      continue;
+    }
+    double BucketTotal = 0;
+    bool SawOverflow = false;
+    for (const obs::JsonValue &Bucket : Buckets->Items) {
+      const obs::JsonValue *Le = Bucket.find("le");
+      const obs::JsonValue *N = Bucket.find("count");
+      if (!Bucket.isObject() || !Le || !N || !N->isNumber()) {
+        fail(File, Prefix + " has a bucket without {le, count}");
+        continue;
+      }
+      BucketTotal += N->Number;
+      if (Le->isString() && Le->String == "+inf")
+        SawOverflow = true;
+      else if (!Le->isNumber())
+        fail(File, Prefix + " has a bucket bound that is neither a number "
+                            "nor \"+inf\"");
+    }
+    if (!SawOverflow)
+      fail(File, Prefix + " lacks the \"+inf\" overflow bucket");
+    if (BucketTotal != Count->Number)
+      fail(File, Prefix + " bucket counts do not sum to its count");
+  }
+}
+
+void checkSpans(const std::string &File, const obs::JsonValue &Root) {
+  const obs::JsonValue *Section = Root.find("spans");
+  if (!Section)
+    return; // optional: only present when spans were recorded
+  if (!Section->isObject()) {
+    fail(File, "\"spans\" is not an object");
+    return;
+  }
+  for (const auto &Member : Section->Members)
+    for (const char *Field :
+         {"count", "total_ms", "mean_ms", "min_ms", "max_ms"}) {
+      const obs::JsonValue *Value = Member.second.find(Field);
+      if (!Value || !Value->isNumber())
+        fail(File, "spans." + Member.first + " lacks numeric " + Field);
+    }
+}
+
+void checkMetricsFile(const std::string &File, const std::string &Text) {
+  std::string Error;
+  std::optional<obs::JsonValue> Root = obs::parseJson(Text, &Error);
+  if (!Root) {
+    fail(File, "invalid JSON: " + Error);
+    return;
+  }
+  if (!Root->isObject()) {
+    fail(File, "top level is not an object");
+    return;
+  }
+  checkScalarSection(File, *Root, "counters");
+  checkScalarSection(File, *Root, "gauges");
+  checkHistograms(File, *Root);
+  checkSpans(File, *Root);
+}
+
+void checkTraceFile(const std::string &File, const std::string &Text) {
+  std::string Error;
+  std::optional<obs::JsonValue> Root = obs::parseJson(Text, &Error);
+  if (!Root) {
+    fail(File, "invalid JSON: " + Error);
+    return;
+  }
+  const obs::JsonValue *Unit =
+      Root->isObject() ? Root->find("displayTimeUnit") : nullptr;
+  if (!Unit || !Unit->isString() || Unit->String != "ms")
+    fail(File, "displayTimeUnit is not \"ms\"");
+  const obs::JsonValue *Events =
+      Root->isObject() ? Root->find("traceEvents") : nullptr;
+  if (!Events || !Events->isArray()) {
+    fail(File, "missing or non-array \"traceEvents\"");
+    return;
+  }
+  std::size_t Index = 0;
+  for (const obs::JsonValue &Event : Events->Items) {
+    const std::string Prefix =
+        "traceEvents[" + std::to_string(Index++) + "]";
+    const obs::JsonValue *Name = Event.find("name");
+    const obs::JsonValue *Phase = Event.find("ph");
+    if (!Event.isObject() || !Name || !Name->isString() || !Phase ||
+        !Phase->isString() || Phase->String != "X") {
+      fail(File, Prefix + " is not a named \"X\" complete event");
+      continue;
+    }
+    for (const char *Field : {"pid", "tid", "ts", "dur"}) {
+      const obs::JsonValue *Value = Event.find(Field);
+      if (!Value || !Value->isNumber())
+        fail(File, Prefix + " lacks numeric " + Field);
+    }
+    if (const obs::JsonValue *Dur = Event.find("dur");
+        Dur && Dur->isNumber() && Dur->Number < 0)
+      fail(File, Prefix + " has a negative duration");
+  }
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    fail(Path, "cannot open");
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  if (Out.empty())
+    fail(Path, "file is empty");
+  return !Out.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2 || Argc > 3) {
+    std::fprintf(stderr, "usage: obs_guard metrics.json [trace.json]\n");
+    return 2;
+  }
+
+  std::string Text;
+  if (readFile(Argv[1], Text))
+    checkMetricsFile(Argv[1], Text);
+  if (Argc == 3 && readFile(Argv[2], Text))
+    checkTraceFile(Argv[2], Text);
+
+  if (Failed)
+    return 1;
+  std::printf("obs_guard: %s%s%s: ok\n", Argv[1], Argc == 3 ? " and " : "",
+              Argc == 3 ? Argv[2] : "");
+  return 0;
+}
