@@ -258,6 +258,27 @@ void LintReport::render(DiagnosticEngine &Diags) const {
 std::string an5d::stripCommentsAndStrings(const std::string &Source) {
   std::string Out = Source;
   enum State { Code, LineComment, BlockComment, String, Char } S = Code;
+
+  auto IsIdentChar = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+           (C >= '0' && C <= '9') || C == '_';
+  };
+  // True when the quote at \p I opens a raw-string literal: an R
+  // immediately before it, optionally behind a u8/u/U/L encoding prefix,
+  // and no identifier character in front of the whole prefix (so FOOR"x"
+  // stays an ordinary string after an identifier).
+  auto IsRawStringQuote = [&](size_t I) {
+    if (I == 0 || Out[I - 1] != 'R')
+      return false;
+    size_t P = I - 1; // the R
+    if (P >= 2 && Out[P - 2] == 'u' && Out[P - 1] == '8')
+      P -= 2;
+    else if (P >= 1 &&
+             (Out[P - 1] == 'u' || Out[P - 1] == 'U' || Out[P - 1] == 'L'))
+      P -= 1;
+    return P == 0 || !IsIdentChar(Out[P - 1]);
+  };
+
   for (size_t I = 0; I < Out.size(); ++I) {
     const char C = Out[I];
     const char Next = I + 1 < Out.size() ? Out[I + 1] : '\0';
@@ -270,15 +291,42 @@ std::string an5d::stripCommentsAndStrings(const std::string &Source) {
         S = BlockComment;
         Out[I] = ' ';
       } else if (C == '"') {
-        S = String;
-        Out[I] = ' ';
+        // Raw strings have no escapes and may span lines and contain
+        // quotes; blank them whole up to their )delim" terminator (the
+        // delimiter is at most 16 characters by the standard — longer
+        // means this is not a raw string after all).
+        size_t Paren;
+        if (IsRawStringQuote(I) &&
+            (Paren = Out.find('(', I + 1)) != std::string::npos &&
+            Paren - I - 1 <= 16) {
+          const std::string Terminator =
+              ")" + Out.substr(I + 1, Paren - I - 1) + "\"";
+          size_t Close = Out.find(Terminator, Paren + 1);
+          size_t End = Close == std::string::npos
+                           ? Out.size()
+                           : Close + Terminator.size();
+          for (size_t J = I; J < End; ++J)
+            if (Out[J] != '\n')
+              Out[J] = ' ';
+          I = End - 1;
+        } else {
+          S = String;
+          Out[I] = ' ';
+        }
       } else if (C == '\'') {
         S = Char;
         Out[I] = ' ';
       }
       break;
     case LineComment:
-      if (C == '\n')
+      if (C == '\\' && (Next == '\n' ||
+                        (Next == '\r' && I + 2 < Out.size() &&
+                         Out[I + 2] == '\n'))) {
+        // Backslash-newline splices the next physical line into the
+        // comment; keep the newline itself for line accounting.
+        Out[I] = ' ';
+        I += Next == '\r' ? 2 : 1;
+      } else if (C == '\n')
         S = Code;
       else
         Out[I] = ' ';

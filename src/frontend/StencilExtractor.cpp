@@ -6,6 +6,7 @@
 
 #include "frontend/StencilExtractor.h"
 
+#include "analysis/passes/TapeVerifier.h"
 #include "ast/Parser.h"
 #include "ir/ExprEval.h"
 
@@ -348,6 +349,17 @@ StencilExtractor::extract(const Stmt &Root, std::string Name,
       std::move(Name), static_cast<int>(Ctx.SpatialVars.size()), ElemType,
       Ctx.ArrayName, std::move(Update), std::move(Coefficients));
   Result.Source = std::move(Source);
+
+  // Lowering-time tape verification: the freshly compiled ExprPlan is the
+  // emulator's correctness oracle, so a tape the abstract interpreter
+  // refutes must fail extraction with structured findings instead of
+  // miscomputing later. Warn/Info findings ride along as diagnostics.
+  AnalysisReport TapeReport = verifyTape(
+      TapeFacts::of(Result.Program->plan(), *Result.Program));
+  if (!TapeReport.Findings.empty())
+    TapeReport.render(Diags);
+  if (!TapeReport.proven())
+    return std::nullopt;
   return Result;
 }
 

@@ -30,14 +30,18 @@ const char *bottleneckName(Bottleneck B) {
 
 /// Concurrent thread-blocks per SM under the thread, shared-memory and
 /// register-file limits (Section 5; the register term reflects the
-/// -maxrregcount tuning of Section 6.3).
-static int concurrentBlocksPerSm(const StencilProgram &Program,
-                                 const GpuSpec &Spec,
-                                 const BlockConfig &Config) {
+/// -maxrregcount tuning of Section 6.3). The per-block shared-memory and
+/// per-thread register figures come from the static resource estimate
+/// (analysis/passes/ResourceEstimator.h), which wraps the same
+/// RegisterModel/SharedMemoryModel formulas — one source of truth for the
+/// model, the tuner's candidate features and the --analyze report.
+static int concurrentBlocksPerSm(const GpuSpec &Spec,
+                                 const BlockConfig &Config,
+                                 const ResourceEstimate &Resources) {
   long long Threads = Config.numThreads();
   long long ByThreads = Spec.MaxThreadsPerSm / Threads;
 
-  long long SmemPerBlock = an5dSmemBytesPerBlock(Program, Threads);
+  long long SmemPerBlock = Resources.SmemBytesPerBlock;
   long long BySmem = SmemPerBlock > 0
                          ? Spec.SharedMemPerSmBytes / SmemPerBlock
                          : ByThreads;
@@ -47,7 +51,7 @@ static int concurrentBlocksPerSm(const StencilProgram &Program,
   // minimum would spill, which the tuner treats as infeasible. NVCC also
   // clamps the allocation so one block is always launchable (e.g. 64
   // registers/thread for 1024-thread blocks).
-  int MinRegs = an5dRegistersPerThread(Program, Config.BT);
+  int MinRegs = Resources.RegistersPerThread;
   int MaxLaunchable =
       static_cast<int>(Spec.RegistersPerSm / std::max<long long>(1, Threads));
   if (MinRegs > MaxLaunchable)
@@ -101,7 +105,8 @@ ModelBreakdown evaluateModel(const StencilProgram &Program,
   if (exceedsRegisterLimits(Program, Config, Spec))
     return Out;
 
-  int BlocksPerSm = concurrentBlocksPerSm(Program, Spec, Config);
+  Out.Resources = estimateOccupancy(Program, Config);
+  int BlocksPerSm = concurrentBlocksPerSm(Spec, Config, Out.Resources);
   if (BlocksPerSm < 1)
     return Out;
 

@@ -16,6 +16,7 @@
 #ifndef AN5D_MODEL_PERFORMANCEMODEL_H
 #define AN5D_MODEL_PERFORMANCEMODEL_H
 
+#include "analysis/passes/ResourceEstimator.h"
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
 #include "model/GpuSpec.h"
@@ -61,6 +62,11 @@ struct ModelBreakdown {
   /// Occupancy: concurrent thread-blocks per SM after thread, shared
   /// memory and register-file limits.
   int ConcurrentBlocksPerSm = 0;
+
+  /// The static resource features the occupancy term consumed
+  /// (registers/thread and smem/block come straight from here; see
+  /// analysis/passes/ResourceEstimator.h).
+  ResourceEstimate Resources;
 
   ThreadCensus CensusPerInvocation;
 

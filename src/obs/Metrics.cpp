@@ -280,6 +280,8 @@ const std::vector<std::string> &knownMetricNames() {
   // Keep sorted; tools/obs_guard fails any export using a name outside
   // this list, and the README "Observability" glossary mirrors it.
   static const std::vector<std::string> Names = {
+      "analysis.findings",            // findings emitted by analysis passes
+      "analysis.pass_runs",           // analysis pass executions
       "kernel_cache.compile_seconds", // histogram: successful JIT builds
       "kernel_cache.evictions",       // LRU size-cap removals
       "kernel_cache.failures",        // failed kernel builds
@@ -296,6 +298,7 @@ const std::vector<std::string> &knownMetricNames() {
       "native.runs",                  // traced an5d_run invocations
       "sweep.candidates",             // measured-sweep items dispatched
       "sweep.queue_depth",            // gauge: compile items still queued
+      "tuner.analysis_rejections",    // candidates the pass pipeline refused
       "tuner.candidates_ranked",      // model-ranked candidates per tune
       "tuner.tunes",                  // tuning flows started
       "tuner.verifier_rejections",    // candidates the tuner's gate refused

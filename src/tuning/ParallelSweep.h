@@ -22,6 +22,7 @@
 #ifndef AN5D_TUNING_PARALLELSWEEP_H
 #define AN5D_TUNING_PARALLELSWEEP_H
 
+#include "analysis/passes/ResourceEstimator.h"
 #include "ir/StencilProgram.h"
 #include "model/BlockConfig.h"
 #include "model/GpuSpec.h"
@@ -47,6 +48,12 @@ struct SweepCandidate {
   /// Config; consumers that need the IR lower it themselves then. When
   /// set, Schedule.Config must equal Config.
   ScheduleIR Schedule;
+
+  /// Static resource features of this candidate (ring bytes, working
+  /// sets, tape FLOPs, arithmetic intensity), filled by producers that
+  /// ran the analysis pipeline — the tuner estimates every candidate it
+  /// lowers. Valid == false when no producer estimated.
+  ResourceEstimate Resources;
 };
 
 /// Which measurement source the tuning flow's second stage runs the

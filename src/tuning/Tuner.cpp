@@ -7,6 +7,8 @@
 #include "tuning/Tuner.h"
 
 #include "analysis/ScheduleVerifier.h"
+#include "analysis/passes/AnalysisPass.h"
+#include "analysis/passes/ResourceEstimator.h"
 #include "model/RegisterModel.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -168,6 +170,7 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
   // candidate list — top-K x register caps, cross-product with the
   // problem sizes — for one shared sweep.
   std::vector<SweepCandidate> Candidates;
+  const AnalysisPassManager Passes = AnalysisPassManager::standardPipeline();
   for (std::size_t P = 0; P < Problems.size(); ++P) {
     {
       AN5D_TRACE_SPAN("tune.rank");
@@ -205,6 +208,32 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
               Verdict.Violations.front().toString();
         continue;
       }
+      // The dataflow pass pipeline runs next to the verifier on the same
+      // IR: tape discipline, symbolic access bounds, and the resource
+      // features the sweep candidates carry. An Error finding rejects the
+      // candidate pre-JIT, exactly like a verifier refutation.
+      AnalysisInput PassInput;
+      PassInput.Program = &Program;
+      PassInput.Schedule = &Lowered;
+      AnalysisReport Analysis = [&] {
+        AN5D_TRACE_SPAN("tune.analyze");
+        return Passes.run(PassInput);
+      }();
+      if (!Analysis.proven()) {
+        ++Outcomes[P].AnalysisRejections;
+        obs::count("tuner.analysis_rejections");
+        if (Outcomes[P].FirstAnalysisRejection.empty()) {
+          for (const AnalysisFinding &F : Analysis.Findings) {
+            if (F.Severity != FindingSeverity::Error)
+              continue;
+            Outcomes[P].FirstAnalysisRejection =
+                Candidate.Config.toString() + ": " + F.toString();
+            break;
+          }
+        }
+        continue;
+      }
+      ResourceEstimate Resources = estimateResources(Program, Lowered);
       for (int Cap : Caps) {
         SweepCandidate Item;
         Item.Config = Candidate.Config;
@@ -212,6 +241,7 @@ Tuner::tuneAcrossProblems(const StencilProgram &Program,
         Item.Schedule = Lowered;
         Item.Schedule.Config.RegisterCap = Cap;
         Item.ProblemIndex = P;
+        Item.Resources = Resources;
         Candidates.push_back(std::move(Item));
       }
     }

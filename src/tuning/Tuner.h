@@ -84,6 +84,15 @@ struct TuneOutcome {
   /// enumerated configuration.
   std::size_t VerifierRejections = 0;
   std::string FirstRejectionReason; ///< Representative verifier verdict.
+
+  /// Candidates the static analysis pipeline (analysis/passes/) rejected
+  /// with an Error-severity finding after the schedule verifier had
+  /// already accepted them — tape breakage or an access-bounds
+  /// refutation the shape checks cannot see. Like VerifierRejections,
+  /// this stays at zero for every enumerated configuration; non-zero
+  /// means lowering and the dataflow passes disagree.
+  std::size_t AnalysisRejections = 0;
+  std::string FirstAnalysisRejection; ///< Representative finding.
 };
 
 /// Knobs of the Section 6.3 search.

@@ -62,6 +62,13 @@ bool hasRule(const LintReport &Report, LintRule Rule) {
                      [&](const LintFinding &F) { return F.Rule == Rule; });
 }
 
+const LintFinding *findRule(const LintReport &Report, LintRule Rule) {
+  for (const LintFinding &F : Report.Findings)
+    if (F.Rule == Rule)
+      return &F;
+  return nullptr;
+}
+
 std::string readGolden(const std::string &FileName) {
   std::ifstream In(std::string(AN5D_GOLDEN_DIR) + "/" + FileName);
   EXPECT_TRUE(In.good()) << "missing golden file " << FileName;
@@ -665,6 +672,105 @@ TEST(LintStripper, ScientificAndSeparatorLiteralsAreParsed) {
                                          LintTarget::CheckProgram,
                                          ScalarType::Float);
   EXPECT_TRUE(hasRule(Float, LintRule::FloatLiteralPolicy));
+}
+
+TEST(LintStripper, RawStringLiteralIsBlankedWhole) {
+  // A raw string may contain quotes and backslashes that would desync the
+  // escape-aware String state; everything up to )" must be blanked and the
+  // code after it must still lint as code.
+  std::string Source = "const char *r = R\"(weight 1.5 \" quote \\ slash)\";\n"
+                       "float bad = 2.5;\n";
+  std::string Stripped = stripCommentsAndStrings(Source);
+  EXPECT_EQ(Source.size(), Stripped.size());
+  EXPECT_EQ(Stripped.find("1.5"), std::string::npos);
+  EXPECT_NE(Stripped.find("float bad"), std::string::npos);
+  EXPECT_NE(Stripped.find("2.5"), std::string::npos);
+
+  LintReport Report = lintTranslationUnit(Source, LintTarget::CheckProgram,
+                                          ScalarType::Float);
+  const LintFinding *F = findRule(Report, LintRule::FloatLiteralPolicy);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Subject, "2.5");
+  EXPECT_EQ(F->Line, 2)
+      << "the multi-character raw literal must not shift line accounting";
+}
+
+TEST(LintStripper, DelimitedRawStringStopsAtItsOwnTerminator) {
+  // The )" inside the delimited literal is content, not a terminator.
+  std::string Source =
+      "const char *r = R\"an5d(inner 3.5 )\" still inside)an5d\";\n"
+      "float after = 4.5f;\n";
+  std::string Stripped = stripCommentsAndStrings(Source);
+  EXPECT_EQ(Stripped.find("3.5"), std::string::npos);
+  EXPECT_EQ(Stripped.find("still inside"), std::string::npos);
+  EXPECT_NE(Stripped.find("float after = 4.5f;"), std::string::npos);
+  LintReport Report = lintTranslationUnit(Source, LintTarget::CheckProgram,
+                                          ScalarType::Float);
+  EXPECT_FALSE(hasRule(Report, LintRule::FloatLiteralPolicy));
+}
+
+TEST(LintStripper, EncodingPrefixedRawStringsAreRecognized) {
+  std::string Source = "const char *a = u8R\"(u8 raw 5.5)\";\n"
+                       "const wchar_t *b = LR\"(wide raw 6.5)\";\n";
+  std::string Stripped = stripCommentsAndStrings(Source);
+  EXPECT_EQ(Stripped.find("5.5"), std::string::npos);
+  EXPECT_EQ(Stripped.find("6.5"), std::string::npos);
+  LintReport Report = lintTranslationUnit(Source, LintTarget::CheckProgram,
+                                          ScalarType::Float);
+  EXPECT_FALSE(hasRule(Report, LintRule::FloatLiteralPolicy));
+}
+
+TEST(LintStripper, IdentifierEndingInRIsNotARawStringPrefix) {
+  // FOOR"(x)" after an identifier character is an ordinary string: it
+  // closes at the next quote, so the literal after it is still code.
+  std::string Source = "auto s = FOOR\"(text)\"; float bad = 7.5;\n";
+  LintReport Report = lintTranslationUnit(Source, LintTarget::CheckProgram,
+                                          ScalarType::Float);
+  const LintFinding *F = findRule(Report, LintRule::FloatLiteralPolicy);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Subject, "7.5");
+}
+
+TEST(LintStripper, UnterminatedRawStringBlanksToEndOfFile) {
+  std::string Source = "const char *r = R\"(never closed 8.5\nfloat x = 9.5;";
+  std::string Stripped = stripCommentsAndStrings(Source);
+  EXPECT_EQ(Stripped.find("8.5"), std::string::npos);
+  EXPECT_EQ(Stripped.find("9.5"), std::string::npos);
+  EXPECT_EQ(std::count(Source.begin(), Source.end(), '\n'),
+            std::count(Stripped.begin(), Stripped.end(), '\n'));
+}
+
+TEST(LintStripper, BackslashContinuationExtendsLineComments) {
+  // The backslash-newline splice keeps the next physical line inside the
+  // // comment; the literal on it must not trip the float policy, and the
+  // first genuine code line after the comment still lints.
+  std::string Source = "// spliced comment \\\n"
+                       "   hidden weight 1.5 continues here\n"
+                       "float ok = 2.5f;\n"
+                       "float bad = 3.5;\n";
+  std::string Stripped = stripCommentsAndStrings(Source);
+  EXPECT_EQ(Stripped.find("1.5"), std::string::npos);
+  EXPECT_NE(Stripped.find("float ok = 2.5f;"), std::string::npos);
+  EXPECT_EQ(std::count(Source.begin(), Source.end(), '\n'),
+            std::count(Stripped.begin(), Stripped.end(), '\n'));
+
+  LintReport Report = lintTranslationUnit(Source, LintTarget::CheckProgram,
+                                          ScalarType::Float);
+  const LintFinding *F = findRule(Report, LintRule::FloatLiteralPolicy);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Subject, "3.5");
+  EXPECT_EQ(F->Line, 4);
+}
+
+TEST(LintStripper, CrLfContinuationAlsoSplices) {
+  std::string Source = "// comment \\\r\n"
+                       "   still hidden 4.5\r\n"
+                       "float bad = 5.5;\r\n";
+  LintReport Report = lintTranslationUnit(Source, LintTarget::CheckProgram,
+                                          ScalarType::Float);
+  const LintFinding *F = findRule(Report, LintRule::FloatLiteralPolicy);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Subject, "5.5");
 }
 
 //===----------------------------------------------------------------------===//

@@ -10,6 +10,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/JsonLite.h"
+
 #include <gtest/gtest.h>
 
 #include <array>
@@ -17,6 +19,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -450,4 +454,138 @@ TEST(CliTool, VerifyScheduleComposesWithTune) {
   EXPECT_EQ(Code, 0) << Output;
   EXPECT_NE(Output.find("tuned:"), std::string::npos) << Output;
   EXPECT_NE(Output.find("proven safe"), std::string::npos) << Output;
+}
+
+//===----------------------------------------------------------------------===//
+// --analyze: the static analysis pass report
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Extracts and parses the an5d-analysis-v1 JSON line from mixed CLI
+/// output (tuning chatter may precede it when --tune rides along).
+std::optional<an5d::obs::JsonValue> parseAnalysisLine(
+    const std::string &Output, std::string *Error = nullptr) {
+  std::istringstream Lines(Output);
+  std::string Line;
+  while (std::getline(Lines, Line))
+    if (Line.find("an5d-analysis-v1") != std::string::npos)
+      return an5d::obs::parseJson(Line, Error);
+  if (Error)
+    *Error = "no an5d-analysis-v1 line in output";
+  return std::nullopt;
+}
+
+} // namespace
+
+TEST(CliTool, AnalyzeEmitsSchemaJsonOnStdout) {
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark j2d5pt --analyze -");
+  EXPECT_EQ(Code, 0) << Output;
+
+  std::string Error;
+  auto Parsed = an5d::obs::parseJson(Output, &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error << "\n" << Output;
+  ASSERT_TRUE(Parsed->isObject());
+  ASSERT_NE(Parsed->find("schema"), nullptr);
+  EXPECT_EQ(Parsed->find("schema")->String, "an5d-analysis-v1");
+  EXPECT_EQ(Parsed->find("stencil")->String, "j2d5pt");
+  EXPECT_EQ(Parsed->find("errors")->Number, 0.0);
+  EXPECT_EQ(Parsed->find("warnings")->Number, 0.0);
+  ASSERT_NE(Parsed->find("findings"), nullptr);
+  EXPECT_TRUE(Parsed->find("findings")->isArray());
+  EXPECT_TRUE(Parsed->find("findings")->Items.empty());
+
+  const an5d::obs::JsonValue *Resources = Parsed->find("resources");
+  ASSERT_NE(Resources, nullptr);
+  ASSERT_TRUE(Resources->isObject());
+  EXPECT_EQ(Resources->find("valid")->Number, 1.0);
+  EXPECT_GT(Resources->find("registers_per_thread")->Number, 0.0);
+  EXPECT_GT(Resources->find("smem_bytes_per_block")->Number, 0.0);
+  EXPECT_GT(Resources->find("arithmetic_intensity")->Number, 0.0);
+  EXPECT_GE(Resources->find("load_redundancy")->Number, 1.0);
+}
+
+TEST(CliTool, AnalyzeWritesReportFile) {
+  std::string Path = ::testing::TempDir() + "/an5dc_analyze_report.json";
+  std::remove(Path.c_str());
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark star2d2r --bt 2 --bs 128 --hs 256 --analyze " +
+      Path);
+  EXPECT_EQ(Code, 0) << Output;
+  EXPECT_NE(Output.find("report written to"), std::string::npos) << Output;
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "report file missing: " << Path;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Error;
+  auto Parsed = an5d::obs::parseJson(Buffer.str(), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ(Parsed->find("stencil")->String, "star2d2r");
+  EXPECT_EQ(Parsed->find("config")->String, "bT=2 bS=128 hS=256");
+  EXPECT_EQ(Parsed->find("errors")->Number, 0.0);
+}
+
+TEST(CliTool, AnalyzeWorksOnExtractedStencilFiles) {
+  std::string Path = writeTempStencil("analyze", ValidStencil);
+  auto [Code, Output] =
+      runCommand(an5dc() + " " + Path + " --bt 2 --bs 64 --analyze -");
+  EXPECT_EQ(Code, 0) << Output;
+  std::string Error;
+  auto Parsed = parseAnalysisLine(Output, &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error << "\n" << Output;
+  EXPECT_EQ(Parsed->find("errors")->Number, 0.0);
+}
+
+TEST(CliTool, AnalyzeComposesWithTuneForEveryBuiltin) {
+  // Every builtin must produce a clean analysis report at its tuned
+  // configuration — including star3d4r/box3d4r, whose radius the default
+  // configuration cannot host (config resolution would fail without
+  // --tune).
+  auto [ListCode, List] = runCommand(an5dc() + " --list-benchmarks");
+  ASSERT_EQ(ListCode, 0);
+  std::istringstream Names(List);
+  std::string Name;
+  int Checked = 0;
+  while (std::getline(Names, Name)) {
+    if (Name.empty())
+      continue;
+    auto [Code, Output] =
+        runCommand(an5dc() + " --benchmark " + Name + " --tune --analyze -");
+    EXPECT_EQ(Code, 0) << Name << ": " << Output;
+    std::string Error;
+    auto Parsed = parseAnalysisLine(Output, &Error);
+    ASSERT_TRUE(Parsed.has_value()) << Name << ": " << Error << "\n" << Output;
+    EXPECT_EQ(Parsed->find("stencil")->String, Name);
+    EXPECT_EQ(Parsed->find("errors")->Number, 0.0) << Name << ": " << Output;
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, 30) << "builtin roster changed; update this count";
+}
+
+TEST(CliTool, MissingAnalyzeValueRejected) {
+  auto [Code, Output] =
+      runCommand(an5dc() + " --benchmark j2d5pt --analyze");
+  EXPECT_EQ(Code, 2) << Output;
+  EXPECT_NE(Output.find("missing value for --analyze"), std::string::npos)
+      << Output;
+}
+
+TEST(CliTool, UnwritableAnalyzePathFails) {
+  auto [Code, Output] = runCommand(
+      an5dc() +
+      " --benchmark j2d5pt --analyze /nonexistent_an5d_dir/report.json");
+  EXPECT_EQ(Code, 1) << Output;
+  EXPECT_NE(Output.find("cannot write"), std::string::npos) << Output;
+}
+
+TEST(CliTool, InfeasibleConfigFailsBeforeAnalyze) {
+  // Config resolution precedes analysis: the report must not be produced
+  // for a configuration the block-shape feasibility check refuses.
+  auto [Code, Output] = runCommand(
+      an5dc() + " --benchmark star3d4r --analyze -");
+  EXPECT_EQ(Code, 1) << Output;
+  EXPECT_EQ(Output.find("an5d-analysis-v1"), std::string::npos) << Output;
+  EXPECT_NE(Output.find("infeasible"), std::string::npos) << Output;
 }

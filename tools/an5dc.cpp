@@ -45,6 +45,12 @@
 ///                        check-program sources (ABI symbols, exact-float
 ///                        literals, banned calls, restrict qualifiers)
 ///                        and lint every JIT kernel before compiling it
+///   --analyze FILE       run the static analysis passes (tape verifier,
+///                        access-bounds prover, resource estimator) over
+///                        the configuration's lowered schedule and write
+///                        the an5d-analysis-v1 JSON report (findings +
+///                        resource estimates) to FILE ('-' = stdout);
+///                        non-zero exit on Error-severity findings
 ///   --emit-cuda DIR      write <kernel>.cu and <kernel>_host.cpp to DIR
 ///   --emit-check DIR     write the self-checking portable C++ program
 ///   --emit-omp DIR       write the callable OpenMP kernel library source
@@ -68,10 +74,13 @@
 
 #include "analysis/KernelLint.h"
 #include "analysis/ScheduleVerifier.h"
+#include "analysis/passes/AnalysisPass.h"
+#include "analysis/passes/ResourceEstimator.h"
 #include "codegen/CppCodegen.h"
 #include "codegen/CudaCodegen.h"
 #include "codegen/LoopTilingCodegen.h"
 #include "frontend/StencilExtractor.h"
+#include "obs/JsonLite.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "report/ScheduleReport.h"
@@ -124,6 +133,7 @@ struct CliOptions {
   bool VerifyNative = false;
   bool VerifySchedule = false;
   bool Lint = false;
+  std::string AnalyzePath; ///< --analyze; empty = off, "-" = stdout
   bool RunNative = false;
   std::string TracePath;   ///< --trace / AN5D_TRACE; empty = off
   std::string MetricsPath; ///< --metrics / AN5D_METRICS; empty = off
@@ -147,7 +157,7 @@ void printUsage() {
       "  --tune-threads N --tune-topk N --measure simulated|native\n"
       "  --measure-threads N --measure-repeats N\n"
       "  --print-stencil --print-model --report --verify\n"
-      "  --verify-native --verify-schedule --lint\n"
+      "  --verify-native --verify-schedule --lint --analyze FILE\n"
       "  --run-native --kernel-cache DIR\n"
       "  --trace FILE --metrics FILE --obs-summary\n"
       "  --simplify --div-to-mul\n"
@@ -315,6 +325,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     } else if (Arg == "--lint") {
       Options.Lint = true;
       Options.NativeOpts.LintKernels = true;
+    } else if (Arg == "--analyze") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.AnalyzePath = V;
     } else if (Arg == "--run-native") {
       Options.RunNative = true;
     } else if (Arg == "--print-stencil") {
@@ -741,6 +756,55 @@ int main(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr, "an5dc: schedule verification failed for %s:\n%s",
                    Config.toString().c_str(), Verdict.toString().c_str());
+      return 1;
+    }
+  }
+
+  if (!Options.AnalyzePath.empty()) {
+    // The dataflow pass pipeline over the lowered schedule, plus the
+    // per-candidate resource estimate, as one machine-readable report.
+    // Error-severity findings fail the invocation after the report is
+    // written — the artifact is the point, reviewers read it either way.
+    ScheduleIR Lowered = lowerSchedule(*Program, Config);
+    AnalysisInput PassInput;
+    PassInput.Program = Program.get();
+    PassInput.Schedule = &Lowered;
+    AnalysisReport Analysis =
+        AnalysisPassManager::standardPipeline().run(PassInput);
+    ResourceEstimate Resources = estimateResources(*Program, Lowered);
+
+    std::string Json = "{\"schema\":\"an5d-analysis-v1\",\"stencil\":";
+    obs::appendJsonString(Json, Program->name());
+    Json += ",\"config\":";
+    obs::appendJsonString(Json, Config.toString());
+    Json += ",\"errors\":" + std::to_string(Analysis.errorCount());
+    Json += ",\"warnings\":" + std::to_string(Analysis.countBySeverity(
+                                   FindingSeverity::Warn));
+    Json += ",\"infos\":" + std::to_string(Analysis.countBySeverity(
+                                FindingSeverity::Info));
+    Json += ",\"findings\":" + Analysis.toJson();
+    Json += ",\"resources\":";
+    appendResourceJson(Json, Resources);
+    Json += "}\n";
+
+    if (Options.AnalyzePath == "-") {
+      std::fwrite(Json.data(), 1, Json.size(), stdout);
+    } else {
+      std::ofstream Out(Options.AnalyzePath);
+      if (!Out) {
+        std::fprintf(stderr, "an5dc: cannot write '%s'\n",
+                     Options.AnalyzePath.c_str());
+        return 1;
+      }
+      Out << Json;
+      std::printf("analyze (%s): %zu finding(s), %zu error(s); report "
+                  "written to %s\n",
+                  Config.toString().c_str(), Analysis.Findings.size(),
+                  Analysis.errorCount(), Options.AnalyzePath.c_str());
+    }
+    if (!Analysis.proven()) {
+      std::fprintf(stderr, "an5dc: static analysis found %zu error(s):\n%s",
+                   Analysis.errorCount(), Analysis.toString().c_str());
       return 1;
     }
   }

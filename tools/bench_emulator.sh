@@ -4,10 +4,12 @@
 # Part of the AN5D reproduction project, under the MIT license.
 #
 # Runs the Google-Benchmark binaries — bench_emulator_throughput,
-# bench_tuner_throughput and bench_native_runtime — and dumps the results
-# to BENCH_emulator.json, BENCH_tuner.json and BENCH_native.json so the
-# emulator's, the measured sweep's and the native kernel's performance
-# trajectories can be tracked PR over PR. A fourth artifact,
+# bench_tuner_throughput, bench_native_runtime and bench_analysis_passes
+# — and dumps the results to BENCH_emulator.json, BENCH_tuner.json,
+# BENCH_native.json and BENCH_analysis.json so the emulator's, the
+# measured sweep's, the native kernel's and the static-analysis
+# pipeline's performance trajectories can be tracked PR over PR. Another
+# artifact,
 # BENCH_obs.json, is the metrics+spans export of one traced native tune
 # (an5dc --tune --measure native --metrics): the tuner phase-time
 # breakdown (tune/tune.sweep/cache.compile/measure.repeat span
@@ -51,6 +53,7 @@ else
 fi
 TUNER_OUT="$OUT_DIR/BENCH_tuner.json"
 NATIVE_OUT="$OUT_DIR/BENCH_native.json"
+ANALYSIS_OUT="$OUT_DIR/BENCH_analysis.json"
 OBS_OUT="$OUT_DIR/BENCH_obs.json"
 OBS_TRACE_OUT="$OUT_DIR/BENCH_obs_trace.json"
 
@@ -64,11 +67,13 @@ fail_missing() {
 EMULATOR_BIN="$BUILD_DIR/bench/bench_emulator_throughput"
 TUNER_BIN="$BUILD_DIR/bench/bench_tuner_throughput"
 NATIVE_BIN="$BUILD_DIR/bench/bench_native_runtime"
+ANALYSIS_BIN="$BUILD_DIR/bench/bench_analysis_passes"
 AN5DC_BIN="$BUILD_DIR/tools/an5dc"
 
 [ -x "$EMULATOR_BIN" ] || fail_missing "$EMULATOR_BIN"
 [ -x "$TUNER_BIN" ] || fail_missing "$TUNER_BIN"
 [ -x "$NATIVE_BIN" ] || fail_missing "$NATIVE_BIN"
+[ -x "$ANALYSIS_BIN" ] || fail_missing "$ANALYSIS_BIN"
 [ -x "$AN5DC_BIN" ] || fail_missing "$AN5DC_BIN"
 
 # An empty or truncated record must fail the run: grep for the key every
@@ -90,6 +95,9 @@ echo "wrote $TUNER_OUT"
 "$NATIVE_BIN" --benchmark_out="$NATIVE_OUT" --benchmark_out_format=json "$@"
 echo "wrote $NATIVE_OUT"
 
+"$ANALYSIS_BIN" --benchmark_out="$ANALYSIS_OUT" --benchmark_out_format=json "$@"
+echo "wrote $ANALYSIS_OUT"
+
 # One traced native tune: the metrics export (counters + histograms +
 # span aggregates) is the observability record; the trace file rides
 # along for Perfetto.
@@ -101,5 +109,6 @@ echo "wrote $OBS_OUT"
 check_artifact "$OUT" '"benchmarks"'
 check_artifact "$TUNER_OUT" '"benchmarks"'
 check_artifact "$NATIVE_OUT" '"benchmarks"'
+check_artifact "$ANALYSIS_OUT" '"benchmarks"'
 check_artifact "$OBS_OUT" '"counters"'
 check_artifact "$OBS_TRACE_OUT" '"traceEvents"'
